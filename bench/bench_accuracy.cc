@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Table 5: test accuracy of full-batch training ("DGL") vs Betty's
+ * micro-batch training, for GraphSAGE and GAT on all five datasets.
+ *
+ * Three seeds per cell give mean +- stddev, as the paper reports.
+ * GAT is skipped on products_like, matching the paper ("GAT cannot
+ * use the ogbn-product dataset").
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace betty {
+namespace {
+
+struct Cell
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+Cell
+statsOf(const std::vector<double>& values)
+{
+    double mean = 0.0;
+    for (double v : values)
+        mean += v;
+    mean /= double(values.size());
+    double var = 0.0;
+    for (double v : values)
+        var += (v - mean) * (v - mean);
+    return {mean, std::sqrt(var / double(values.size()))};
+}
+
+std::string
+fmt(const Cell& cell)
+{
+    return TablePrinter::num(100.0 * cell.mean, 2) + " +- " +
+           TablePrinter::num(100.0 * cell.stddev, 2);
+}
+
+/** Train @p epochs and return final test accuracy. */
+double
+runOnce(const Dataset& ds, bool use_gat, bool micro_batch,
+        uint64_t seed)
+{
+    NeighborSampler sampler(ds.graph, {5, 8}, seed);
+    const auto full = sampler.sample(ds.trainNodes);
+    NeighborSampler test_sampler(ds.graph, {5, 8}, seed + 100);
+    const auto test_batch = test_sampler.sample(ds.testNodes);
+
+    std::unique_ptr<GnnModel> model;
+    if (use_gat) {
+        GatConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = 8;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = 2;
+        cfg.numHeads = 2;
+        cfg.seed = seed;
+        model = std::make_unique<Gat>(cfg);
+    } else {
+        SageConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = 16;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = 2;
+        cfg.seed = seed;
+        model = std::make_unique<GraphSage>(cfg);
+    }
+    Adam adam(model->parameters(), 0.01f);
+    Trainer trainer(ds, *model, adam);
+
+    std::vector<MultiLayerBatch> batches;
+    if (micro_batch) {
+        BettyPartitioner part;
+        batches = extractMicroBatches(full, part.partition(full, 4));
+    } else {
+        batches.push_back(full);
+    }
+    for (int epoch = 0; epoch < 20; ++epoch)
+        trainer.trainMicroBatches(batches);
+    return trainer.evaluate(test_batch);
+}
+
+} // namespace
+} // namespace betty
+
+int
+main()
+{
+    using namespace betty;
+    using namespace betty::benchutil;
+
+    std::printf("Table 5: full-batch (DGL) vs Betty micro-batch test "
+                "accuracy, mean +- std over 3 seeds\n");
+
+    const std::vector<std::pair<std::string, double>> datasets = {
+        {"cora_like", 0.6},   {"pubmed_like", 0.25},
+        {"reddit_like", 0.2}, {"arxiv_like", 0.15},
+        {"products_like", 0.06}};
+
+    TablePrinter table("Table 5 analog");
+    table.setHeader({"dataset", "model", "full_acc_%", "betty_acc_%"});
+    for (const auto& [name, scale] : datasets) {
+        const auto ds = loadBenchDataset(name, scale);
+        for (bool use_gat : {false, true}) {
+            if (use_gat && name == "products_like")
+                continue; // paper: GAT not run on ogbn-products
+            std::vector<double> full_accs, micro_accs;
+            for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+                full_accs.push_back(runOnce(ds, use_gat, false, seed));
+                micro_accs.push_back(runOnce(ds, use_gat, true, seed));
+            }
+            table.addRow({name, use_gat ? "GAT" : "SAGE",
+                          fmt(statsOf(full_accs)),
+                          fmt(statsOf(micro_accs))});
+        }
+    }
+    table.print();
+
+    std::printf("\nShape target: per-row accuracies match within "
+                "noise — micro-batch training is mathematically "
+                "equivalent to full-batch (paper Table 5).\n");
+    return 0;
+}

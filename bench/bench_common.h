@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harness.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md's per-experiment index) and prints the same
+ * rows/series the paper reports. Two environment variables scale the
+ * whole harness:
+ *
+ *   BETTY_BENCH_SCALE  multiplies dataset sizes (default 1.0 = the
+ *                      scaled-down defaults chosen for minutes-long
+ *                      CPU runs; raise toward paper sizes if you have
+ *                      the patience).
+ *   BETTY_DEVICE_GIB   simulated accelerator capacity (default 0.25
+ *                      GiB — plays the role of the paper's 24 GB
+ *                      RTX6000 at our dataset scale).
+ */
+#ifndef BETTY_BENCH_BENCH_COMMON_H
+#define BETTY_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "memory/device_memory.h"
+#include "memory/transfer_model.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace betty::benchutil {
+
+/** BETTY_BENCH_SCALE (default 1.0). */
+inline double
+envScale()
+{
+    if (const char* env = std::getenv("BETTY_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+/** BETTY_DEVICE_GIB as bytes (default 0.25 GiB). */
+inline int64_t
+deviceCapacityBytes()
+{
+    double gib_value = 0.25;
+    if (const char* env = std::getenv("BETTY_DEVICE_GIB"))
+        gib_value = std::atof(env);
+    return gib(gib_value);
+}
+
+/** Load a catalog dataset at bench scale (base further scalable). */
+inline Dataset
+loadBenchDataset(const std::string& name, double base_scale,
+                 uint64_t seed = 42)
+{
+    return loadCatalogDataset(name, base_scale * envScale(), seed);
+}
+
+/** Build one of the four compared partitioners by name. */
+inline std::unique_ptr<OutputPartitioner>
+makePartitioner(const std::string& name, const CsrGraph& raw_graph)
+{
+    if (name == "range")
+        return std::make_unique<RangePartitioner>();
+    if (name == "random")
+        return std::make_unique<RandomPartitioner>(17);
+    if (name == "metis")
+        return std::make_unique<MetisBaselinePartitioner>(raw_graph);
+    if (name == "betty")
+        return std::make_unique<BettyPartitioner>();
+    fatal("unknown partitioner '", name, "'");
+}
+
+/** The sweep order used in every comparison figure. */
+inline std::vector<std::string>
+partitionerNames()
+{
+    return {"range", "random", "metis", "betty"};
+}
+
+/** Bytes -> GiB for table cells. */
+inline double
+toGiB(int64_t bytes)
+{
+    return double(bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+/** Bytes -> MiB for table cells. */
+inline double
+toMiB(int64_t bytes)
+{
+    return double(bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace betty::benchutil
+
+#endif // BETTY_BENCH_BENCH_COMMON_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 7: memory-estimation error for the LSTM aggregator.
+ *
+ * For every dataset and K in {4, 8}, the micro-batch with the largest
+ * estimate is trained once against the byte-accurate device model and
+ * the relative error |estimate - measured| / measured is reported.
+ * The paper's bar is < 8%.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace betty;
+    using namespace betty::benchutil;
+
+    std::printf("Table 7: memory estimation error, 1-layer SAGE + "
+                "LSTM, fanout 10, hidden 16\n");
+
+    const std::vector<std::pair<std::string, double>> datasets = {
+        {"cora_like", 0.6},   {"pubmed_like", 0.25},
+        {"reddit_like", 0.15}, {"arxiv_like", 0.1},
+        {"products_like", 0.05}};
+
+    TablePrinter table("Table 7 analog");
+    table.setHeader({"dataset", "K", "est_MiB", "measured_MiB",
+                     "error_%"});
+    double worst = 0.0;
+    for (const auto& [name, scale] : datasets) {
+        const auto ds = loadBenchDataset(name, scale);
+        NeighborSampler sampler(ds.graph, {10}, 7);
+        std::vector<int64_t> seeds(
+            ds.trainNodes.begin(),
+            ds.trainNodes.begin() +
+                std::min<size_t>(ds.trainNodes.size(), 600));
+        const auto full = sampler.sample(seeds);
+
+        for (int32_t k : {4, 8}) {
+            BettyPartitioner part;
+            const auto micros =
+                extractMicroBatches(full, part.partition(full, k));
+
+            DeviceMemoryModel device;
+            DeviceMemoryModel::Scope scope(device);
+            SageConfig cfg;
+            cfg.inputDim = ds.featureDim();
+            cfg.hiddenDim = 16;
+            cfg.numClasses = ds.numClasses;
+            cfg.numLayers = 1;
+            cfg.aggregator = AggregatorKind::Lstm;
+            GraphSage model(cfg);
+            Adam adam(model.parameters(), 0.01f);
+            Trainer trainer(ds, model, adam, &device);
+            const auto spec = model.memorySpec();
+
+            // The largest micro-batch sets the peak.
+            int64_t best_est = 0;
+            size_t best_idx = 0;
+            for (size_t i = 0; i < micros.size(); ++i) {
+                if (micros[i].outputNodes().empty())
+                    continue;
+                const auto est =
+                    estimateBatchMemory(micros[i], spec);
+                if (est.peak > best_est) {
+                    best_est = est.peak;
+                    best_idx = i;
+                }
+            }
+            const auto stats =
+                trainer.trainMicroBatches({micros[best_idx]});
+            const double err =
+                100.0 *
+                std::abs(double(best_est) -
+                         double(stats.peakBytes)) /
+                double(stats.peakBytes);
+            worst = std::max(worst, err);
+            table.addRow({name, std::to_string(k),
+                          TablePrinter::num(toMiB(best_est), 2),
+                          TablePrinter::num(toMiB(stats.peakBytes), 2),
+                          TablePrinter::num(err, 2)});
+        }
+    }
+    table.print();
+
+    std::printf("\nworst-case error: %.2f%%\n", worst);
+    std::printf("Shape target: every error below the paper's 8%% "
+                "bar. (Our Eq. 5 constant is 30 — measured for this "
+                "from-scratch LSTM — where PyTorch's is 18; see "
+                "DESIGN.md.)\n");
+    return 0;
+}

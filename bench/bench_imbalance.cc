@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Table 2 and Figure 9: load imbalance across REG micro-batches and
+ * the in-degree bucketing explosion that causes it.
+ *
+ * Table 2: per-micro-batch estimated memory for K=2 and K=4 REG
+ * partitions of an arxiv-like batch — the spread motivates
+ * memory-aware planning.
+ * Figure 9(a): destination in-degree bucket histogram (long tail in
+ * the last bucket). Figure 9(b): the same histogram per micro-batch
+ * for K=2, showing the tail bucket splits unevenly.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace betty;
+    using namespace betty::benchutil;
+
+    std::printf("Table 2 + Figure 9: imbalance and in-degree "
+                "bucketing, SAGE on arxiv_like\n");
+    const auto ds = loadBenchDataset("arxiv_like", 0.3);
+
+    NeighborSampler sampler(ds.graph, {-1, -1}, 7);
+    const auto full = sampler.sample(ds.trainNodes);
+
+    SageConfig cfg;
+    cfg.inputDim = ds.featureDim();
+    cfg.hiddenDim = 32;
+    cfg.numClasses = ds.numClasses;
+    cfg.numLayers = 2;
+    GraphSage model(cfg);
+    const auto spec = model.memorySpec();
+
+    BettyPartitioner betty;
+
+    // Table 2: per-micro-batch memory for K = 2 and K = 4.
+    for (int32_t k : {2, 4}) {
+        const auto micros =
+            extractMicroBatches(full, betty.partition(full, k));
+        TablePrinter table("Table 2 analog: K = " + std::to_string(k) +
+                           " REG micro-batches");
+        table.setHeader({"batch_id", "est_mem_MiB", "outputs",
+                         "input_nodes"});
+        int64_t lo = 0, hi = 0;
+        for (size_t i = 0; i < micros.size(); ++i) {
+            const auto est = estimateBatchMemory(micros[i], spec);
+            table.addRow(
+                {std::to_string(i),
+                 TablePrinter::num(toMiB(est.peak), 2),
+                 std::to_string(micros[i].outputNodes().size()),
+                 std::to_string(micros[i].inputNodes().size())});
+            lo = (i == 0) ? est.peak : std::min(lo, est.peak);
+            hi = std::max(hi, est.peak);
+        }
+        table.print();
+        std::printf("memory spread (max/min - 1): %.1f%%\n",
+                    100.0 * (double(hi) / double(lo) - 1.0));
+    }
+
+    // Figure 9(a): in-degree bucket histogram of the output block.
+    const int64_t max_bucket = 10;
+    const Block& out_block = full.blocks.back();
+    {
+        TablePrinter table("Figure 9(a): destination in-degree "
+                           "buckets (tail = degree >= 10)");
+        table.setHeader({"bucket(degree)", "#nodes"});
+        const auto buckets = out_block.degreeBuckets(max_bucket);
+        for (size_t b = 0; b < buckets.size(); ++b) {
+            const std::string label =
+                (int64_t(b) == max_bucket)
+                    ? ">=" + std::to_string(max_bucket)
+                    : std::to_string(b);
+            table.addRow({label,
+                          std::to_string(buckets[b].size())});
+        }
+        table.print();
+    }
+
+    // Figure 9(b): the bucket histogram per micro-batch for K = 2.
+    {
+        const auto micros =
+            extractMicroBatches(full, betty.partition(full, 2));
+        TablePrinter table("Figure 9(b): buckets per micro-batch "
+                           "(K = 2, REG partitioning)");
+        table.setHeader({"bucket(degree)", "micro_0", "micro_1"});
+        const auto b0 =
+            micros[0].blocks.back().degreeBuckets(max_bucket);
+        const auto b1 =
+            micros[1].blocks.back().degreeBuckets(max_bucket);
+        for (size_t b = 0; b < b0.size(); ++b) {
+            const std::string label =
+                (int64_t(b) == max_bucket)
+                    ? ">=" + std::to_string(max_bucket)
+                    : std::to_string(b);
+            table.addRow({label, std::to_string(b0[b].size()),
+                          std::to_string(b1[b].size())});
+        }
+        table.print();
+        const double tail0 = double(b0.back().size());
+        const double tail1 = double(b1.back().size());
+        std::printf("\ntail-bucket imbalance: %.1f%% more nodes in "
+                    "the heavier micro-batch\n",
+                    100.0 * (std::max(tail0, tail1) /
+                                 std::max(1.0, std::min(tail0, tail1)) -
+                             1.0));
+    }
+
+    std::printf("Shape targets: the last bucket dominates the "
+                "histogram (power-law tail); REG micro-batches split "
+                "that tail unevenly (paper: ~19%%), motivating "
+                "memory-aware partitioning.\n");
+    return 0;
+}

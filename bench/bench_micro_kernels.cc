@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of Betty's building blocks:
+ * REG construction, K-way partitioning, neighbor sampling,
+ * micro-batch extraction, and the memory estimator. These are the
+ * components whose overhead the paper's future-work section proposes
+ * to optimize.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace betty {
+namespace {
+
+const Dataset&
+dataset()
+{
+    static Dataset ds = benchutil::loadBenchDataset("arxiv_like", 0.2);
+    return ds;
+}
+
+const MultiLayerBatch&
+fullBatch()
+{
+    static MultiLayerBatch batch = [] {
+        NeighborSampler sampler(dataset().graph, {5, 8}, 7);
+        std::vector<int64_t> seeds(
+            dataset().trainNodes.begin(),
+            dataset().trainNodes.begin() + 800);
+        return sampler.sample(seeds);
+    }();
+    return batch;
+}
+
+void
+BM_RegConstruction(benchmark::State& state)
+{
+    const auto& batch = fullBatch();
+    for (auto _ : state) {
+        auto reg = buildReg(batch.blocks.back());
+        benchmark::DoNotOptimize(reg.numEdges());
+    }
+}
+BENCHMARK(BM_RegConstruction);
+
+void
+BM_KwayPartition(benchmark::State& state)
+{
+    const auto reg = buildReg(fullBatch().blocks.back());
+    KwayOptions opts;
+    opts.k = int32_t(state.range(0));
+    for (auto _ : state) {
+        auto parts = kwayPartition(reg, opts);
+        benchmark::DoNotOptimize(parts.data());
+    }
+}
+BENCHMARK(BM_KwayPartition)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_BettyPartition(benchmark::State& state)
+{
+    BettyPartitioner part;
+    const auto& batch = fullBatch();
+    for (auto _ : state) {
+        auto groups = part.partition(batch, int32_t(state.range(0)));
+        benchmark::DoNotOptimize(groups.size());
+    }
+}
+BENCHMARK(BM_BettyPartition)->Arg(8);
+
+void
+BM_NeighborSampling(benchmark::State& state)
+{
+    NeighborSampler sampler(dataset().graph, {5, 8}, 7);
+    std::vector<int64_t> seeds(dataset().trainNodes.begin(),
+                               dataset().trainNodes.begin() + 800);
+    for (auto _ : state) {
+        auto batch = sampler.sample(seeds);
+        benchmark::DoNotOptimize(batch.totalEdges());
+    }
+}
+BENCHMARK(BM_NeighborSampling);
+
+void
+BM_MicroBatchExtraction(benchmark::State& state)
+{
+    BettyPartitioner part;
+    const auto& batch = fullBatch();
+    const auto groups = part.partition(batch, 8);
+    for (auto _ : state) {
+        auto micros = extractMicroBatches(batch, groups);
+        benchmark::DoNotOptimize(micros.size());
+    }
+}
+BENCHMARK(BM_MicroBatchExtraction);
+
+void
+BM_MemoryEstimate(benchmark::State& state)
+{
+    GnnSpec spec;
+    spec.inputDim = dataset().featureDim();
+    spec.hiddenDim = 64;
+    spec.numClasses = dataset().numClasses;
+    spec.numLayers = 2;
+    spec.aggregator = AggregatorKind::Lstm;
+    spec.paramCountGnn = 100000;
+    spec.paramCountAgg = 30000;
+    for (auto _ : state) {
+        auto est = estimateBatchMemory(fullBatch(), spec);
+        benchmark::DoNotOptimize(est.peak);
+    }
+}
+BENCHMARK(BM_MemoryEstimate);
+
+} // namespace
+} // namespace betty
+
+BENCHMARK_MAIN();

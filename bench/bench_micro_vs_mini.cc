@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 6: micro-batch (Betty) vs mini-batch training at equal batch
+ * counts — first-layer input totals, epoch time, and memory.
+ *
+ * Micro-batches partition ONE sampled full batch, so their combined
+ * input nodes grow slowly with K; mini-batches sample each batch's
+ * multi-hop neighborhood independently, so their combined input
+ * nodes explode (the paper's 4.2x vs 15.3x redundancy at K=64).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace betty;
+    using namespace betty::benchutil;
+
+    std::printf("Table 6: micro-batch vs mini-batch, 2-layer SAGE + "
+                "Mean, products_like, fanout (5, 10)\n");
+    // Seeds are a large fraction of the training set, as in the paper
+    // (its full batch is ALL 196k train nodes): micro-batches then
+    // share neighborhoods heavily, which is exactly what independent
+    // mini-batch sampling throws away.
+    const auto ds = loadBenchDataset("products_like", 0.3);
+    const std::vector<int64_t> fanouts = {5, 10};
+
+    NeighborSampler sampler(ds.graph, fanouts, 7);
+    std::vector<int64_t> seeds(
+        ds.trainNodes.begin(),
+        ds.trainNodes.begin() +
+            std::min<size_t>(ds.trainNodes.size(), 8192));
+    const auto full = sampler.sample(seeds);
+    const int64_t full_inputs = int64_t(full.inputNodes().size());
+
+    SageConfig cfg;
+    cfg.inputDim = ds.featureDim();
+    cfg.hiddenDim = 32;
+    cfg.numClasses = ds.numClasses;
+    cfg.numLayers = 2;
+    cfg.seed = 5;
+
+    TablePrinter table("Table 6 analog");
+    table.setHeader({"K", "micro_inputs", "mini_inputs",
+                     "micro_time_s", "mini_time_s", "micro_peak_MiB",
+                     "mini_peak_MiB"});
+
+    BettyPartitioner part;
+    NeighborSampler mini_sampler(ds.graph, fanouts, 8);
+    for (int32_t k : {1, 2, 4, 8, 16, 32, 64}) {
+        // Micro: partition the one full batch.
+        const auto micros =
+            extractMicroBatches(full, part.partition(full, k));
+
+        // Mini: K independently sampled batches over the same seeds.
+        std::vector<std::vector<int64_t>> groups(static_cast<size_t>(k));
+        for (size_t i = 0; i < seeds.size(); ++i)
+            groups[i % size_t(k)].push_back(seeds[i]);
+        std::vector<MultiLayerBatch> minis;
+        for (const auto& group : groups)
+            if (!group.empty())
+                minis.push_back(mini_sampler.sample(group));
+
+        auto run = [&](const std::vector<MultiLayerBatch>& batches,
+                       bool micro) {
+            DeviceMemoryModel device;
+            DeviceMemoryModel::Scope scope(device);
+            GraphSage model(cfg);
+            Adam adam(model.parameters(), 0.01f);
+            Trainer trainer(ds, model, adam, &device);
+            return micro ? trainer.trainMicroBatches(batches)
+                         : trainer.trainMiniBatches(batches);
+        };
+        const auto micro_stats = run(micros, true);
+        const auto mini_stats = run(minis, false);
+
+        table.addRow(
+            {std::to_string(k),
+             TablePrinter::count(micro_stats.inputNodesProcessed),
+             TablePrinter::count(mini_stats.inputNodesProcessed),
+             TablePrinter::num(micro_stats.computeSeconds, 3),
+             TablePrinter::num(mini_stats.computeSeconds, 3),
+             TablePrinter::num(toMiB(micro_stats.peakBytes), 1),
+             TablePrinter::num(toMiB(mini_stats.peakBytes), 1)});
+    }
+    table.print();
+
+    std::printf("\nfull-batch first-layer inputs: %s\n",
+                TablePrinter::count(full_inputs).c_str());
+    std::printf("Shape targets: micro inputs grow far slower than "
+                "mini inputs with K (paper at K=64: 4.2x vs 15.3x of "
+                "the full batch); micro is faster and uses less "
+                "memory at every K > 1.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Figure 11: reduction of max per-micro-batch memory vs the range,
+ * random and Metis partitioners, plus the §6.1 per-dataset summary.
+ *
+ * For each number of batches K, each partitioner splits the same
+ * full batch; the peak device memory is set by the LARGEST
+ * micro-batch, so the metric is max_k estimate(micro_k).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace betty {
+namespace {
+
+using benchutil::makePartitioner;
+using benchutil::partitionerNames;
+using benchutil::toMiB;
+
+/** Max per-micro-batch estimated peak for one partitioner at K. */
+int64_t
+maxMicroPeak(const MultiLayerBatch& full, OutputPartitioner& part,
+             int32_t k, const GnnSpec& spec)
+{
+    const auto micros = extractMicroBatches(full, part.partition(full, k));
+    int64_t worst = 0;
+    for (const auto& micro : micros) {
+        if (micro.outputNodes().empty())
+            continue;
+        worst = std::max(worst, estimateBatchMemory(micro, spec).peak);
+    }
+    return worst;
+}
+
+} // namespace
+} // namespace betty
+
+int
+main()
+{
+    using namespace betty;
+    using namespace betty::benchutil;
+
+    std::printf("Figure 11: max memory vs partitioner, "
+                "SAGE + Mean\n");
+
+    // Main panel: products_like across batch counts.
+    {
+        const auto ds = loadBenchDataset("products_like", 1.0);
+        NeighborSampler sampler(ds.graph, {5, 10}, 7);
+        std::vector<int64_t> seeds(
+            ds.trainNodes.begin(),
+            ds.trainNodes.begin() +
+                std::min<size_t>(ds.trainNodes.size(), 512));
+        const auto full = sampler.sample(seeds);
+
+        SageConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = 32;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = 2;
+        GraphSage model(cfg);
+        const auto spec = model.memorySpec();
+
+        TablePrinter table(
+            "products_like: max micro-batch memory (MiB) vs K");
+        table.setHeader({"K", "range", "random", "metis", "betty",
+                         "betty_vs_best_other_%"});
+        for (int32_t k : {2, 4, 8, 16, 32}) {
+            std::vector<std::string> row = {std::to_string(k)};
+            int64_t best_other = 0, betty_peak = 0;
+            for (const auto& name : partitionerNames()) {
+                auto part = makePartitioner(name, ds.graph);
+                const int64_t peak = maxMicroPeak(full, *part, k, spec);
+                row.push_back(TablePrinter::num(toMiB(peak), 1));
+                if (name == "betty")
+                    betty_peak = peak;
+                else if (best_other == 0 || peak < best_other)
+                    best_other = peak;
+            }
+            row.push_back(TablePrinter::num(
+                100.0 * (1.0 - double(betty_peak) /
+                                   double(best_other)),
+                1));
+            table.addRow(row);
+        }
+        table.print();
+    }
+
+    // §6.1 summary: per-dataset reduction at K = 8.
+    {
+        TablePrinter table("per-dataset max-memory reduction vs best "
+                           "baseline (K = 8)");
+        table.setHeader({"dataset", "betty_MiB", "best_other_MiB",
+                         "reduction_%"});
+        // Full catalog scale; seeds stay a small fraction of each
+        // graph so the receptive field does not saturate (the regime
+        // where batch partitioning matters; see DESIGN.md).
+        // Seed counts mirror the real datasets' labelled splits
+        // (Planetoid trains on 140/60 nodes of Cora/Pubmed), keeping
+        // receptive fields below saturation.
+        const std::vector<std::tuple<std::string, double, size_t>>
+            datasets = {{"cora_like", 1.0, 140},
+                        {"pubmed_like", 1.0, 60},
+                        {"reddit_like", 1.0, 100},
+                        {"arxiv_like", 1.0, 400},
+                        {"products_like", 1.0, 400}};
+        for (const auto& [name, scale, seed_count] : datasets) {
+            const auto ds = loadBenchDataset(name, scale);
+            NeighborSampler sampler(ds.graph, {5, 10}, 7);
+            std::vector<int64_t> seeds(
+                ds.trainNodes.begin(),
+                ds.trainNodes.begin() +
+                    std::min(ds.trainNodes.size(), seed_count));
+            const auto full = sampler.sample(seeds);
+
+            SageConfig cfg;
+            cfg.inputDim = ds.featureDim();
+            cfg.hiddenDim = 32;
+            cfg.numClasses = ds.numClasses;
+            cfg.numLayers = 2;
+            GraphSage model(cfg);
+            const auto spec = model.memorySpec();
+
+            int64_t betty_peak = 0, best_other = 0;
+            for (const auto& pname : partitionerNames()) {
+                auto part = makePartitioner(pname, ds.graph);
+                const int64_t peak = maxMicroPeak(full, *part, 8, spec);
+                if (pname == "betty")
+                    betty_peak = peak;
+                else if (best_other == 0 || peak < best_other)
+                    best_other = peak;
+            }
+            table.addRow(
+                {name, TablePrinter::num(toMiB(betty_peak), 1),
+                 TablePrinter::num(toMiB(best_other), 1),
+                 TablePrinter::num(
+                     100.0 * (1.0 - double(betty_peak) /
+                                        double(best_other)),
+                     1)});
+        }
+        table.print();
+    }
+
+    std::printf(
+        "\nShape targets: on the main panel betty's max memory is "
+        "smallest or tied at every K. The paper's large per-dataset "
+        "reductions (up to 48.3%%) come from redundancy dominating "
+        "peak memory at billion-edge scale; at our scale the balance "
+        "constraint equalizes most of the per-micro-batch memory, so "
+        "per-dataset deltas are small — the redundancy mechanism "
+        "itself is measured directly by bench_redundancy.\n");
+    return 0;
+}

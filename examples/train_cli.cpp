@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Scenario: a complete command-line training application on the
+ * public API — what a downstream user would actually run.
+ *
+ * Usage:
+ *   train_cli [--dataset NAME] [--scale F] [--model sage|gat]
+ *               [--aggregator mean|sum|pool|lstm] [--layers N]
+ *               [--hidden N] [--fanout a,b,...] [--epochs N]
+ *               [--lr F] [--budget-mib N] [--devices N]
+ *               [--partitioner betty|metis|random|range] [--warm]
+ *               [--data-cache FILE]
+ *
+ * Every epoch resamples the full batch, (re)partitions it under the
+ * memory budget, trains with gradient accumulation and prints loss /
+ * accuracy / memory / time. With --devices > 1 the multi-accelerator
+ * trainer is used.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "data/io.h"
+#include "sampling/neighbor_sampler.h"
+#include "train/multi_device.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace betty;
+
+struct Args
+{
+    std::string dataset = "arxiv_like";
+    double scale = 0.2;
+    std::string model = "sage";
+    std::string aggregator = "mean";
+    int64_t layers = 2;
+    int64_t hidden = 32;
+    std::vector<int64_t> fanouts = {5, 10};
+    int epochs = 10;
+    float lr = 0.01f;
+    double budget_mib = 16.0;
+    int32_t devices = 1;
+    std::string partitioner = "betty";
+    bool warm = false;
+    /** Cache file for the generated dataset (gen_data.sh analog):
+     * loaded if it exists, otherwise written after generation. */
+    std::string data_cache;
+};
+
+std::vector<int64_t>
+parseFanouts(const char* arg)
+{
+    std::vector<int64_t> fanouts;
+    const char* cursor = arg;
+    while (*cursor) {
+        fanouts.push_back(std::strtol(cursor, nullptr, 10));
+        cursor = std::strchr(cursor, ',');
+        if (!cursor)
+            break;
+        ++cursor;
+    }
+    return fanouts;
+}
+
+Args
+parseArgs(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--dataset") {
+            args.dataset = next();
+        } else if (flag == "--scale") {
+            args.scale = std::atof(next());
+        } else if (flag == "--model") {
+            args.model = next();
+        } else if (flag == "--aggregator") {
+            args.aggregator = next();
+        } else if (flag == "--layers") {
+            args.layers = std::atol(next());
+        } else if (flag == "--hidden") {
+            args.hidden = std::atol(next());
+        } else if (flag == "--fanout") {
+            args.fanouts = parseFanouts(next());
+        } else if (flag == "--epochs") {
+            args.epochs = std::atoi(next());
+        } else if (flag == "--lr") {
+            args.lr = float(std::atof(next()));
+        } else if (flag == "--budget-mib") {
+            args.budget_mib = std::atof(next());
+        } else if (flag == "--devices") {
+            args.devices = std::atoi(next());
+        } else if (flag == "--partitioner") {
+            args.partitioner = next();
+        } else if (flag == "--warm") {
+            args.warm = true;
+        } else if (flag == "--data-cache") {
+            args.data_cache = next();
+        } else if (flag == "--help") {
+            std::printf("see the file comment for usage\n");
+            std::exit(0);
+        } else {
+            fatal("unknown flag '", flag, "'");
+        }
+    }
+    if (int64_t(args.fanouts.size()) != args.layers)
+        fatal("--fanout must list exactly --layers values");
+    return args;
+}
+
+AggregatorKind
+parseAggregator(const std::string& name)
+{
+    if (name == "mean")
+        return AggregatorKind::Mean;
+    if (name == "sum")
+        return AggregatorKind::Sum;
+    if (name == "pool")
+        return AggregatorKind::Pool;
+    if (name == "lstm")
+        return AggregatorKind::Lstm;
+    fatal("unknown aggregator '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Args args = parseArgs(argc, argv);
+
+    Dataset ds;
+    if (!args.data_cache.empty() && loadDataset(ds, args.data_cache)) {
+        std::printf("loaded dataset cache '%s'\n",
+                    args.data_cache.c_str());
+    } else {
+        ds = loadCatalogDataset(args.dataset, args.scale);
+        if (!args.data_cache.empty()) {
+            if (saveDataset(ds, args.data_cache))
+                std::printf("wrote dataset cache '%s'\n",
+                            args.data_cache.c_str());
+            else
+                warn("could not write dataset cache '",
+                     args.data_cache, "'");
+        }
+    }
+    std::printf("%s: %lld nodes, %lld edges, %lld train seeds\n",
+                ds.name.c_str(), (long long)ds.numNodes(),
+                (long long)ds.numEdges(),
+                (long long)ds.trainNodes.size());
+
+    const int64_t budget = int64_t(args.budget_mib * (1 << 20));
+    DeviceMemoryModel device(args.devices == 1 ? budget : 0);
+    DeviceMemoryModel::Scope scope(device);
+
+    std::unique_ptr<GnnModel> model;
+    if (args.model == "sage") {
+        SageConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = args.hidden;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = args.layers;
+        cfg.aggregator = parseAggregator(args.aggregator);
+        model = std::make_unique<GraphSage>(cfg);
+    } else if (args.model == "gat") {
+        GatConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = args.hidden;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = args.layers;
+        model = std::make_unique<Gat>(cfg);
+    } else if (args.model == "gcn" || args.model == "gin") {
+        StackConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = args.hidden;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = args.layers;
+        if (args.model == "gcn")
+            model = std::make_unique<Gcn>(cfg);
+        else
+            model = std::make_unique<Gin>(cfg);
+    } else {
+        fatal("unknown model '", args.model, "'");
+    }
+    std::printf("model: %s/%s, %lld layers, hidden %lld, %lld "
+                "parameters\n",
+                args.model.c_str(), args.aggregator.c_str(),
+                (long long)args.layers, (long long)args.hidden,
+                (long long)model->parameterCount());
+
+    Adam adam(model->parameters(), args.lr);
+
+    BettyOptions popts;
+    popts.warmStart = args.warm;
+    BettyPartitioner betty_part(popts);
+    RangePartitioner range_part;
+    RandomPartitioner random_part;
+    MetisBaselinePartitioner metis_part(ds.graph);
+    OutputPartitioner* partitioner = nullptr;
+    if (args.partitioner == "betty")
+        partitioner = &betty_part;
+    else if (args.partitioner == "range")
+        partitioner = &range_part;
+    else if (args.partitioner == "random")
+        partitioner = &random_part;
+    else if (args.partitioner == "metis")
+        partitioner = &metis_part;
+    else
+        fatal("unknown partitioner '", args.partitioner, "'");
+
+    MemoryAwarePlanner planner(model->memorySpec(), budget);
+    Trainer trainer(ds, *model, adam, &device);
+    MultiDeviceConfig multi_config;
+    multi_config.numDevices = args.devices;
+    multi_config.deviceCapacityBytes = budget;
+    MultiDeviceTrainer multi_trainer(ds, *model, adam, multi_config);
+
+    NeighborSampler test_sampler(ds.graph, args.fanouts, 999);
+    const auto test_batch = test_sampler.sample(ds.testNodes);
+
+    int32_t last_k = 1;
+    for (int epoch = 1; epoch <= args.epochs; ++epoch) {
+        NeighborSampler sampler(ds.graph, args.fanouts,
+                                uint64_t(epoch));
+        const auto full = sampler.sample(ds.trainNodes);
+        const auto plan =
+            planner.plan(full, *partitioner, last_k);
+        if (!plan.fits)
+            fatal("budget too small even at one output per batch");
+        last_k = plan.k; // warm the K search across epochs too
+
+        if (args.devices == 1) {
+            const auto stats =
+                trainer.trainMicroBatches(plan.microBatches);
+            std::printf("epoch %2d  K=%-3d loss %.4f  acc %.3f  "
+                        "test %.3f  peak %.1f/%.1f MiB  %.2fs%s\n",
+                        epoch, plan.k, stats.loss, stats.accuracy,
+                        trainer.evaluate(test_batch),
+                        double(stats.peakBytes) / (1 << 20),
+                        args.budget_mib, stats.computeSeconds,
+                        stats.oom ? "  OOM!" : "");
+        } else {
+            const auto stats =
+                multi_trainer.trainMicroBatches(plan.microBatches);
+            std::printf("epoch %2d  K=%-3d loss %.4f  acc %.3f  "
+                        "test %.3f  max-dev peak %.1f MiB  "
+                        "epoch %.2fs on %d devices%s\n",
+                        epoch, plan.k, stats.loss, stats.accuracy,
+                        trainer.evaluate(test_batch),
+                        double(stats.maxDevicePeakBytes) / (1 << 20),
+                        stats.epochSeconds, args.devices,
+                        stats.oom ? "  OOM!" : "");
+        }
+    }
+    return 0;
+}

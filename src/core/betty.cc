@@ -1,0 +1,149 @@
+#include "core/betty.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace betty {
+
+std::vector<std::vector<int64_t>>
+BettyPartitioner::partition(const MultiLayerBatch& batch, int32_t k)
+{
+    BETTY_ASSERT(k >= 1, "k must be >= 1");
+    const auto outputs = batch.outputNodes();
+    last_run_was_warm_ = false;
+    if (k == 1)
+        return {std::vector<int64_t>(outputs.begin(), outputs.end())};
+
+    // Algorithm 1: REG over the output layer, then K-way min cut.
+    const WeightedGraph reg =
+        buildReg(batch.blocks.back(), options_.reg);
+    KwayOptions kway = options_.kway;
+    kway.k = k;
+
+    std::vector<int32_t> parts;
+    if (options_.warmStart && previous_k_ == k) {
+        // Seed from the previous assignment; nodes not seen before
+        // take part 0 and let rebalance/refinement place them.
+        std::vector<int32_t> initial(outputs.size(), 0);
+        size_t carried = 0;
+        for (size_t i = 0; i < outputs.size(); ++i) {
+            const auto it = previous_assignment_.find(outputs[i]);
+            if (it != previous_assignment_.end()) {
+                initial[i] = it->second;
+                ++carried;
+            }
+        }
+        // Warm starting from a mostly-unseen batch would just be a
+        // bad cold start; require half the nodes to carry over.
+        if (carried * 2 >= outputs.size()) {
+            parts = kwayPartitionWarm(reg, kway, std::move(initial));
+            last_run_was_warm_ = true;
+        }
+    }
+    if (parts.empty())
+        parts = kwayPartition(reg, kway);
+
+    if (options_.warmStart) {
+        previous_assignment_.clear();
+        previous_assignment_.reserve(outputs.size() * 2);
+        for (size_t i = 0; i < outputs.size(); ++i)
+            previous_assignment_.emplace(outputs[i], parts[i]);
+        previous_k_ = k;
+    }
+    return groupByPart(outputs, parts, k);
+}
+
+PlanResult
+MemoryAwarePlanner::evaluateK(const MultiLayerBatch& full,
+                              OutputPartitioner& partitioner,
+                              int32_t k) const
+{
+    PlanResult result;
+    result.k = k;
+    result.attempts = 1;
+    result.microBatches =
+        extractMicroBatches(full, partitioner.partition(full, k));
+    result.estimates.reserve(result.microBatches.size());
+    int64_t worst = 0;
+    for (const auto& micro : result.microBatches) {
+        result.estimates.push_back(estimateBatchMemory(micro, spec_));
+        worst = std::max(worst, result.estimates.back().peak);
+    }
+    result.maxEstimatedPeak = worst;
+    result.fits = capacity_ <= 0 || worst <= capacity_;
+    return result;
+}
+
+PlanResult
+MemoryAwarePlanner::plan(const MultiLayerBatch& full,
+                         OutputPartitioner& partitioner,
+                         int32_t initial_k, int32_t max_k) const
+{
+    BETTY_ASSERT(initial_k >= 1 && max_k >= initial_k,
+                 "bad K search range");
+    const int64_t num_outputs = int64_t(full.outputNodes().size());
+
+    int32_t attempts = 0;
+    for (int32_t k = initial_k; k <= max_k; ++k) {
+        ++attempts;
+        PlanResult result = evaluateK(full, partitioner, k);
+        result.attempts = attempts;
+        if (result.fits)
+            return result;
+        // Splitting beyond one output node per micro-batch can't help.
+        if (int64_t(k) >= num_outputs || k == max_k)
+            return result;
+    }
+    panic("unreachable: plan loop must return");
+}
+
+PlanResult
+MemoryAwarePlanner::planGeometric(const MultiLayerBatch& full,
+                                  OutputPartitioner& partitioner,
+                                  int32_t max_k) const
+{
+    BETTY_ASSERT(max_k >= 1, "bad K bound");
+    const int64_t num_outputs = int64_t(full.outputNodes().size());
+    const int32_t hard_max = int32_t(
+        std::min<int64_t>(max_k, std::max<int64_t>(1, num_outputs)));
+
+    int32_t attempts = 0;
+
+    // Phase 1: double K until something fits (or the bound is hit).
+    int32_t lo = 0; // largest known non-fitting K (0 = none known)
+    int32_t k = 1;
+    PlanResult best;
+    while (true) {
+        ++attempts;
+        PlanResult result = evaluateK(full, partitioner, k);
+        if (result.fits) {
+            best = std::move(result);
+            break;
+        }
+        lo = k;
+        if (k >= hard_max) {
+            result.attempts = attempts;
+            return result; // nothing fits
+        }
+        k = int32_t(std::min<int64_t>(int64_t(k) * 2, hard_max));
+    }
+
+    // Phase 2: binary search (lo, best.k] for the smallest fit.
+    int32_t hi = best.k;
+    while (hi - lo > 1) {
+        const int32_t mid = lo + (hi - lo) / 2;
+        ++attempts;
+        PlanResult result = evaluateK(full, partitioner, mid);
+        if (result.fits) {
+            best = std::move(result);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    best.attempts = attempts;
+    return best;
+}
+
+} // namespace betty

@@ -1,0 +1,75 @@
+#include "core/micro_batch.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace betty {
+
+std::vector<MultiLayerBatch>
+extractMicroBatches(const MultiLayerBatch& full,
+                    const std::vector<std::vector<int64_t>>& groups)
+{
+    const int64_t layers = full.numLayers();
+    BETTY_ASSERT(layers > 0, "empty batch");
+
+    // Per layer: raw-graph id -> local destination index in the full
+    // batch's block (destinations are the source prefix, so the first
+    // numDst src entries are exactly the destinations).
+    std::vector<std::unordered_map<int64_t, int64_t>> dst_local(
+        static_cast<size_t>(layers));
+    for (int64_t layer = 0; layer < layers; ++layer) {
+        const Block& block = full.blocks[size_t(layer)];
+        auto& map = dst_local[size_t(layer)];
+        map.reserve(size_t(block.numDst()) * 2);
+        const auto dsts = block.dstNodes();
+        for (int64_t i = 0; i < block.numDst(); ++i)
+            map.emplace(dsts[size_t(i)], i);
+    }
+
+    std::vector<MultiLayerBatch> micros;
+    micros.reserve(groups.size());
+    for (const auto& group : groups) {
+        MultiLayerBatch micro;
+        micro.blocks.resize(size_t(layers));
+
+        // Outside in, mirroring the sampler: the sources of the block
+        // just built become the destinations of the block below.
+        std::vector<int64_t> seeds = group;
+        for (int64_t layer = layers - 1; layer >= 0; --layer) {
+            const Block& parent = full.blocks[size_t(layer)];
+            const auto& map = dst_local[size_t(layer)];
+            std::vector<std::vector<int64_t>> src_per_dst;
+            src_per_dst.reserve(seeds.size());
+            for (int64_t seed : seeds) {
+                const auto it = map.find(seed);
+                BETTY_ASSERT(it != map.end(), "node ", seed,
+                             " is not a destination of layer ", layer);
+                std::vector<int64_t> sources;
+                const auto edges = parent.inEdges(it->second);
+                sources.reserve(edges.size());
+                for (int64_t src_local : edges)
+                    sources.push_back(
+                        parent.srcNodes()[size_t(src_local)]);
+                src_per_dst.push_back(std::move(sources));
+            }
+            micro.blocks[size_t(layer)] =
+                Block(std::move(seeds), src_per_dst);
+            seeds = micro.blocks[size_t(layer)].srcNodes();
+        }
+        micros.push_back(std::move(micro));
+    }
+    return micros;
+}
+
+int64_t
+inputNodeRedundancy(const MultiLayerBatch& full,
+                    const std::vector<MultiLayerBatch>& micros)
+{
+    int64_t total = 0;
+    for (const auto& micro : micros)
+        total += int64_t(micro.inputNodes().size());
+    return total - int64_t(full.inputNodes().size());
+}
+
+} // namespace betty

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The five evaluation datasets of the paper (Table 4), as synthetic
+ * stand-ins with matched shape.
+ *
+ * Feature dimensions, class counts and degree structure follow the real
+ * datasets; node counts of the two large graphs (Reddit, ogbn-products)
+ * and ogbn-arxiv are scaled down so the full evaluation suite runs on
+ * one CPU core in minutes. The @p scale argument shrinks/grows node
+ * counts further (average degree is preserved).
+ *
+ *   name            feat  classes  nodes(paper)   nodes(default here)
+ *   cora_like       1433     7        2,708          2,708
+ *   pubmed_like      500     3       19,717         19,717 * 0.5
+ *   reddit_like      602    41      232,965         10,000 (deg ~100)
+ *   arxiv_like       128    40      169,343         15,000
+ *   products_like    100    47    2,449,029        100,000
+ */
+#ifndef BETTY_DATA_CATALOG_H
+#define BETTY_DATA_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace betty {
+
+/** @name Per-dataset specs (before scaling) */
+/** @{ */
+SyntheticSpec coraSpec();
+SyntheticSpec pubmedSpec();
+SyntheticSpec redditSpec();
+SyntheticSpec arxivSpec();
+SyntheticSpec productsSpec();
+/** @} */
+
+/** Names accepted by loadCatalogDataset, in paper order. */
+std::vector<std::string> catalogNames();
+
+/**
+ * Build a catalog dataset. @p scale multiplies the node count
+ * (average degree preserved); fatal() on an unknown name.
+ */
+Dataset loadCatalogDataset(const std::string& name, double scale = 1.0,
+                           uint64_t seed = 42);
+
+} // namespace betty
+
+#endif // BETTY_DATA_CATALOG_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A node-classification dataset: graph + features + labels + splits.
+ */
+#ifndef BETTY_DATA_DATASET_H
+#define BETTY_DATA_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "tensor/tensor.h"
+
+namespace betty {
+
+/**
+ * Everything a training run needs about one input graph.
+ *
+ * Features live on the host ("CPU memory"); the training loops move
+ * only the rows a micro-batch needs to the simulated device, which is
+ * exactly the heterogeneous-memory usage Betty exploits (paper §4.1).
+ */
+struct Dataset
+{
+    std::string name;
+
+    /** Directed graph; edge u -> v means v aggregates u's features. */
+    CsrGraph graph;
+
+    /** Node features, numNodes x featureDim, resident on host. */
+    Tensor features;
+
+    /** Integer class label per node. */
+    std::vector<int32_t> labels;
+
+    int32_t numClasses = 0;
+
+    /** Node-id splits for train / validation / test. */
+    std::vector<int64_t> trainNodes;
+    std::vector<int64_t> valNodes;
+    std::vector<int64_t> testNodes;
+
+    int64_t numNodes() const { return graph.numNodes(); }
+    int64_t numEdges() const { return graph.numEdges(); }
+    int64_t featureDim() const { return features.cols(); }
+};
+
+} // namespace betty
+
+#endif // BETTY_DATA_DATASET_H

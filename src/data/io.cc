@@ -1,0 +1,211 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+constexpr uint64_t kDatasetMagic = 0x42455454595F4453ULL; // "BETTY_DS"
+constexpr uint64_t kBatchMagic = 0x42455454595F4254ULL;   // "BETTY_BT"
+constexpr uint64_t kVersion = 1;
+
+void
+writeU64(std::ostream& out, uint64_t value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint64_t
+readU64(std::istream& in)
+{
+    uint64_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return value;
+}
+
+void
+writeI64Vec(std::ostream& out, const std::vector<int64_t>& values)
+{
+    writeU64(out, values.size());
+    out.write(reinterpret_cast<const char*>(values.data()),
+              std::streamsize(values.size() * sizeof(int64_t)));
+}
+
+std::vector<int64_t>
+readI64Vec(std::istream& in)
+{
+    std::vector<int64_t> values(readU64(in));
+    in.read(reinterpret_cast<char*>(values.data()),
+            std::streamsize(values.size() * sizeof(int64_t)));
+    return values;
+}
+
+void
+writeString(std::ostream& out, const std::string& text)
+{
+    writeU64(out, text.size());
+    out.write(text.data(), std::streamsize(text.size()));
+}
+
+std::string
+readString(std::istream& in)
+{
+    std::string text(readU64(in), '\0');
+    in.read(text.data(), std::streamsize(text.size()));
+    return text;
+}
+
+void
+writeBlock(std::ostream& out, const Block& block)
+{
+    std::vector<int64_t> dsts(block.dstNodes().begin(),
+                              block.dstNodes().end());
+    writeI64Vec(out, dsts);
+    writeI64Vec(out, block.edgeOffsets());
+    // Edge sources in GLOBAL ids: reconstruction re-derives the local
+    // numbering (the Block constructor assigns it deterministically
+    // from edge order, which is exactly how the original was built).
+    std::vector<int64_t> sources;
+    sources.reserve(size_t(block.numEdges()));
+    for (int64_t local : block.edgeSources())
+        sources.push_back(block.srcNodes()[size_t(local)]);
+    writeI64Vec(out, sources);
+}
+
+Block
+readBlock(std::istream& in)
+{
+    auto dsts = readI64Vec(in);
+    const auto offsets = readI64Vec(in);
+    const auto sources = readI64Vec(in);
+    BETTY_ASSERT(offsets.size() == dsts.size() + 1,
+                 "corrupt block: offset count");
+    std::vector<std::vector<int64_t>> src_per_dst(dsts.size());
+    for (size_t d = 0; d < dsts.size(); ++d)
+        src_per_dst[d].assign(sources.begin() + offsets[d],
+                              sources.begin() + offsets[d + 1]);
+    return Block(std::move(dsts), src_per_dst);
+}
+
+} // namespace
+
+bool
+saveDataset(const Dataset& dataset, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    writeU64(out, kDatasetMagic);
+    writeU64(out, kVersion);
+    writeString(out, dataset.name);
+    writeU64(out, uint64_t(dataset.numNodes()));
+
+    // Edges.
+    const auto edges = dataset.graph.edgeList();
+    std::vector<int64_t> srcs, dsts;
+    srcs.reserve(edges.size());
+    dsts.reserve(edges.size());
+    for (const Edge& e : edges) {
+        srcs.push_back(e.src);
+        dsts.push_back(e.dst);
+    }
+    writeI64Vec(out, srcs);
+    writeI64Vec(out, dsts);
+
+    // Features.
+    writeU64(out, uint64_t(dataset.features.rows()));
+    writeU64(out, uint64_t(dataset.features.cols()));
+    if (dataset.features.numel() > 0)
+        out.write(reinterpret_cast<const char*>(
+                      dataset.features.data()),
+                  std::streamsize(dataset.features.bytes()));
+
+    // Labels and splits.
+    writeU64(out, uint64_t(dataset.numClasses));
+    writeU64(out, dataset.labels.size());
+    out.write(reinterpret_cast<const char*>(dataset.labels.data()),
+              std::streamsize(dataset.labels.size() *
+                              sizeof(int32_t)));
+    writeI64Vec(out, dataset.trainNodes);
+    writeI64Vec(out, dataset.valNodes);
+    writeI64Vec(out, dataset.testNodes);
+    return static_cast<bool>(out);
+}
+
+bool
+loadDataset(Dataset& dataset, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    if (readU64(in) != kDatasetMagic)
+        fatal("'", path, "' is not a Betty dataset file");
+    if (readU64(in) != kVersion)
+        fatal("'", path, "' has an unsupported dataset version");
+
+    dataset.name = readString(in);
+    const int64_t num_nodes = int64_t(readU64(in));
+    const auto srcs = readI64Vec(in);
+    const auto dsts = readI64Vec(in);
+    BETTY_ASSERT(srcs.size() == dsts.size(), "corrupt edge arrays");
+    std::vector<Edge> edges;
+    edges.reserve(srcs.size());
+    for (size_t i = 0; i < srcs.size(); ++i)
+        edges.push_back({srcs[i], dsts[i]});
+    dataset.graph = CsrGraph(num_nodes, edges);
+
+    const int64_t rows = int64_t(readU64(in));
+    const int64_t cols = int64_t(readU64(in));
+    dataset.features = Tensor(rows, cols);
+    if (dataset.features.numel() > 0)
+        in.read(reinterpret_cast<char*>(dataset.features.data()),
+                std::streamsize(dataset.features.bytes()));
+
+    dataset.numClasses = int32_t(readU64(in));
+    dataset.labels.resize(readU64(in));
+    in.read(reinterpret_cast<char*>(dataset.labels.data()),
+            std::streamsize(dataset.labels.size() * sizeof(int32_t)));
+    dataset.trainNodes = readI64Vec(in);
+    dataset.valNodes = readI64Vec(in);
+    dataset.testNodes = readI64Vec(in);
+    return static_cast<bool>(in);
+}
+
+bool
+saveBatch(const MultiLayerBatch& batch, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    writeU64(out, kBatchMagic);
+    writeU64(out, kVersion);
+    writeU64(out, batch.blocks.size());
+    for (const Block& block : batch.blocks)
+        writeBlock(out, block);
+    return static_cast<bool>(out);
+}
+
+bool
+loadBatch(MultiLayerBatch& batch, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    if (readU64(in) != kBatchMagic)
+        fatal("'", path, "' is not a Betty batch file");
+    if (readU64(in) != kVersion)
+        fatal("'", path, "' has an unsupported batch version");
+    batch.blocks.clear();
+    const uint64_t layers = readU64(in);
+    batch.blocks.reserve(layers);
+    for (uint64_t layer = 0; layer < layers; ++layer)
+        batch.blocks.push_back(readBlock(in));
+    return static_cast<bool>(in);
+}
+
+} // namespace betty

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary serialization of datasets and sampled batches.
+ *
+ * Mirrors the artifact's workflow (appendix A.4: gen_data.sh writes
+ * "pickle files of full batch data after sampling" which the training
+ * scripts then reload): sampling a large full batch once and reusing
+ * it across experiments is much cheaper than resampling, and makes
+ * runs byte-reproducible across processes.
+ *
+ * Format: little-endian, a magic tag + version per object, then raw
+ * int64/float arrays. Not portable to big-endian machines — this is a
+ * cache format, not an interchange format.
+ */
+#ifndef BETTY_DATA_IO_H
+#define BETTY_DATA_IO_H
+
+#include <string>
+
+#include "data/dataset.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/** @name Dataset serialization */
+/** @{ */
+
+/** Write @p dataset to @p path; returns false on I/O failure. */
+bool saveDataset(const Dataset& dataset, const std::string& path);
+
+/**
+ * Read a dataset written by saveDataset. fatal() on malformed input
+ * (bad magic/version); returns false only on plain I/O failure.
+ */
+bool loadDataset(Dataset& dataset, const std::string& path);
+
+/** @} */
+
+/** @name Batch serialization */
+/** @{ */
+
+/** Write a sampled multi-level batch to @p path. */
+bool saveBatch(const MultiLayerBatch& batch, const std::string& path);
+
+/** Read a batch written by saveBatch. */
+bool loadBatch(MultiLayerBatch& batch, const std::string& path);
+
+/** @} */
+
+} // namespace betty
+
+#endif // BETTY_DATA_IO_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic dataset generation.
+ *
+ * Substitute for the paper's OGB/Reddit/Planetoid downloads (none are
+ * available offline). The generator is a degree-corrected stochastic
+ * block model: power-law degree weights reproduce the long-tail
+ * in-degree distribution that drives the bucketing-explosion analysis
+ * (paper §4.4.2, Figure 9), block structure (homophily) makes labels
+ * genuinely learnable so the accuracy/convergence experiments
+ * (Table 5, Figures 4 and 13) are meaningful, and hub sharing creates
+ * the cross-micro-batch redundancy REG exists to remove (§4.3).
+ */
+#ifndef BETTY_DATA_SYNTHETIC_H
+#define BETTY_DATA_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace betty {
+
+/** Parameters of one synthetic dataset. */
+struct SyntheticSpec
+{
+    std::string name = "synthetic";
+    int64_t numNodes = 1000;
+    /** Average undirected degree; each pair adds both edge directions. */
+    double avgDegree = 8.0;
+    int64_t featureDim = 64;
+    int32_t numClasses = 8;
+    /** Probability an edge stays inside its source's class. */
+    double homophily = 0.7;
+
+    /**
+     * Locality of cross-class edges. Classes sit on a ring; an edge
+     * that leaves its class lands d classes away with d geometric of
+     * this parameter, so leakage prefers NEARBY communities — the
+     * hierarchical locality real co-purchase/social graphs have, and
+     * the property that keeps a well-partitioned micro-batch's k-hop
+     * receptive field local (without it, neighborhoods mix globally
+     * within two hops and no partitioner can contain them).
+     * 0 disables: cross-class edges pick a uniform random class.
+     */
+    double classLocality = 0.5;
+    /** Pareto exponent of the degree weights (smaller = heavier tail). */
+    double powerLawAlpha = 2.5;
+    /** Feature noise stddev around the class centroid. */
+    double featureNoise = 1.0;
+    /** Fractions of nodes in the train / val splits (rest is test). */
+    double trainFraction = 0.6;
+    double valFraction = 0.2;
+};
+
+/** Generate a dataset from @p spec, deterministically from @p seed. */
+Dataset makeSyntheticDataset(const SyntheticSpec& spec, uint64_t seed);
+
+/**
+ * R-MAT edge generator (Chakrabarti et al.) for partitioner stress
+ * tests: produces 2^scale nodes and approximately @p num_edges directed
+ * edges with the classic (a, b, c) skew.
+ */
+std::vector<Edge> rmatEdges(int scale, int64_t num_edges, uint64_t seed,
+                            double a = 0.57, double b = 0.19,
+                            double c = 0.19);
+
+} // namespace betty
+
+#endif // BETTY_DATA_SYNTHETIC_H

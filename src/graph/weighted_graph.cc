@@ -1,0 +1,99 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace betty {
+
+WeightedGraph::WeightedGraph(int64_t num_nodes,
+                             const std::vector<WeightedEdge>& edges,
+                             std::vector<int64_t> vertex_weights)
+    : num_nodes_(num_nodes)
+{
+    BETTY_ASSERT(num_nodes >= 0, "negative node count");
+    if (vertex_weights.empty()) {
+        vertex_weights_.assign(size_t(num_nodes), 1);
+    } else {
+        BETTY_ASSERT(int64_t(vertex_weights.size()) == num_nodes,
+                     "vertex weight count mismatch");
+        vertex_weights_ = std::move(vertex_weights);
+    }
+    total_vertex_weight_ = 0;
+    for (int64_t w : vertex_weights_)
+        total_vertex_weight_ += w;
+
+    // Deduplicate by accumulating weights per (min, max) endpoint pair.
+    std::unordered_map<int64_t, int64_t> merged;
+    merged.reserve(edges.size());
+    for (const WeightedEdge& e : edges) {
+        BETTY_ASSERT(e.u >= 0 && e.u < num_nodes && e.v >= 0 &&
+                     e.v < num_nodes,
+                     "edge endpoint out of range");
+        if (e.u == e.v)
+            continue;
+        const int64_t lo = std::min(e.u, e.v);
+        const int64_t hi = std::max(e.u, e.v);
+        merged[lo * num_nodes + hi] += e.weight;
+    }
+
+    std::vector<int64_t> deg(size_t(num_nodes), 0);
+    for (const auto& [key, w] : merged) {
+        (void)w;
+        ++deg[size_t(key / num_nodes)];
+        ++deg[size_t(key % num_nodes)];
+    }
+    adj_offsets_.assign(size_t(num_nodes) + 1, 0);
+    for (int64_t v = 0; v < num_nodes; ++v)
+        adj_offsets_[size_t(v) + 1] = adj_offsets_[size_t(v)] +
+                                      deg[size_t(v)];
+    adj_targets_.resize(size_t(adj_offsets_.back()));
+    adj_weights_.resize(size_t(adj_offsets_.back()));
+    std::vector<int64_t> fill(adj_offsets_.begin(), adj_offsets_.end() - 1);
+    for (const auto& [key, w] : merged) {
+        const int64_t u = key / num_nodes;
+        const int64_t v = key % num_nodes;
+        adj_targets_[size_t(fill[size_t(u)])] = v;
+        adj_weights_[size_t(fill[size_t(u)]++)] = w;
+        adj_targets_[size_t(fill[size_t(v)])] = u;
+        adj_weights_[size_t(fill[size_t(v)]++)] = w;
+    }
+}
+
+std::span<const int64_t>
+WeightedGraph::neighbors(int64_t node) const
+{
+    BETTY_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+    const auto begin = size_t(adj_offsets_[size_t(node)]);
+    const auto end = size_t(adj_offsets_[size_t(node) + 1]);
+    return {adj_targets_.data() + begin, end - begin};
+}
+
+std::span<const int64_t>
+WeightedGraph::edgeWeights(int64_t node) const
+{
+    BETTY_ASSERT(node >= 0 && node < num_nodes_, "node out of range");
+    const auto begin = size_t(adj_offsets_[size_t(node)]);
+    const auto end = size_t(adj_offsets_[size_t(node) + 1]);
+    return {adj_weights_.data() + begin, end - begin};
+}
+
+int64_t
+WeightedGraph::cutCost(const std::vector<int32_t>& parts) const
+{
+    BETTY_ASSERT(int64_t(parts.size()) == num_nodes_,
+                 "partition vector size mismatch");
+    int64_t cut = 0;
+    for (int64_t u = 0; u < num_nodes_; ++u) {
+        const auto nbrs = neighbors(u);
+        const auto wts = edgeWeights(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            if (nbrs[i] > u && parts[size_t(u)] != parts[size_t(nbrs[i])])
+                cut += wts[i];
+        }
+    }
+    return cut;
+}
+
+} // namespace betty

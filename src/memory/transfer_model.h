@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Host-to-device transfer cost model.
+ *
+ * The paper reports "data movement time" (Figure 14) for streaming
+ * micro-batch features over PCIe. Without a physical bus we charge an
+ * analytical cost per transfer — latency plus bytes / bandwidth — with
+ * defaults matching an effective PCIe 3.0 x16 link. Redundant input
+ * nodes cost transfer time in exactly the proportion the paper
+ * describes, so the partitioner comparisons keep their shape.
+ */
+#ifndef BETTY_MEMORY_TRANSFER_MODEL_H
+#define BETTY_MEMORY_TRANSFER_MODEL_H
+
+#include <cstdint>
+
+namespace betty {
+
+/** Accumulates simulated host<->device transfer time. */
+class TransferModel
+{
+  public:
+    /**
+     * @param bandwidth_bytes_per_sec Effective link bandwidth.
+     * @param latency_sec Fixed per-transfer setup cost.
+     */
+    explicit TransferModel(double bandwidth_bytes_per_sec = 12.0e9,
+                           double latency_sec = 10.0e-6)
+        : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_sec)
+    {
+    }
+
+    /** Charge one host-to-device copy of @p bytes. */
+    void
+    transfer(int64_t bytes)
+    {
+        seconds_ += latency_ + double(bytes) / bandwidth_;
+        total_bytes_ += bytes;
+        ++num_transfers_;
+    }
+
+    double seconds() const { return seconds_; }
+    int64_t totalBytes() const { return total_bytes_; }
+    int64_t numTransfers() const { return num_transfers_; }
+
+    void
+    reset()
+    {
+        seconds_ = 0.0;
+        total_bytes_ = 0;
+        num_transfers_ = 0;
+    }
+
+  private:
+    double bandwidth_;
+    double latency_;
+    double seconds_ = 0.0;
+    int64_t total_bytes_ = 0;
+    int64_t num_transfers_ = 0;
+};
+
+} // namespace betty
+
+#endif // BETTY_MEMORY_TRANSFER_MODEL_H

@@ -1,0 +1,79 @@
+#include "nn/gcn_conv.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+/** Local indices 0..numDst-1 (destinations are the source prefix). */
+std::vector<int64_t>
+selfIndices(const Block& block)
+{
+    std::vector<int64_t> idx(static_cast<size_t>(block.numDst()));
+    std::iota(idx.begin(), idx.end(), 0);
+    return idx;
+}
+
+} // namespace
+
+GcnConv::GcnConv(int64_t in_dim, int64_t out_dim, Rng& rng)
+    : fc_(std::make_unique<Linear>(in_dim, out_dim, rng))
+{
+    registerChild(*fc_);
+}
+
+ag::NodePtr
+GcnConv::forward(const Block& block, const ag::NodePtr& h_src) const
+{
+    BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
+                 "h_src rows mismatch");
+    using namespace ag;
+    const auto summed = gatherSegmentReduce(
+        h_src, block.edgeSources(), block.edgeOffsets(),
+        /*mean=*/false);
+    const auto self = gatherRows(h_src, selfIndices(block));
+
+    // (sum + self) / (deg + 1): right-normalization with self edge.
+    Tensor inv_deg(block.numDst(), 1);
+    for (int64_t d = 0; d < block.numDst(); ++d)
+        inv_deg.at(d, 0) = 1.0f / float(block.inDegree(d) + 1);
+    const auto normalized = mulColBroadcast(
+        add(summed, self), constant(std::move(inv_deg)));
+    return fc_->forward(normalized);
+}
+
+GinConv::GinConv(int64_t in_dim, int64_t out_dim, Rng& rng)
+    : eps_(registerParameter(Tensor::zeros(1, 1))),
+      fc1_(std::make_unique<Linear>(in_dim, out_dim, rng)),
+      fc2_(std::make_unique<Linear>(out_dim, out_dim, rng))
+{
+    registerChild(*fc1_);
+    registerChild(*fc2_);
+}
+
+ag::NodePtr
+GinConv::forward(const Block& block, const ag::NodePtr& h_src) const
+{
+    BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
+                 "h_src rows mismatch");
+    using namespace ag;
+    const auto summed = gatherSegmentReduce(
+        h_src, block.edgeSources(), block.edgeOffsets(),
+        /*mean=*/false);
+    const auto self = gatherRows(h_src, selfIndices(block));
+
+    // (1 + eps) * self: broadcast the scalar through a [N,1] column
+    // so the gradient flows back into eps.
+    const auto ones =
+        constant(Tensor::full(block.numDst(), 1, 1.0f));
+    const auto one_plus_eps = add(matmul(ones, eps_), ones);
+    const auto scaled_self = mulColBroadcast(self, one_plus_eps);
+
+    const auto combined = add(scaled_self, summed);
+    return fc2_->forward(relu(fc1_->forward(combined)));
+}
+
+} // namespace betty

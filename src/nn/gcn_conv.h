@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GCN and GIN convolution layers over bipartite blocks.
+ *
+ * These round out the model zoo beyond the paper's GraphSAGE/GAT
+ * evaluation (its introduction motivates Betty with the broader GNN
+ * family — GCN-style encoders and GIN's "How powerful are GNNs"):
+ *
+ *   GCN (Kipf & Welling):  h'_v = W · mean-normalized aggregate; we
+ *   use the bipartite-friendly right-normalized form
+ *   h'_v = W ( (Σ_{u->v} h_u + h_v) / (deg(v) + 1) ) + b,
+ *   i.e. self edge included before averaging.
+ *
+ *   GIN (Xu et al.):  h'_v = MLP( (1 + eps) h_v + Σ_{u->v} h_u )
+ *   with a 2-layer MLP and a learnable eps.
+ *
+ * Both run on the fused gather+reduce kernel, so like the Mean
+ * aggregator they cost O(N·d) intermediate memory, not O(E·d).
+ */
+#ifndef BETTY_NN_GCN_CONV_H
+#define BETTY_NN_GCN_CONV_H
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/** Graph convolution layer (right-normalized, self edge included). */
+class GcnConv : public Module
+{
+  public:
+    GcnConv(int64_t in_dim, int64_t out_dim, Rng& rng);
+
+    /** @param h_src Source representations, [numSrc, inDim]. */
+    ag::NodePtr forward(const Block& block,
+                        const ag::NodePtr& h_src) const;
+
+    int64_t inDim() const { return fc_->inDim(); }
+    int64_t outDim() const { return fc_->outDim(); }
+
+  private:
+    std::unique_ptr<Linear> fc_;
+};
+
+/** Graph isomorphism layer: sum aggregation + (1+eps) self + MLP. */
+class GinConv : public Module
+{
+  public:
+    GinConv(int64_t in_dim, int64_t out_dim, Rng& rng);
+
+    ag::NodePtr forward(const Block& block,
+                        const ag::NodePtr& h_src) const;
+
+    int64_t inDim() const { return fc1_->inDim(); }
+    int64_t outDim() const { return fc2_->outDim(); }
+
+    /** Current value of the learnable epsilon. */
+    float epsilon() const { return eps_->value.at(0, 0); }
+
+  private:
+    ag::NodePtr eps_; // 1x1 learnable
+    std::unique_ptr<Linear> fc1_;
+    std::unique_ptr<Linear> fc2_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_GCN_CONV_H

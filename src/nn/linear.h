@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fully connected layer: y = x W + b.
+ */
+#ifndef BETTY_NN_LINEAR_H
+#define BETTY_NN_LINEAR_H
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace betty {
+
+/** Affine transform with Xavier-initialized weights. */
+class Linear : public Module
+{
+  public:
+    Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
+        : w_(registerParameter(Tensor::xavier(in_dim, out_dim, rng))),
+          b_(registerParameter(Tensor::zeros(1, out_dim)))
+    {
+    }
+
+    ag::NodePtr
+    forward(const ag::NodePtr& x) const
+    {
+        return ag::addBias(ag::matmul(x, w_), b_);
+    }
+
+    int64_t inDim() const { return w_->value.rows(); }
+    int64_t outDim() const { return w_->value.cols(); }
+
+  private:
+    ag::NodePtr w_;
+    ag::NodePtr b_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_LINEAR_H

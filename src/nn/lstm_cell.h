@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Standard LSTM cell, used as the memory-hungry GraphSAGE aggregator
+ * of Table 1 ("LSTM_{u->v}(h^l)").
+ */
+#ifndef BETTY_NN_LSTM_CELL_H
+#define BETTY_NN_LSTM_CELL_H
+
+#include <utility>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace betty {
+
+/**
+ * One LSTM step over a batch of rows.
+ *
+ * Gate layout in the packed 4h weight matrices: [i | f | g | o].
+ * Each forward() call materializes ~29 intermediate scalars per
+ * (row, hidden unit) in the autograd graph — the implementation-
+ * dependent constant of the paper's Eq. 5 (PyTorch's is 18); the
+ * memory estimator uses the value exported by GraphSage::memorySpec().
+ */
+class LstmCell : public Module
+{
+  public:
+    LstmCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+        : hidden_dim_(hidden_dim),
+          wx_(registerParameter(
+              Tensor::xavier(input_dim, 4 * hidden_dim, rng))),
+          wh_(registerParameter(
+              Tensor::xavier(hidden_dim, 4 * hidden_dim, rng))),
+          b_(registerParameter(Tensor::zeros(1, 4 * hidden_dim)))
+    {
+    }
+
+    /** State pair (hidden, cell). */
+    struct State
+    {
+        ag::NodePtr h;
+        ag::NodePtr c;
+    };
+
+    /** Zero initial state for @p batch rows. */
+    State
+    initialState(int64_t batch) const
+    {
+        return {ag::constant(Tensor::zeros(batch, hidden_dim_)),
+                ag::constant(Tensor::zeros(batch, hidden_dim_))};
+    }
+
+    /** Advance the cell one timestep on input @p x ([batch, in]). */
+    State
+    forward(const ag::NodePtr& x, const State& state) const
+    {
+        using namespace ag;
+        const auto gates = addBias(
+            add(matmul(x, wx_), matmul(state.h, wh_)), b_);
+        const auto i = sigmoid(sliceCols(gates, 0, hidden_dim_));
+        const auto f = sigmoid(sliceCols(gates, hidden_dim_,
+                                         hidden_dim_));
+        const auto g = tanhOp(sliceCols(gates, 2 * hidden_dim_,
+                                        hidden_dim_));
+        const auto o = sigmoid(sliceCols(gates, 3 * hidden_dim_,
+                                         hidden_dim_));
+        const auto c = add(mulElem(f, state.c), mulElem(i, g));
+        const auto h = mulElem(o, tanhOp(c));
+        return {h, c};
+    }
+
+    int64_t hiddenDim() const { return hidden_dim_; }
+
+  private:
+    int64_t hidden_dim_;
+    ag::NodePtr wx_;
+    ag::NodePtr wh_;
+    ag::NodePtr b_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_LSTM_CELL_H

@@ -1,0 +1,215 @@
+#include "nn/models.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace betty {
+
+GraphSage::GraphSage(const SageConfig& config) : config_(config)
+{
+    BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
+                 config.numLayers >= 1,
+                 "incomplete SageConfig");
+    Rng rng(config.seed);
+    for (int64_t layer = 0; layer < config.numLayers; ++layer) {
+        const int64_t in =
+            layer == 0 ? config.inputDim : config.hiddenDim;
+        const int64_t out = layer + 1 == config.numLayers
+                                ? config.numClasses
+                                : config.hiddenDim;
+        layers_.push_back(std::make_unique<SageConv>(
+            in, out, config.aggregator, rng));
+        registerChild(*layers_.back());
+    }
+}
+
+ag::NodePtr
+GraphSage::forward(const MultiLayerBatch& batch,
+                   const ag::NodePtr& input_features) const
+{
+    BETTY_ASSERT(batch.numLayers() == config_.numLayers,
+                 "batch has ", batch.numLayers(), " blocks, model has ",
+                 config_.numLayers, " layers");
+    ag::NodePtr h = input_features;
+    for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+        h = layers_[size_t(layer)]->forward(batch.blocks[size_t(layer)],
+                                            h);
+        if (layer + 1 < config_.numLayers)
+            h = ag::relu(h);
+    }
+    return h;
+}
+
+GnnSpec
+GraphSage::memorySpec() const
+{
+    GnnSpec spec;
+    spec.inputDim = config_.inputDim;
+    spec.hiddenDim = config_.hiddenDim;
+    spec.numClasses = config_.numClasses;
+    spec.numLayers = config_.numLayers;
+    spec.aggregator = config_.aggregator;
+    int64_t agg_params = 0;
+    for (const auto& layer : layers_)
+        agg_params += layer->aggregatorParameterCount();
+    spec.paramCountAgg = agg_params;
+    spec.paramCountGnn = parameterCount() - agg_params;
+    // Our LstmCell materializes ~29 intermediate scalars per
+    // (node, step, unit) plus the x_t gather: the constant of Eq. 5
+    // for this implementation (PyTorch's is 18).
+    spec.lstmIntermediatesPerNode = 30;
+    return spec;
+}
+
+Gat::Gat(const GatConfig& config) : config_(config)
+{
+    BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
+                 config.numLayers >= 1,
+                 "incomplete GatConfig");
+    Rng rng(config.seed);
+    for (int64_t layer = 0; layer < config.numLayers; ++layer) {
+        const bool last = layer + 1 == config.numLayers;
+        const int64_t in = layer == 0
+                               ? config.inputDim
+                               : config.hiddenDim * config.numHeads;
+        const int64_t out = last ? config.numClasses : config.hiddenDim;
+        const int64_t heads = last ? 1 : config.numHeads;
+        layers_.push_back(
+            std::make_unique<GatConv>(in, out, heads, rng));
+        registerChild(*layers_.back());
+    }
+}
+
+ag::NodePtr
+Gat::forward(const MultiLayerBatch& batch,
+             const ag::NodePtr& input_features) const
+{
+    BETTY_ASSERT(batch.numLayers() == config_.numLayers,
+                 "batch/model layer mismatch");
+    ag::NodePtr h = input_features;
+    for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+        const bool last = layer + 1 == config_.numLayers;
+        h = layers_[size_t(layer)]->forward(
+            batch.blocks[size_t(layer)], h, /*average_heads=*/last);
+        if (!last)
+            h = ag::relu(h);
+    }
+    return h;
+}
+
+GnnSpec
+Gat::memorySpec() const
+{
+    GnnSpec spec;
+    spec.inputDim = config_.inputDim;
+    spec.hiddenDim = config_.hiddenDim * config_.numHeads;
+    spec.numClasses = config_.numClasses;
+    spec.numLayers = config_.numLayers;
+    spec.aggregator = AggregatorKind::Attention;
+    spec.attentionHeads = config_.numHeads;
+    spec.paramCountGnn = parameterCount();
+    spec.paramCountAgg = 0;
+    return spec;
+}
+
+namespace {
+
+/** Shared layer-size schedule of the simple stacks. */
+std::pair<int64_t, int64_t>
+stackDims(const StackConfig& config, int64_t layer)
+{
+    const int64_t in =
+        layer == 0 ? config.inputDim : config.hiddenDim;
+    const int64_t out = layer + 1 == config.numLayers
+                            ? config.numClasses
+                            : config.hiddenDim;
+    return {in, out};
+}
+
+GnnSpec
+stackSpec(const StackConfig& config, AggregatorKind kind,
+          int64_t param_count)
+{
+    GnnSpec spec;
+    spec.inputDim = config.inputDim;
+    spec.hiddenDim = config.hiddenDim;
+    spec.numClasses = config.numClasses;
+    spec.numLayers = config.numLayers;
+    spec.aggregator = kind;
+    spec.paramCountGnn = param_count;
+    return spec;
+}
+
+} // namespace
+
+Gcn::Gcn(const StackConfig& config) : config_(config)
+{
+    BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
+                 config.numLayers >= 1,
+                 "incomplete StackConfig");
+    Rng rng(config.seed);
+    for (int64_t layer = 0; layer < config.numLayers; ++layer) {
+        const auto [in, out] = stackDims(config, layer);
+        layers_.push_back(std::make_unique<GcnConv>(in, out, rng));
+        registerChild(*layers_.back());
+    }
+}
+
+ag::NodePtr
+Gcn::forward(const MultiLayerBatch& batch,
+             const ag::NodePtr& input_features) const
+{
+    BETTY_ASSERT(batch.numLayers() == config_.numLayers,
+                 "batch/model layer mismatch");
+    ag::NodePtr h = input_features;
+    for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+        h = layers_[size_t(layer)]->forward(batch.blocks[size_t(layer)],
+                                            h);
+        if (layer + 1 < config_.numLayers)
+            h = ag::relu(h);
+    }
+    return h;
+}
+
+GnnSpec
+Gcn::memorySpec() const
+{
+    return stackSpec(config_, AggregatorKind::Gcn, parameterCount());
+}
+
+Gin::Gin(const StackConfig& config) : config_(config)
+{
+    BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
+                 config.numLayers >= 1,
+                 "incomplete StackConfig");
+    Rng rng(config.seed);
+    for (int64_t layer = 0; layer < config.numLayers; ++layer) {
+        const auto [in, out] = stackDims(config, layer);
+        layers_.push_back(std::make_unique<GinConv>(in, out, rng));
+        registerChild(*layers_.back());
+    }
+}
+
+ag::NodePtr
+Gin::forward(const MultiLayerBatch& batch,
+             const ag::NodePtr& input_features) const
+{
+    BETTY_ASSERT(batch.numLayers() == config_.numLayers,
+                 "batch/model layer mismatch");
+    ag::NodePtr h = input_features;
+    for (int64_t layer = 0; layer < config_.numLayers; ++layer) {
+        h = layers_[size_t(layer)]->forward(batch.blocks[size_t(layer)],
+                                            h);
+        if (layer + 1 < config_.numLayers)
+            h = ag::relu(h);
+    }
+    return h;
+}
+
+GnnSpec
+Gin::memorySpec() const
+{
+    return stackSpec(config_, AggregatorKind::Gin, parameterCount());
+}
+
+} // namespace betty

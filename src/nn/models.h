@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The two evaluation models of the paper: GraphSAGE and GAT.
+ */
+#ifndef BETTY_NN_MODELS_H
+#define BETTY_NN_MODELS_H
+
+#include <memory>
+#include <vector>
+
+#include "memory/estimator.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/module.h"
+#include "nn/sage_conv.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/**
+ * Common interface of trainable GNNs: map a sampled batch plus its
+ * input features to output-node logits. The trainer and benches are
+ * written against this so every experiment runs both models.
+ */
+class GnnModel : public Module
+{
+  public:
+    /** Logits for the batch's output nodes. */
+    virtual ag::NodePtr forward(
+        const MultiLayerBatch& batch,
+        const ag::NodePtr& input_features) const = 0;
+
+    /** Memory-estimation description of the model (Table 3). */
+    virtual GnnSpec memorySpec() const = 0;
+};
+
+/** Configuration of a GraphSAGE stack. */
+struct SageConfig
+{
+    int64_t inputDim = 0;
+    int64_t hiddenDim = 256;
+    int64_t numClasses = 0;
+    int64_t numLayers = 2;
+    AggregatorKind aggregator = AggregatorKind::Mean;
+    uint64_t seed = 3;
+};
+
+/** Multi-layer GraphSAGE; one SageConv per sampled block. */
+class GraphSage : public GnnModel
+{
+  public:
+    explicit GraphSage(const SageConfig& config);
+
+    /**
+     * @param input_features Features of the batch's input nodes,
+     * [batch.inputNodes().size(), inputDim].
+     * @return Logits for the batch's output nodes.
+     */
+    ag::NodePtr forward(const MultiLayerBatch& batch,
+                        const ag::NodePtr& input_features) const override;
+
+    const SageConfig& config() const { return config_; }
+
+    GnnSpec memorySpec() const override;
+
+  private:
+    SageConfig config_;
+    std::vector<std::unique_ptr<SageConv>> layers_;
+};
+
+/** Configuration of a GAT stack. */
+struct GatConfig
+{
+    int64_t inputDim = 0;
+    int64_t hiddenDim = 64; ///< per-head hidden width
+    int64_t numClasses = 0;
+    int64_t numLayers = 2;
+    int64_t numHeads = 4; ///< heads on hidden layers; output uses 1
+    uint64_t seed = 3;
+};
+
+/** Multi-layer GAT; hidden layers concatenate heads, output averages. */
+class Gat : public GnnModel
+{
+  public:
+    explicit Gat(const GatConfig& config);
+
+    ag::NodePtr forward(const MultiLayerBatch& batch,
+                        const ag::NodePtr& input_features) const override;
+
+    const GatConfig& config() const { return config_; }
+
+    GnnSpec memorySpec() const override;
+
+  private:
+    GatConfig config_;
+    std::vector<std::unique_ptr<GatConv>> layers_;
+};
+
+/** Configuration shared by the GCN and GIN stacks. */
+struct StackConfig
+{
+    int64_t inputDim = 0;
+    int64_t hiddenDim = 64;
+    int64_t numClasses = 0;
+    int64_t numLayers = 2;
+    uint64_t seed = 3;
+};
+
+/** Multi-layer GCN (right-normalized conv with self edges). */
+class Gcn : public GnnModel
+{
+  public:
+    explicit Gcn(const StackConfig& config);
+
+    ag::NodePtr forward(const MultiLayerBatch& batch,
+                        const ag::NodePtr& input_features)
+        const override;
+
+    const StackConfig& config() const { return config_; }
+
+    GnnSpec memorySpec() const override;
+
+  private:
+    StackConfig config_;
+    std::vector<std::unique_ptr<GcnConv>> layers_;
+};
+
+/** Multi-layer GIN (sum aggregation + learnable-eps MLP update). */
+class Gin : public GnnModel
+{
+  public:
+    explicit Gin(const StackConfig& config);
+
+    ag::NodePtr forward(const MultiLayerBatch& batch,
+                        const ag::NodePtr& input_features)
+        const override;
+
+    const StackConfig& config() const { return config_; }
+
+    GnnSpec memorySpec() const override;
+
+  private:
+    StackConfig config_;
+    std::vector<std::unique_ptr<GinConv>> layers_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_MODELS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Base class for parameterized layers and models.
+ */
+#ifndef BETTY_NN_MODULE_H
+#define BETTY_NN_MODULE_H
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace betty {
+
+/**
+ * A layer/model owning trainable parameters.
+ *
+ * Parameters are autograd leaf nodes with requiresGrad set; children
+ * register theirs into the owning module so parameters() spans the
+ * whole tree (what the optimizer consumes).
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters of this module and its children. */
+    const std::vector<ag::NodePtr>& parameters() const { return params_; }
+
+    /** Total number of trainable scalars. */
+    int64_t
+    parameterCount() const
+    {
+        int64_t total = 0;
+        for (const auto& p : params_)
+            total += p->value.numel();
+        return total;
+    }
+
+    /** Reset all parameter gradients to zero (kept allocated). */
+    void
+    zeroGrad()
+    {
+        for (const auto& p : params_)
+            if (!p->grad.empty())
+                p->grad.setZero();
+    }
+
+  protected:
+    /** Wrap @p value as a trainable parameter and register it. */
+    ag::NodePtr
+    registerParameter(Tensor value)
+    {
+        auto node = ag::parameter(std::move(value));
+        params_.push_back(node);
+        return node;
+    }
+
+    /** Adopt a child's parameters into this module's list. */
+    void
+    registerChild(const Module& child)
+    {
+        params_.insert(params_.end(), child.params_.begin(),
+                       child.params_.end());
+    }
+
+  private:
+    std::vector<ag::NodePtr> params_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_MODULE_H

@@ -1,0 +1,57 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace betty {
+
+void
+Sgd::step()
+{
+    for (const auto& p : params_) {
+        if (p->grad.empty())
+            continue;
+        if (weight_decay_ != 0.0f)
+            p->grad.addScaledInPlace(p->value, weight_decay_);
+        p->value.addScaledInPlace(p->grad, -lr_);
+    }
+}
+
+Adam::Adam(std::vector<ag::NodePtr> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
+      beta2_(beta2), eps_(eps)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+        m_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+        v_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bias1 = 1.0f - std::pow(beta1_, float(t_));
+    const float bias2 = 1.0f - std::pow(beta2_, float(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        auto& p = params_[i];
+        if (p->grad.empty())
+            continue;
+        float* value = p->value.data();
+        const float* grad = p->grad.data();
+        float* m = m_[i].data();
+        float* v = v_[i].data();
+        const int64_t n = p->value.numel();
+        for (int64_t j = 0; j < n; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+            const float m_hat = m[j] / bias1;
+            const float v_hat = v[j] / bias2;
+            value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+        }
+    }
+}
+
+} // namespace betty

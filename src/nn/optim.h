@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Optimizers. Adam is the paper's default (its two state tensors per
+ * parameter are item (8) of the memory estimate); plain SGD is
+ * provided for ablations.
+ */
+#ifndef BETTY_NN_OPTIM_H
+#define BETTY_NN_OPTIM_H
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace betty {
+
+/** Optimizer interface over a fixed parameter list. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<ag::NodePtr> params)
+        : params_(std::move(params))
+    {
+    }
+
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the parameters' accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all parameter gradients. */
+    void
+    zeroGrad()
+    {
+        for (const auto& p : params_)
+            if (!p->grad.empty())
+                p->grad.setZero();
+    }
+
+  protected:
+    std::vector<ag::NodePtr> params_;
+};
+
+/** Stochastic gradient descent with optional weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<ag::NodePtr> params, float lr,
+        float weight_decay = 0.0f)
+        : Optimizer(std::move(params)), lr_(lr),
+          weight_decay_(weight_decay)
+    {
+    }
+
+    void step() override;
+
+  private:
+    float lr_;
+    float weight_decay_;
+};
+
+/**
+ * Adam (Kingma & Ba). Moment tensors are allocated eagerly in the
+ * constructor so that creating the optimizer inside a device-memory
+ * scope charges the optimizer states to the device, matching where
+ * they live in GPU training.
+ */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<ag::NodePtr> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_OPTIM_H

@@ -1,0 +1,128 @@
+#include "nn/sage_conv.h"
+
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace betty {
+
+SageConv::SageConv(int64_t in_dim, int64_t out_dim,
+                   AggregatorKind aggregator, Rng& rng)
+    : in_dim_(in_dim), aggregator_(aggregator)
+{
+    if (aggregator_ == AggregatorKind::Pool) {
+        pool_fc_ = std::make_unique<Linear>(in_dim, in_dim, rng);
+        registerChild(*pool_fc_);
+    } else if (aggregator_ == AggregatorKind::Lstm) {
+        lstm_ = std::make_unique<LstmCell>(in_dim, in_dim, rng);
+        registerChild(*lstm_);
+    }
+    out_ = std::make_unique<Linear>(2 * in_dim, out_dim, rng);
+    registerChild(*out_);
+}
+
+ag::NodePtr
+SageConv::forward(const Block& block, const ag::NodePtr& h_src) const
+{
+    BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
+                 "h_src rows ", h_src->value.rows(),
+                 " != block sources ", block.numSrc());
+    BETTY_ASSERT(h_src->value.cols() == in_dim_,
+                 "h_src width mismatch");
+
+    // Self representations: destinations are the source prefix.
+    std::vector<int64_t> self_idx(static_cast<size_t>(block.numDst()));
+    std::iota(self_idx.begin(), self_idx.end(), 0);
+    const auto h_self = ag::gatherRows(h_src, std::move(self_idx));
+
+    const auto h_neigh = aggregate(block, h_src);
+    return out_->forward(ag::concatCols(h_self, h_neigh));
+}
+
+ag::NodePtr
+SageConv::aggregate(const Block& block, const ag::NodePtr& h_src) const
+{
+    switch (aggregator_) {
+      case AggregatorKind::Mean:
+        // Fused kernel (as in DGL): no [E, d] materialization.
+        return ag::gatherSegmentReduce(h_src, block.edgeSources(),
+                                       block.edgeOffsets(),
+                                       /*mean=*/true);
+      case AggregatorKind::Sum:
+        return ag::gatherSegmentReduce(h_src, block.edgeSources(),
+                                       block.edgeOffsets(),
+                                       /*mean=*/false);
+      case AggregatorKind::Pool: {
+        const auto gathered =
+            ag::gatherRows(h_src, block.edgeSources());
+        const auto transformed =
+            ag::relu(pool_fc_->forward(gathered));
+        // Max over the transformed neighborhood, then project back to
+        // in_dim via... pool keeps in_dim (pool_fc_ is in->in).
+        return ag::segmentMax(transformed, block.edgeOffsets());
+      }
+      case AggregatorKind::Lstm:
+        return lstmAggregate(block, h_src);
+    }
+    panic("unreachable aggregator kind");
+}
+
+ag::NodePtr
+SageConv::lstmAggregate(const Block& block,
+                        const ag::NodePtr& h_src) const
+{
+    // In-degree bucketing: group destinations by exact in-degree so
+    // every group advances the recurrence with dense [B, d] steps.
+    std::map<int64_t, std::vector<int64_t>> groups;
+    for (int64_t d = 0; d < block.numDst(); ++d)
+        groups[block.inDegree(d)].push_back(d);
+
+    std::vector<ag::NodePtr> parts;
+    std::vector<int64_t> part_dst_order;
+    parts.reserve(groups.size());
+    part_dst_order.reserve(size_t(block.numDst()));
+
+    for (const auto& [degree, dsts] : groups) {
+        const int64_t batch = int64_t(dsts.size());
+        if (degree == 0) {
+            // Nothing to aggregate: contribute zeros.
+            parts.push_back(
+                ag::constant(Tensor::zeros(batch, in_dim_)));
+        } else {
+            LstmCell::State state = lstm_->initialState(batch);
+            for (int64_t t = 0; t < degree; ++t) {
+                std::vector<int64_t> step_idx(static_cast<size_t>(batch));
+                for (int64_t j = 0; j < batch; ++j)
+                    step_idx[size_t(j)] =
+                        block.inEdges(dsts[size_t(j)])[size_t(t)];
+                const auto x_t =
+                    ag::gatherRows(h_src, std::move(step_idx));
+                state = lstm_->forward(x_t, state);
+            }
+            parts.push_back(state.h);
+        }
+        part_dst_order.insert(part_dst_order.end(), dsts.begin(),
+                              dsts.end());
+    }
+
+    const auto stacked = ag::concatRows(parts);
+
+    // stacked rows follow bucket order; permute back to dst order.
+    std::vector<int64_t> perm(size_t(block.numDst()));
+    for (size_t row = 0; row < part_dst_order.size(); ++row)
+        perm[size_t(part_dst_order[row])] = int64_t(row);
+    return ag::gatherRows(stacked, std::move(perm));
+}
+
+int64_t
+SageConv::aggregatorParameterCount() const
+{
+    if (pool_fc_)
+        return pool_fc_->parameterCount();
+    if (lstm_)
+        return lstm_->parameterCount();
+    return 0;
+}
+
+} // namespace betty

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GraphSAGE convolution layer over one bipartite block.
+ *
+ * Computes, per destination node v of the block,
+ *     h'_v = W [ h_v || AGG_{u->v}(h_u) ] + b
+ * with AGG one of the Table 1 aggregators: Mean, Sum, Pool
+ * (max over a transformed neighborhood) or LSTM.
+ *
+ * The LSTM aggregator performs in-degree bucketing exactly as the
+ * paper describes for DGL (§4.4.2): destinations are grouped by
+ * in-degree so each group runs the recurrence as dense [B, d] steps;
+ * the long-tailed degree distribution therefore concentrates work and
+ * memory in the large-degree groups, which is the "bucketing
+ * explosion" Betty's memory-aware partitioning reacts to.
+ */
+#ifndef BETTY_NN_SAGE_CONV_H
+#define BETTY_NN_SAGE_CONV_H
+
+#include <memory>
+
+#include "memory/estimator.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/module.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/** One SAGE layer; owns the output projection and aggregator params. */
+class SageConv : public Module
+{
+  public:
+    SageConv(int64_t in_dim, int64_t out_dim, AggregatorKind aggregator,
+             Rng& rng);
+
+    /**
+     * @param block The bipartite layer to convolve over.
+     * @param h_src Representations of the block's source nodes,
+     * [block.numSrc(), inDim], destinations in the prefix.
+     * @return Destination representations [block.numDst(), outDim].
+     */
+    ag::NodePtr forward(const Block& block,
+                        const ag::NodePtr& h_src) const;
+
+    AggregatorKind aggregator() const { return aggregator_; }
+    int64_t inDim() const { return in_dim_; }
+    int64_t outDim() const { return out_->outDim(); }
+
+    /** Trainable scalars belonging to the aggregator alone (NP_Agg). */
+    int64_t aggregatorParameterCount() const;
+
+  private:
+    /** Neighborhood aggregation -> [numDst, inDim]. */
+    ag::NodePtr aggregate(const Block& block,
+                          const ag::NodePtr& h_src) const;
+
+    ag::NodePtr lstmAggregate(const Block& block,
+                              const ag::NodePtr& h_src) const;
+
+    int64_t in_dim_;
+    AggregatorKind aggregator_;
+    std::unique_ptr<Linear> pool_fc_; // Pool only
+    std::unique_ptr<LstmCell> lstm_;  // LSTM only
+    std::unique_ptr<Linear> out_;     // projection over [self || agg]
+};
+
+} // namespace betty
+
+#endif // BETTY_NN_SAGE_CONV_H

@@ -1,0 +1,90 @@
+#include "partition/coarsen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace betty {
+
+std::vector<int64_t>
+heavyEdgeMatching(const WeightedGraph& graph, Rng& rng)
+{
+    const int64_t n = graph.numNodes();
+    std::vector<int64_t> match(size_t(n), -1);
+    const std::vector<int64_t> order = rng.permutation(n);
+
+    for (int64_t v : order) {
+        if (match[size_t(v)] != -1)
+            continue;
+        const auto nbrs = graph.neighbors(v);
+        const auto wts = graph.edgeWeights(v);
+        int64_t best = -1;
+        int64_t best_weight = -1;
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            const int64_t u = nbrs[i];
+            if (u == v || match[size_t(u)] != -1)
+                continue;
+            if (wts[i] > best_weight) {
+                best_weight = wts[i];
+                best = u;
+            }
+        }
+        if (best == -1) {
+            match[size_t(v)] = v;
+        } else {
+            match[size_t(v)] = best;
+            match[size_t(best)] = v;
+        }
+    }
+    return match;
+}
+
+CoarseLevel
+coarsen(const WeightedGraph& graph, const std::vector<int64_t>& matching)
+{
+    const int64_t n = graph.numNodes();
+    BETTY_ASSERT(int64_t(matching.size()) == n, "matching size mismatch");
+
+    CoarseLevel level;
+    level.fineToCoarse.assign(size_t(n), -1);
+
+    // Assign coarse ids: each matched pair (or singleton) becomes one
+    // coarse vertex; the smaller endpoint claims the id.
+    int64_t coarse_count = 0;
+    for (int64_t v = 0; v < n; ++v) {
+        if (level.fineToCoarse[size_t(v)] != -1)
+            continue;
+        const int64_t partner = matching[size_t(v)];
+        BETTY_ASSERT(partner >= 0 && partner < n, "bad matching entry");
+        level.fineToCoarse[size_t(v)] = coarse_count;
+        level.fineToCoarse[size_t(partner)] = coarse_count;
+        ++coarse_count;
+    }
+
+    std::vector<int64_t> coarse_vwgt(size_t(coarse_count), 0);
+    for (int64_t v = 0; v < n; ++v)
+        coarse_vwgt[size_t(level.fineToCoarse[size_t(v)])] +=
+            graph.vertexWeight(v);
+
+    std::vector<WeightedEdge> coarse_edges;
+    coarse_edges.reserve(size_t(graph.numEdges()));
+    for (int64_t v = 0; v < n; ++v) {
+        const int64_t cv = level.fineToCoarse[size_t(v)];
+        const auto nbrs = graph.neighbors(v);
+        const auto wts = graph.edgeWeights(v);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            const int64_t cu = level.fineToCoarse[size_t(nbrs[i])];
+            // Each undirected fine edge appears twice; keep one copy by
+            // the v < nbrs[i] rule; intra-pair edges collapse away.
+            if (cv != cu && v < nbrs[i])
+                coarse_edges.push_back({cv, cu, wts[i]});
+        }
+    }
+
+    level.graph = WeightedGraph(coarse_count, coarse_edges,
+                                std::move(coarse_vwgt));
+    return level;
+}
+
+} // namespace betty

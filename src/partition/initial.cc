@@ -1,0 +1,88 @@
+#include "partition/initial.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace betty {
+
+std::vector<int32_t>
+greedyGrowPartition(const WeightedGraph& graph, int32_t k, Rng& rng)
+{
+    const int64_t n = graph.numNodes();
+    BETTY_ASSERT(k >= 1, "k must be >= 1");
+    std::vector<int32_t> parts(size_t(n), -1);
+    if (k == 1) {
+        std::fill(parts.begin(), parts.end(), 0);
+        return parts;
+    }
+
+    const int64_t total = graph.totalVertexWeight();
+    const int64_t target = (total + k - 1) / k;
+
+    // connection[v] = accumulated edge weight from v into the part
+    // currently being grown; reset between parts.
+    std::vector<int64_t> connection(size_t(n), 0);
+    std::vector<int64_t> touched;
+
+    const std::vector<int64_t> seed_order = rng.permutation(n);
+    size_t seed_cursor = 0;
+
+    for (int32_t part = 0; part < k - 1; ++part) {
+        int64_t grown = 0;
+        for (int64_t t : touched)
+            connection[size_t(t)] = 0;
+        touched.clear();
+
+        // Max-heap of (connection weight, vertex); stale entries are
+        // skipped on pop (lazy deletion).
+        std::priority_queue<std::pair<int64_t, int64_t>> frontier;
+
+        while (grown < target) {
+            // Find a growth vertex: best frontier entry, else a fresh
+            // random seed from the unassigned pool.
+            int64_t v = -1;
+            while (!frontier.empty()) {
+                const auto [w, u] = frontier.top();
+                frontier.pop();
+                if (parts[size_t(u)] == -1 &&
+                    w == connection[size_t(u)]) {
+                    v = u;
+                    break;
+                }
+            }
+            if (v == -1) {
+                while (seed_cursor < seed_order.size() &&
+                       parts[size_t(seed_order[seed_cursor])] != -1)
+                    ++seed_cursor;
+                if (seed_cursor == seed_order.size())
+                    break; // nothing left anywhere
+                v = seed_order[seed_cursor];
+            }
+
+            parts[size_t(v)] = part;
+            grown += graph.vertexWeight(v);
+            const auto nbrs = graph.neighbors(v);
+            const auto wts = graph.edgeWeights(v);
+            for (size_t i = 0; i < nbrs.size(); ++i) {
+                const int64_t u = nbrs[i];
+                if (parts[size_t(u)] != -1)
+                    continue;
+                if (connection[size_t(u)] == 0)
+                    touched.push_back(u);
+                connection[size_t(u)] += wts[i];
+                frontier.emplace(connection[size_t(u)], u);
+            }
+        }
+    }
+
+    // Remainder goes to the last part.
+    for (int64_t v = 0; v < n; ++v)
+        if (parts[size_t(v)] == -1)
+            parts[size_t(v)] = k - 1;
+    return parts;
+}
+
+} // namespace betty

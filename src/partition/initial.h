@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Initial partitioning on the coarsest graph: greedy graph growing.
+ */
+#ifndef BETTY_PARTITION_INITIAL_H
+#define BETTY_PARTITION_INITIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace betty {
+
+class Rng;
+
+/**
+ * Grow k regions greedily. Parts 0..k-2 are grown one after another
+ * from a random unassigned seed, preferring the frontier vertex with
+ * the strongest connection to the growing part, until the part reaches
+ * its weight target; the final part takes the remainder. Every vertex
+ * receives a part id in [0, k).
+ */
+std::vector<int32_t> greedyGrowPartition(const WeightedGraph& graph,
+                                         int32_t k, Rng& rng);
+
+} // namespace betty
+
+#endif // BETTY_PARTITION_INITIAL_H

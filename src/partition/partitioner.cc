@@ -1,0 +1,101 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+/** Split @p nodes into k contiguous chunks of near-equal size. */
+std::vector<std::vector<int64_t>>
+chunkEvenly(const std::vector<int64_t>& nodes, int32_t k)
+{
+    BETTY_ASSERT(k >= 1, "k must be >= 1");
+    std::vector<std::vector<int64_t>> groups(static_cast<size_t>(k));
+    const int64_t n = int64_t(nodes.size());
+    const int64_t base = n / k;
+    const int64_t extra = n % k;
+    int64_t cursor = 0;
+    for (int32_t part = 0; part < k; ++part) {
+        const int64_t len = base + (part < extra ? 1 : 0);
+        groups[size_t(part)].assign(nodes.begin() + cursor,
+                                    nodes.begin() + cursor + len);
+        cursor += len;
+    }
+    return groups;
+}
+
+} // namespace
+
+std::vector<std::vector<int64_t>>
+RangePartitioner::partition(const MultiLayerBatch& batch, int32_t k)
+{
+    const auto outputs = batch.outputNodes();
+    std::vector<int64_t> sorted(outputs.begin(), outputs.end());
+    std::sort(sorted.begin(), sorted.end());
+    return chunkEvenly(sorted, k);
+}
+
+std::vector<std::vector<int64_t>>
+RandomPartitioner::partition(const MultiLayerBatch& batch, int32_t k)
+{
+    const auto outputs = batch.outputNodes();
+    std::vector<int64_t> shuffled(outputs.begin(), outputs.end());
+    rng_.shuffle(shuffled);
+    return chunkEvenly(shuffled, k);
+}
+
+MetisBaselinePartitioner::MetisBaselinePartitioner(
+    const CsrGraph& raw_graph, KwayOptions opts)
+    : raw_graph_(raw_graph), opts_(std::move(opts))
+{
+}
+
+std::vector<std::vector<int64_t>>
+MetisBaselinePartitioner::partition(const MultiLayerBatch& batch,
+                                    int32_t k)
+{
+    const auto outputs = batch.outputNodes();
+    const int64_t n = int64_t(outputs.size());
+
+    std::unordered_map<int64_t, int64_t> local;
+    local.reserve(size_t(n) * 2);
+    for (int64_t i = 0; i < n; ++i)
+        local.emplace(outputs[size_t(i)], i);
+
+    // Induced output-node graph from raw edges, unit weights.
+    std::vector<WeightedEdge> edges;
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t nbr : raw_graph_.outNeighbors(outputs[size_t(i)])) {
+            const auto it = local.find(nbr);
+            if (it != local.end() && it->second != i)
+                edges.push_back({i, it->second, 1});
+        }
+    }
+    const WeightedGraph induced(n, edges);
+
+    KwayOptions opts = opts_;
+    opts.k = k;
+    const auto parts = kwayPartition(induced, opts);
+    return groupByPart(outputs, parts, k);
+}
+
+std::vector<std::vector<int64_t>>
+groupByPart(std::span<const int64_t> output_nodes,
+            const std::vector<int32_t>& parts, int32_t k)
+{
+    BETTY_ASSERT(output_nodes.size() == parts.size(),
+                 "one part id per output node required");
+    std::vector<std::vector<int64_t>> groups(static_cast<size_t>(k));
+    for (size_t i = 0; i < output_nodes.size(); ++i) {
+        const int32_t p = parts[i];
+        BETTY_ASSERT(p >= 0 && p < k, "part id out of range");
+        groups[size_t(p)].push_back(output_nodes[i]);
+    }
+    return groups;
+}
+
+} // namespace betty

@@ -1,0 +1,134 @@
+#include "partition/refine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace betty {
+
+namespace {
+
+std::vector<int64_t>
+partWeights(const WeightedGraph& graph, const std::vector<int32_t>& parts,
+            int32_t k)
+{
+    std::vector<int64_t> weights(size_t(k), 0);
+    for (int64_t v = 0; v < graph.numNodes(); ++v)
+        weights[size_t(parts[size_t(v)])] += graph.vertexWeight(v);
+    return weights;
+}
+
+int64_t
+maxPartWeight(const WeightedGraph& graph, int32_t k, double imbalance)
+{
+    const int64_t target =
+        (graph.totalVertexWeight() + k - 1) / std::max<int32_t>(k, 1);
+    // Never below the ceil-average (a perfectly balanced partition
+    // must always be feasible), never above imbalance * target.
+    return std::max(target, int64_t(double(target) * imbalance));
+}
+
+} // namespace
+
+int64_t
+refineKway(const WeightedGraph& graph, std::vector<int32_t>& parts,
+           int32_t k, double imbalance, int32_t passes, Rng& rng)
+{
+    if (k <= 1)
+        return 0;
+    const int64_t n = graph.numNodes();
+    const int64_t max_weight = maxPartWeight(graph, k, imbalance);
+    std::vector<int64_t> weights = partWeights(graph, parts, k);
+
+    // conn[p] = edge weight from the current vertex into part p;
+    // reset per vertex via the touched list.
+    std::vector<int64_t> conn(size_t(k), 0);
+    std::vector<int32_t> touched;
+
+    int64_t total_gain = 0;
+    for (int32_t pass = 0; pass < passes; ++pass) {
+        bool moved = false;
+        const std::vector<int64_t> order = rng.permutation(n);
+        for (int64_t v : order) {
+            const auto nbrs = graph.neighbors(v);
+            if (nbrs.empty())
+                continue;
+            const auto wts = graph.edgeWeights(v);
+            const int32_t own = parts[size_t(v)];
+
+            for (int32_t p : touched)
+                conn[size_t(p)] = 0;
+            touched.clear();
+            for (size_t i = 0; i < nbrs.size(); ++i) {
+                const int32_t p = parts[size_t(nbrs[i])];
+                if (conn[size_t(p)] == 0)
+                    touched.push_back(p);
+                conn[size_t(p)] += wts[i];
+            }
+
+            // Best feasible destination by cut gain; ties broken toward
+            // the lighter part to nudge balance for free.
+            int32_t best_part = own;
+            int64_t best_gain = 0;
+            const int64_t vwgt = graph.vertexWeight(v);
+            for (int32_t p : touched) {
+                if (p == own)
+                    continue;
+                if (weights[size_t(p)] + vwgt > max_weight)
+                    continue;
+                const int64_t gain = conn[size_t(p)] - conn[size_t(own)];
+                if (gain > best_gain ||
+                    (gain == best_gain && best_part != own &&
+                     weights[size_t(p)] < weights[size_t(best_part)])) {
+                    best_gain = gain;
+                    best_part = p;
+                }
+            }
+
+            if (best_part != own && best_gain > 0) {
+                parts[size_t(v)] = best_part;
+                weights[size_t(own)] -= vwgt;
+                weights[size_t(best_part)] += vwgt;
+                total_gain += best_gain;
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+    }
+    return total_gain;
+}
+
+void
+rebalance(const WeightedGraph& graph, std::vector<int32_t>& parts,
+          int32_t k, double imbalance, Rng& rng)
+{
+    if (k <= 1)
+        return;
+    const int64_t n = graph.numNodes();
+    const int64_t max_weight = maxPartWeight(graph, k, imbalance);
+    std::vector<int64_t> weights = partWeights(graph, parts, k);
+
+    const std::vector<int64_t> order = rng.permutation(n);
+    // Greedy eviction: any vertex in an overweight part moves to the
+    // currently lightest part. One sweep is enough because each move
+    // strictly reduces overweight mass, and a vertex heavier than
+    // max_weight can never be placed anyway (then nothing can help).
+    for (int64_t v : order) {
+        const int32_t own = parts[size_t(v)];
+        if (weights[size_t(own)] <= max_weight)
+            continue;
+        const int32_t lightest = int32_t(
+            std::min_element(weights.begin(), weights.end()) -
+            weights.begin());
+        if (lightest == own)
+            continue;
+        const int64_t vwgt = graph.vertexWeight(v);
+        parts[size_t(v)] = lightest;
+        weights[size_t(own)] -= vwgt;
+        weights[size_t(lightest)] += vwgt;
+    }
+}
+
+} // namespace betty

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * K-way boundary refinement (greedy Kernighan-Lin / FM style) and
+ * balance enforcement, run after each uncoarsening projection.
+ */
+#ifndef BETTY_PARTITION_REFINE_H
+#define BETTY_PARTITION_REFINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace betty {
+
+class Rng;
+
+/**
+ * Greedy boundary refinement: repeatedly move boundary vertices to the
+ * adjacent part with the largest positive cut gain, subject to the
+ * balance bound maxPartWeight = imbalance * ceil(total / k). Runs up
+ * to @p passes sweeps or until a sweep makes no move.
+ *
+ * @return Total cut-weight improvement achieved.
+ */
+int64_t refineKway(const WeightedGraph& graph,
+                   std::vector<int32_t>& parts, int32_t k,
+                   double imbalance, int32_t passes, Rng& rng);
+
+/**
+ * Restore the balance bound if projection (or a caller) violated it:
+ * evict the cheapest-to-move vertices from overweight parts into the
+ * lightest parts. Cut quality is secondary to feasibility here.
+ */
+void rebalance(const WeightedGraph& graph, std::vector<int32_t>& parts,
+               int32_t k, double imbalance, Rng& rng);
+
+} // namespace betty
+
+#endif // BETTY_PARTITION_REFINE_H

@@ -1,0 +1,71 @@
+#include "partition/reg.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace betty {
+
+WeightedGraph
+buildReg(const Block& last_block, const RegOptions& opts)
+{
+    const int64_t num_dst = last_block.numDst();
+    const int64_t num_src = last_block.numSrc();
+
+    // Invert the block's dst->src CSR: which destinations does each
+    // source feed? (Column view of the adjacency matrix A.)
+    std::vector<std::vector<int64_t>> dsts_of_src(
+        static_cast<size_t>(num_src));
+    for (int64_t d = 0; d < num_dst; ++d)
+        for (int64_t s : last_block.inEdges(d))
+            dsts_of_src[size_t(s)].push_back(d);
+
+    // c_ij = sum over sources of [i in dsts(s)][j in dsts(s)]:
+    // enumerate co-destination pairs per source and accumulate.
+    std::unordered_map<int64_t, int64_t> weights;
+    for (int64_t s = 0; s < num_src; ++s) {
+        auto& dsts = dsts_of_src[size_t(s)];
+        if (dsts.size() < 2)
+            continue;
+        // A destination can sample the same source more than once in a
+        // multigraph; shared-neighbor counts are over distinct nodes.
+        std::sort(dsts.begin(), dsts.end());
+        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+
+        const int64_t limit =
+            (opts.hubPairCap > 0 &&
+             int64_t(dsts.size()) > opts.hubPairCap)
+                ? opts.hubPairCap
+                : int64_t(dsts.size());
+        // Deterministic stride sample keeps the guard reproducible.
+        const double step = double(dsts.size()) / double(limit);
+        for (int64_t a = 0; a < limit; ++a) {
+            const int64_t i = dsts[size_t(double(a) * step)];
+            for (int64_t b = a + 1; b < limit; ++b) {
+                const int64_t j = dsts[size_t(double(b) * step)];
+                if (i == j)
+                    continue;
+                const int64_t lo = std::min(i, j), hi = std::max(i, j);
+                ++weights[lo * num_dst + hi];
+            }
+        }
+    }
+
+    std::vector<WeightedEdge> edges;
+    edges.reserve(weights.size());
+    for (const auto& [key, w] : weights)
+        edges.push_back({key / num_dst, key % num_dst, w});
+
+    std::vector<int64_t> vertex_weights;
+    if (opts.degreeVertexWeights) {
+        vertex_weights.resize(size_t(num_dst));
+        for (int64_t d = 0; d < num_dst; ++d)
+            vertex_weights[size_t(d)] = 1 + last_block.inDegree(d);
+    }
+
+    return WeightedGraph(num_dst, edges, std::move(vertex_weights));
+}
+
+} // namespace betty

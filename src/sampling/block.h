@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bipartite layer graphs ("blocks") — the unit Betty partitions.
+ *
+ * A Block is the DGL block equivalent: one level of the multi-level
+ * bipartite structure of a GNN batch (paper §4.2.2, Figure 7).
+ * Destination nodes are the centers whose representations the layer
+ * computes; source nodes are the (sampled) in-neighbors whose features
+ * feed the aggregation. Following the DGL convention, the destination
+ * nodes appear as the prefix of the source list so a node's own
+ * previous-layer representation is always available (GraphSAGE
+ * concatenates it with the neighbor aggregate).
+ *
+ * A MultiLayerBatch stacks L blocks: blocks[0] touches the raw input
+ * features, blocks[L-1] produces the output (labelled) nodes.
+ */
+#ifndef BETTY_SAMPLING_BLOCK_H
+#define BETTY_SAMPLING_BLOCK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace betty {
+
+/** One bipartite layer of a batch, with local CSR over in-edges. */
+class Block
+{
+  public:
+    Block() = default;
+
+    /**
+     * Build from destination nodes and their per-destination source
+     * lists (all in raw-graph global IDs). The source index is
+     * constructed so destinations occupy local slots [0, numDst).
+     */
+    Block(std::vector<int64_t> dst_nodes,
+          const std::vector<std::vector<int64_t>>& src_per_dst);
+
+    int64_t numDst() const { return num_dst_; }
+    int64_t numSrc() const { return int64_t(src_nodes_.size()); }
+    int64_t numEdges() const { return int64_t(edge_src_local_.size()); }
+
+    /** Global (raw-graph) IDs of all source nodes; dsts are the prefix. */
+    const std::vector<int64_t>& srcNodes() const { return src_nodes_; }
+
+    /** Global IDs of the destination nodes (== first numDst srcNodes). */
+    std::span<const int64_t> dstNodes() const
+    {
+        return {src_nodes_.data(), size_t(num_dst_)};
+    }
+
+    /** Local source indices of the in-edges of local destination @p i. */
+    std::span<const int64_t> inEdges(int64_t i) const;
+
+    /** All edges' local source indices, grouped by destination (CSR
+     * payload; use edgeOffsets() for the per-destination bounds). */
+    const std::vector<int64_t>& edgeSources() const
+    {
+        return edge_src_local_;
+    }
+
+    /** Per-destination CSR offsets into edgeSources(), size numDst+1. */
+    const std::vector<int64_t>& edgeOffsets() const
+    {
+        return edge_offsets_;
+    }
+
+    /** In-degree of local destination @p i. */
+    int64_t inDegree(int64_t i) const
+    {
+        return int64_t(inEdges(i).size());
+    }
+
+    /**
+     * Destination local indices grouped by in-degree, DGL-style
+     * bucketing (paper §4.4.2): result[d] holds the dsts with exact
+     * degree d for d < max_bucket; result[max_bucket] holds the long
+     * tail (degree >= max_bucket).
+     */
+    std::vector<std::vector<int64_t>> degreeBuckets(
+        int64_t max_bucket) const;
+
+  private:
+    int64_t num_dst_ = 0;
+    std::vector<int64_t> src_nodes_;
+    std::vector<int64_t> edge_offsets_;   // per-dst CSR, size numDst + 1
+    std::vector<int64_t> edge_src_local_; // local src index per edge
+};
+
+/** A complete GNN batch: L stacked bipartite blocks. */
+struct MultiLayerBatch
+{
+    /** blocks[0] reads raw features; blocks.back() emits outputs. */
+    std::vector<Block> blocks;
+
+    int64_t numLayers() const { return int64_t(blocks.size()); }
+
+    /** Raw-graph IDs whose features must be loaded (first-layer srcs). */
+    const std::vector<int64_t>&
+    inputNodes() const
+    {
+        return blocks.front().srcNodes();
+    }
+
+    /** Raw-graph IDs of the labelled output nodes. */
+    std::span<const int64_t>
+    outputNodes() const
+    {
+        return blocks.back().dstNodes();
+    }
+
+    /** Total edges across all blocks (drives block-size memory cost). */
+    int64_t
+    totalEdges() const
+    {
+        int64_t total = 0;
+        for (const auto& b : blocks)
+            total += b.numEdges();
+        return total;
+    }
+};
+
+} // namespace betty
+
+#endif // BETTY_SAMPLING_BLOCK_H

@@ -1,0 +1,53 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace betty {
+
+NeighborSampler::NeighborSampler(const CsrGraph& graph,
+                                 std::vector<int64_t> fanouts,
+                                 uint64_t seed)
+    : graph_(graph), fanouts_(std::move(fanouts)), rng_(seed)
+{
+    BETTY_ASSERT(!fanouts_.empty(), "at least one layer required");
+}
+
+MultiLayerBatch
+NeighborSampler::sample(const std::vector<int64_t>& seeds)
+{
+    BETTY_ASSERT(!seeds.empty(), "cannot sample an empty seed set");
+
+    MultiLayerBatch batch;
+    batch.blocks.resize(size_t(fanouts_.size()));
+
+    // Outside in: the output layer uses the last fanout.
+    std::vector<int64_t> layer_seeds = seeds;
+    for (int64_t layer = int64_t(fanouts_.size()) - 1; layer >= 0;
+         --layer) {
+        const int64_t fanout = fanouts_[size_t(layer)];
+        std::vector<std::vector<int64_t>> src_per_dst;
+        src_per_dst.reserve(layer_seeds.size());
+        for (int64_t dst : layer_seeds) {
+            const auto nbrs = graph_.inNeighbors(dst);
+            std::vector<int64_t> chosen;
+            if (fanout < 0 || int64_t(nbrs.size()) <= fanout) {
+                chosen.assign(nbrs.begin(), nbrs.end());
+            } else {
+                const auto picks = rng_.sampleWithoutReplacement(
+                    int64_t(nbrs.size()), fanout);
+                chosen.reserve(size_t(fanout));
+                for (int64_t p : picks)
+                    chosen.push_back(nbrs[size_t(p)]);
+            }
+            src_per_dst.push_back(std::move(chosen));
+        }
+        batch.blocks[size_t(layer)] =
+            Block(std::move(layer_seeds), src_per_dst);
+        layer_seeds = batch.blocks[size_t(layer)].srcNodes();
+    }
+    return batch;
+}
+
+} // namespace betty

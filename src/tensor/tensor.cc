@@ -1,0 +1,301 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace betty {
+
+namespace {
+
+AllocationObserver* g_observer = nullptr;
+
+} // namespace
+
+AllocationObserver*
+setAllocationObserver(AllocationObserver* observer)
+{
+    AllocationObserver* old = g_observer;
+    g_observer = observer;
+    return old;
+}
+
+AllocationObserver*
+allocationObserver()
+{
+    return g_observer;
+}
+
+/**
+ * Backing buffer. Reports its byte size to the observer that was
+ * installed at allocation time; the same observer is notified on
+ * release even if the global observer changed in between, so paired
+ * alloc/free events always reach the same memory model.
+ */
+struct Tensor::Storage
+{
+    explicit Storage(int64_t count)
+        : values(static_cast<size_t>(count)),
+          bytes(count * int64_t(sizeof(float))),
+          observer(g_observer)
+    {
+        if (observer)
+            observer->onAlloc(bytes);
+    }
+
+    ~Storage()
+    {
+        if (observer)
+            observer->onFree(bytes);
+    }
+
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
+
+    std::vector<float> values;
+    int64_t bytes;
+    AllocationObserver* observer;
+};
+
+Tensor::Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols)
+{
+    BETTY_ASSERT(rows >= 0 && cols >= 0, "negative tensor shape");
+    if (numel() > 0)
+        storage_ = std::make_shared<Storage>(numel());
+}
+
+float*
+Tensor::data()
+{
+    BETTY_ASSERT(storage_, "data() on empty tensor");
+    return storage_->values.data();
+}
+
+const float*
+Tensor::data() const
+{
+    BETTY_ASSERT(storage_, "data() on empty tensor");
+    return storage_->values.data();
+}
+
+float&
+Tensor::at(int64_t r, int64_t c)
+{
+    return data()[r * cols_ + c];
+}
+
+float
+Tensor::at(int64_t r, int64_t c) const
+{
+    return data()[r * cols_ + c];
+}
+
+Tensor
+Tensor::zeros(int64_t rows, int64_t cols)
+{
+    Tensor t(rows, cols);
+    t.fill(0.0f);
+    return t;
+}
+
+Tensor
+Tensor::full(int64_t rows, int64_t cols, float value)
+{
+    Tensor t(rows, cols);
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::uniform(int64_t rows, int64_t cols, Rng& rng, float lo, float hi)
+{
+    Tensor t(rows, cols);
+    float* p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.uniformReal(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::xavier(int64_t fan_in, int64_t fan_out, Rng& rng)
+{
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    return uniform(fan_in, fan_out, rng, -bound, bound);
+}
+
+Tensor
+Tensor::fromValues(int64_t rows, int64_t cols, std::vector<float> values)
+{
+    BETTY_ASSERT(int64_t(values.size()) == rows * cols,
+                 "fromValues: ", values.size(), " values for ", rows, "x",
+                 cols);
+    Tensor t(rows, cols);
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    if (empty())
+        return;
+    std::fill_n(data(), numel(), value);
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor copy(rows_, cols_);
+    if (numel() > 0)
+        std::memcpy(copy.data(), data(), size_t(bytes()));
+    return copy;
+}
+
+void
+Tensor::addInPlace(const Tensor& other)
+{
+    BETTY_ASSERT(sameShape(other), "addInPlace shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    for (int64_t i = 0; i < numel(); ++i)
+        a[i] += b[i];
+}
+
+void
+Tensor::addScaledInPlace(const Tensor& other, float alpha)
+{
+    BETTY_ASSERT(sameShape(other), "addScaledInPlace shape mismatch");
+    float* a = data();
+    const float* b = other.data();
+    for (int64_t i = 0; i < numel(); ++i)
+        a[i] += alpha * b[i];
+}
+
+void
+Tensor::scaleInPlace(float alpha)
+{
+    if (empty())
+        return;
+    float* a = data();
+    for (int64_t i = 0; i < numel(); ++i)
+        a[i] *= alpha;
+}
+
+float
+Tensor::sum() const
+{
+    if (empty())
+        return 0.0f;
+    double acc = 0.0;
+    const float* a = data();
+    for (int64_t i = 0; i < numel(); ++i)
+        acc += a[i];
+    return static_cast<float>(acc);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float best = 0.0f;
+    if (empty())
+        return best;
+    const float* a = data();
+    for (int64_t i = 0; i < numel(); ++i)
+        best = std::max(best, std::fabs(a[i]));
+    return best;
+}
+
+void
+matmul(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate)
+{
+    BETTY_ASSERT(a.cols() == b.rows(), "matmul inner dim mismatch: ",
+                 a.cols(), " vs ", b.rows());
+    BETTY_ASSERT(out.rows() == a.rows() && out.cols() == b.cols(),
+                 "matmul output shape mismatch");
+    if (!accumulate)
+        out.setZero();
+    if (a.numel() == 0 || b.numel() == 0)
+        return;
+
+    const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = out.data();
+    // i-k-j loop order streams B and C rows; good cache behaviour for the
+    // tall-skinny shapes (many nodes x small hidden) GNN training produces.
+    for (int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float aval = arow[kk];
+            if (aval == 0.0f)
+                continue;
+            const float* brow = pb + kk * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aval * brow[j];
+        }
+    }
+}
+
+void
+matmulTransA(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate)
+{
+    BETTY_ASSERT(a.rows() == b.rows(), "matmulTransA inner dim mismatch");
+    BETTY_ASSERT(out.rows() == a.cols() && out.cols() == b.cols(),
+                 "matmulTransA output shape mismatch");
+    if (!accumulate)
+        out.setZero();
+    if (a.numel() == 0 || b.numel() == 0)
+        return;
+
+    const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = out.data();
+    for (int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (int64_t i = 0; i < m; ++i) {
+            const float aval = arow[i];
+            if (aval == 0.0f)
+                continue;
+            float* crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aval * brow[j];
+        }
+    }
+}
+
+void
+matmulTransB(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate)
+{
+    BETTY_ASSERT(a.cols() == b.cols(), "matmulTransB inner dim mismatch");
+    BETTY_ASSERT(out.rows() == a.rows() && out.cols() == b.rows(),
+                 "matmulTransB output shape mismatch");
+    if (!accumulate)
+        out.setZero();
+    if (a.numel() == 0 || b.numel() == 0)
+        return;
+
+    const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = out.data();
+    for (int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0.0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                acc += double(arow[kk]) * double(brow[kk]);
+            crow[j] += static_cast<float>(acc);
+        }
+    }
+}
+
+} // namespace betty

@@ -1,0 +1,164 @@
+#include "train/multi_device.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/autograd.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace betty {
+
+std::vector<int32_t>
+scheduleLpt(const std::vector<int64_t>& costs, int32_t num_devices)
+{
+    BETTY_ASSERT(num_devices >= 1, "need at least one device");
+    std::vector<int32_t> assignment(costs.size(), 0);
+    if (num_devices == 1)
+        return assignment;
+
+    // Longest processing time first onto the least-loaded device.
+    std::vector<size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return costs[a] > costs[b];
+    });
+    std::vector<int64_t> load(size_t(num_devices), 0);
+    for (size_t idx : order) {
+        const int32_t device = int32_t(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        assignment[idx] = device;
+        load[size_t(device)] += costs[idx];
+    }
+    return assignment;
+}
+
+MultiDeviceTrainer::MultiDeviceTrainer(const Dataset& dataset,
+                                       GnnModel& model,
+                                       Optimizer& optimizer,
+                                       MultiDeviceConfig config)
+    : dataset_(dataset), model_(model), optimizer_(optimizer),
+      config_(std::move(config))
+{
+    BETTY_ASSERT(config_.numDevices >= 1, "need at least one device");
+}
+
+MultiDeviceStats
+MultiDeviceTrainer::trainMicroBatches(
+    const std::vector<MultiLayerBatch>& micro_batches)
+{
+    MultiDeviceStats stats;
+    const int32_t devices = config_.numDevices;
+    stats.batchesPerDevice.assign(size_t(devices), 0);
+    stats.deviceSeconds.assign(size_t(devices), 0.0);
+
+    int64_t total_outputs = 0;
+    for (const auto& batch : micro_batches)
+        total_outputs += int64_t(batch.outputNodes().size());
+    BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
+
+    // Schedule by input-node volume: the dominant per-batch cost for
+    // both memory and time.
+    std::vector<int64_t> costs;
+    costs.reserve(micro_batches.size());
+    for (const auto& batch : micro_batches)
+        costs.push_back(int64_t(batch.inputNodes().size()) *
+                            dataset_.featureDim() +
+                        batch.totalEdges());
+    const auto assignment = scheduleLpt(costs, devices);
+
+    // Parameter gradients outlive the per-device memory models below;
+    // allocate them under the CALLER's observer (where the parameters
+    // themselves live) so no storage ever reports to a dead model.
+    for (const auto& p : model_.parameters())
+        p->ensureGrad();
+    optimizer_.zeroGrad();
+    int64_t correct = 0;
+
+    // Devices would run concurrently; we execute serially per device
+    // and take the max busy time, which is exact for the simulated
+    // clock (no shared resources between simulated devices).
+    for (int32_t device_id = 0; device_id < devices; ++device_id) {
+        DeviceMemoryModel device(config_.deviceCapacityBytes);
+        TransferModel link(config_.hostLinkBandwidth);
+        double busy = 0.0;
+
+        for (size_t i = 0; i < micro_batches.size(); ++i) {
+            if (assignment[i] != device_id)
+                continue;
+            const auto& batch = micro_batches[i];
+            const int64_t outputs =
+                int64_t(batch.outputNodes().size());
+            if (outputs == 0)
+                continue;
+            ++stats.batchesPerDevice[size_t(device_id)];
+
+            DeviceMemoryModel::Scope scope(device);
+            const int64_t structure_bytes =
+                batch.totalEdges() * (2 * 8 + 4);
+            device.onAlloc(structure_bytes);
+            {
+                // Gather features (host -> this device's link).
+                const auto& inputs = batch.inputNodes();
+                const int64_t dim = dataset_.featureDim();
+                Tensor features(int64_t(inputs.size()), dim);
+                for (size_t r = 0; r < inputs.size(); ++r)
+                    std::copy_n(dataset_.features.data() +
+                                    inputs[r] * dim,
+                                dim,
+                                features.data() + int64_t(r) * dim);
+                link.transfer(features.bytes() + structure_bytes);
+
+                std::vector<int32_t> labels;
+                labels.reserve(size_t(outputs));
+                for (int64_t v : batch.outputNodes())
+                    labels.push_back(dataset_.labels[size_t(v)]);
+
+                Timer timer;
+                const auto logits = model_.forward(
+                    batch, ag::constant(std::move(features)));
+                correct += ag::countCorrect(logits->value, labels);
+                const auto loss = ag::softmaxCrossEntropy(
+                    logits, std::move(labels));
+                const float weight = float(double(outputs) /
+                                           double(total_outputs));
+                ag::backward(ag::scale(loss, weight));
+                busy += timer.seconds();
+                stats.loss +=
+                    double(loss->value.at(0, 0)) * double(weight);
+            }
+            device.onFree(structure_bytes);
+        }
+
+        busy += link.seconds();
+        stats.deviceSeconds[size_t(device_id)] = busy;
+        stats.maxDevicePeakBytes =
+            std::max(stats.maxDevicePeakBytes, device.peakBytes());
+        stats.oom = stats.oom || device.oomOccurred();
+    }
+
+    // Ring allreduce over the gradients, then one optimizer step.
+    if (devices > 1) {
+        int64_t grad_bytes = 0;
+        for (const auto& p : model_.parameters())
+            grad_bytes += p->value.bytes();
+        stats.allreduceSeconds =
+            config_.collectiveLatency +
+            2.0 * double(devices - 1) / double(devices) *
+                double(grad_bytes) / config_.interconnectBandwidth;
+    }
+    {
+        Timer timer;
+        optimizer_.step();
+        stats.allreduceSeconds += timer.seconds();
+    }
+
+    stats.epochSeconds =
+        *std::max_element(stats.deviceSeconds.begin(),
+                          stats.deviceSeconds.end()) +
+        stats.allreduceSeconds;
+    stats.accuracy = double(correct) / double(total_outputs);
+    return stats;
+}
+
+} // namespace betty

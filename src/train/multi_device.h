@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Multi-accelerator micro-batch training — the paper's stated future
+ * work ("we plan to extend Betty to multi-GPU training to speed up
+ * the training process", §7), built on the same simulated-device
+ * substrate as the single-device trainer.
+ *
+ * Model: D devices, each with its own DeviceMemoryModel and host link.
+ * The K micro-batches of a batch are scheduled across devices; every
+ * device computes gradients for its share against the same parameter
+ * snapshot; gradients are then combined with a ring-allreduce whose
+ * cost is charged analytically (2 (D-1)/D * bytes / bandwidth). The
+ * accumulated gradient is identical to single-device Betty (and to
+ * full-batch training), so convergence is untouched — only wall-clock
+ * and per-device peak memory change.
+ *
+ * Scheduling is longest-processing-time-first over the per-micro-batch
+ * cost estimates, which keeps both compute and memory balanced across
+ * devices even when the memory-aware planner produced uneven
+ * micro-batches.
+ */
+#ifndef BETTY_TRAIN_MULTI_DEVICE_H
+#define BETTY_TRAIN_MULTI_DEVICE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "memory/device_memory.h"
+#include "memory/estimator.h"
+#include "memory/transfer_model.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/** Configuration of the simulated multi-accelerator setup. */
+struct MultiDeviceConfig
+{
+    /** Number of accelerators. */
+    int32_t numDevices = 1;
+
+    /** Per-device memory capacity (0 = unlimited, track only). */
+    int64_t deviceCapacityBytes = 0;
+
+    /** Host->device link bandwidth per device, bytes/s. */
+    double hostLinkBandwidth = 12.0e9;
+
+    /** Device<->device interconnect bandwidth (allreduce), bytes/s. */
+    double interconnectBandwidth = 50.0e9;
+
+    /** Per-collective latency, seconds. */
+    double collectiveLatency = 20.0e-6;
+};
+
+/** Per-epoch measurements of a multi-device step. */
+struct MultiDeviceStats
+{
+    /** Output-weighted mean training loss (same as single device). */
+    double loss = 0.0;
+
+    /** Training accuracy over the epoch's output nodes. */
+    double accuracy = 0.0;
+
+    /**
+     * Simulated parallel epoch time: max over devices of (compute +
+     * feature transfer) plus the allreduce. Per-device compute is the
+     * measured single-thread wall time of that device's micro-batches
+     * (devices would run concurrently on real hardware).
+     */
+    double epochSeconds = 0.0;
+
+    /** The allreduce portion of epochSeconds. */
+    double allreduceSeconds = 0.0;
+
+    /** Largest per-device peak memory, bytes. */
+    int64_t maxDevicePeakBytes = 0;
+
+    /** True if any device exceeded its capacity. */
+    bool oom = false;
+
+    /** Micro-batch count assigned to each device. */
+    std::vector<int32_t> batchesPerDevice;
+
+    /** Per-device busy time (compute + transfer), seconds. */
+    std::vector<double> deviceSeconds;
+};
+
+/**
+ * Assign micro-batches to devices, longest-processing-time-first by
+ * the given per-batch costs. Returns assignment[i] = device of batch i.
+ */
+std::vector<int32_t> scheduleLpt(const std::vector<int64_t>& costs,
+                                 int32_t num_devices);
+
+/** Drives one model replica set over multiple simulated devices. */
+class MultiDeviceTrainer
+{
+  public:
+    /**
+     * @param dataset Host-resident data (must outlive the trainer).
+     * @param model Shared model (data-parallel replicas hold identical
+     * weights; we keep one copy and serialize device execution, which
+     * is numerically identical).
+     * @param optimizer Stepped once per batch after the allreduce.
+     */
+    MultiDeviceTrainer(const Dataset& dataset, GnnModel& model,
+                       Optimizer& optimizer, MultiDeviceConfig config);
+
+    /**
+     * One gradient-accumulation step over @p micro_batches spread
+     * across the configured devices.
+     */
+    MultiDeviceStats trainMicroBatches(
+        const std::vector<MultiLayerBatch>& micro_batches);
+
+    const MultiDeviceConfig& config() const { return config_; }
+
+  private:
+    const Dataset& dataset_;
+    GnnModel& model_;
+    Optimizer& optimizer_;
+    MultiDeviceConfig config_;
+};
+
+} // namespace betty
+
+#endif // BETTY_TRAIN_MULTI_DEVICE_H

@@ -1,0 +1,206 @@
+#include "train/trainer.h"
+
+#include "tensor/autograd.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace betty {
+
+namespace {
+
+int64_t
+batchNodeCount(const MultiLayerBatch& batch)
+{
+    int64_t total = 0;
+    for (const auto& block : batch.blocks)
+        total += block.numSrc();
+    return total;
+}
+
+} // namespace
+
+Trainer::Trainer(const Dataset& dataset, GnnModel& model,
+                 Optimizer& optimizer, DeviceMemoryModel* device,
+                 TransferModel* transfer)
+    : dataset_(dataset), model_(model), optimizer_(optimizer),
+      device_(device), transfer_(transfer)
+{
+}
+
+int64_t
+Trainer::blockBytes(const MultiLayerBatch& batch)
+{
+    // Two 8-byte node ids plus a 4-byte weight per edge (paper item
+    // (4): "the size of a block is E x 3" elements).
+    return batch.totalEdges() * (2 * 8 + 4);
+}
+
+ag::NodePtr
+Trainer::loadFeatures(const MultiLayerBatch& batch)
+{
+    const auto& inputs = batch.inputNodes();
+    const int64_t dim = dataset_.featureDim();
+    Tensor features(int64_t(inputs.size()), dim);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const int64_t node = inputs[i];
+        BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
+                     "input node out of range");
+        std::copy_n(dataset_.features.data() + node * dim, dim,
+                    features.data() + int64_t(i) * dim);
+    }
+    if (transfer_)
+        transfer_->transfer(features.bytes() + blockBytes(batch));
+    return ag::constant(std::move(features));
+}
+
+std::vector<int32_t>
+Trainer::loadLabels(const MultiLayerBatch& batch) const
+{
+    const auto outputs = batch.outputNodes();
+    std::vector<int32_t> labels;
+    labels.reserve(outputs.size());
+    for (int64_t node : outputs)
+        labels.push_back(dataset_.labels[size_t(node)]);
+    return labels;
+}
+
+Trainer::ForwardResult
+Trainer::forwardBatch(const MultiLayerBatch& batch)
+{
+    ForwardResult result;
+    const auto features = loadFeatures(batch);
+    const auto logits = model_.forward(batch, features);
+    auto labels = loadLabels(batch);
+    result.correct = ag::countCorrect(logits->value, labels);
+    result.outputs = int64_t(labels.size());
+    result.loss = ag::softmaxCrossEntropy(logits, std::move(labels));
+    return result;
+}
+
+EpochStats
+Trainer::trainMicroBatches(
+    const std::vector<MultiLayerBatch>& micro_batches)
+{
+    EpochStats stats;
+    if (device_)
+        device_->resetPeak();
+
+    int64_t total_outputs = 0;
+    for (const auto& batch : micro_batches)
+        total_outputs += int64_t(batch.outputNodes().size());
+    BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
+
+    optimizer_.zeroGrad();
+    int64_t correct = 0;
+    for (const auto& batch : micro_batches) {
+        const int64_t outputs = int64_t(batch.outputNodes().size());
+        if (outputs == 0)
+            continue;
+        stats.inputNodesProcessed += int64_t(batch.inputNodes().size());
+        stats.totalNodesProcessed += batchNodeCount(batch);
+
+        const int64_t structure_bytes = blockBytes(batch);
+        if (device_)
+            device_->onAlloc(structure_bytes);
+        {
+            Timer timer;
+            ForwardResult fwd = forwardBatch(batch);
+            // Weight each micro-batch's mean loss by its output share:
+            // the accumulated gradient is then identical to the full
+            // batch's mean-loss gradient (paper §4.2.3).
+            const float weight =
+                float(double(fwd.outputs) / double(total_outputs));
+            ag::backward(ag::scale(fwd.loss, weight));
+            stats.computeSeconds += timer.seconds();
+            stats.loss += double(fwd.loss->value.at(0, 0)) *
+                          double(weight);
+            correct += fwd.correct;
+            // fwd's graph (all intermediate activations) is released
+            // here — only parameter gradients persist, matching the
+            // paper's "only the gradients are stored" (§4.2.3).
+        }
+        if (device_)
+            device_->onFree(structure_bytes);
+    }
+
+    {
+        Timer timer;
+        optimizer_.step();
+        stats.computeSeconds += timer.seconds();
+    }
+
+    stats.accuracy = double(correct) / double(total_outputs);
+    if (transfer_) {
+        stats.transferSeconds = transfer_->seconds();
+        transfer_->reset();
+    }
+    if (device_) {
+        stats.peakBytes = device_->peakBytes();
+        stats.oom = device_->oomOccurred();
+    }
+    return stats;
+}
+
+EpochStats
+Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
+{
+    EpochStats stats;
+    if (device_)
+        device_->resetPeak();
+
+    int64_t total_outputs = 0;
+    int64_t correct = 0;
+    double loss_sum = 0.0;
+    for (const auto& batch : batches) {
+        const int64_t outputs = int64_t(batch.outputNodes().size());
+        if (outputs == 0)
+            continue;
+        stats.inputNodesProcessed += int64_t(batch.inputNodes().size());
+        stats.totalNodesProcessed += batchNodeCount(batch);
+        total_outputs += outputs;
+
+        const int64_t structure_bytes = blockBytes(batch);
+        if (device_)
+            device_->onAlloc(structure_bytes);
+        {
+            Timer timer;
+            optimizer_.zeroGrad();
+            ForwardResult fwd = forwardBatch(batch);
+            ag::backward(fwd.loss);
+            optimizer_.step();
+            stats.computeSeconds += timer.seconds();
+            loss_sum += double(fwd.loss->value.at(0, 0)) *
+                        double(outputs);
+            correct += fwd.correct;
+        }
+        if (device_)
+            device_->onFree(structure_bytes);
+    }
+    BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
+
+    stats.loss = loss_sum / double(total_outputs);
+    stats.accuracy = double(correct) / double(total_outputs);
+    if (transfer_) {
+        stats.transferSeconds = transfer_->seconds();
+        transfer_->reset();
+    }
+    if (device_) {
+        stats.peakBytes = device_->peakBytes();
+        stats.oom = device_->oomOccurred();
+    }
+    return stats;
+}
+
+double
+Trainer::evaluate(const MultiLayerBatch& batch)
+{
+    const auto features = loadFeatures(batch);
+    const auto logits = model_.forward(batch, features);
+    const auto labels = loadLabels(batch);
+    if (labels.empty())
+        return 0.0;
+    return double(ag::countCorrect(logits->value, labels)) /
+           double(labels.size());
+}
+
+} // namespace betty

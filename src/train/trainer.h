@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Training loops: full-batch, mini-batch, and Betty's micro-batch
+ * (gradient accumulation) mode.
+ *
+ * Micro-batch semantics (paper §4.2, Figure 6): all K micro-batches
+ * are forwarded/backwarded against the SAME parameters; per-micro-
+ * batch losses are weighted by their share of output nodes so the
+ * accumulated gradient equals the full batch's mean-loss gradient;
+ * one optimizer step is applied at the end of the batch. Mini-batch
+ * mode, by contrast, steps the optimizer after every batch — that is
+ * the statistical difference Figures 4/13 and Table 6 measure.
+ *
+ * The trainer also performs the simulated heterogeneous-memory data
+ * movement: per (micro-)batch it gathers the needed feature rows from
+ * the host-resident dataset into a device tensor, charges the bytes to
+ * the TransferModel, and accounts the block structures against the
+ * DeviceMemoryModel for the duration of the step.
+ */
+#ifndef BETTY_TRAIN_TRAINER_H
+#define BETTY_TRAIN_TRAINER_H
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "memory/device_memory.h"
+#include "memory/transfer_model.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "sampling/block.h"
+
+namespace betty {
+
+/** Measurements of one training epoch (or one evaluation pass). */
+struct EpochStats
+{
+    /** Output-node-weighted mean training loss. */
+    double loss = 0.0;
+
+    /** Training accuracy over the epoch's output nodes. */
+    double accuracy = 0.0;
+
+    /** Wall-clock compute time (forward+backward+step), seconds. */
+    double computeSeconds = 0.0;
+
+    /** Simulated host->device transfer time, seconds. */
+    double transferSeconds = 0.0;
+
+    /** Device peak bytes observed during the epoch (0 if untracked). */
+    int64_t peakBytes = 0;
+
+    /** True if the device capacity was exceeded at any point. */
+    bool oom = false;
+
+    /** Total first-layer input nodes processed (Table 6 metric). */
+    int64_t inputNodesProcessed = 0;
+
+    /** Total nodes across all blocks of all batches (Fig 15 metric). */
+    int64_t totalNodesProcessed = 0;
+};
+
+/** Drives one model over batches built from one dataset. */
+class Trainer
+{
+  public:
+    /**
+     * @param dataset Host-resident data (must outlive the trainer).
+     * @param model The GNN; its parameters should have been allocated
+     * inside the device scope if device accounting is wanted.
+     * @param optimizer Optimizer over the model's parameters.
+     * @param device Optional device memory model (peak/OOM tracking).
+     * @param transfer Optional transfer cost model.
+     */
+    Trainer(const Dataset& dataset, GnnModel& model,
+            Optimizer& optimizer, DeviceMemoryModel* device = nullptr,
+            TransferModel* transfer = nullptr);
+
+    /**
+     * One gradient-accumulation step over @p micro_batches (Betty
+     * micro-batch training; pass a single batch for full-batch
+     * training). Empty micro-batches are skipped.
+     */
+    EpochStats trainMicroBatches(
+        const std::vector<MultiLayerBatch>& micro_batches);
+
+    /** One epoch of classic mini-batch SGD: optimizer step per batch. */
+    EpochStats trainMiniBatches(
+        const std::vector<MultiLayerBatch>& batches);
+
+    /** Forward-only accuracy of the model on @p batch's outputs. */
+    double evaluate(const MultiLayerBatch& batch);
+
+  private:
+    /** Gather features of the batch's input nodes into device memory,
+     * charging the transfer model. */
+    ag::NodePtr loadFeatures(const MultiLayerBatch& batch);
+
+    /** Labels of the batch's output nodes. */
+    std::vector<int32_t> loadLabels(const MultiLayerBatch& batch) const;
+
+    /** Bytes of the batch's block structures (charged to the device
+     * for the duration of a step). */
+    static int64_t blockBytes(const MultiLayerBatch& batch);
+
+    /** Run forward+loss on one batch; returns {loss node, correct}. */
+    struct ForwardResult
+    {
+        ag::NodePtr loss;
+        int64_t correct = 0;
+        int64_t outputs = 0;
+    };
+    ForwardResult forwardBatch(const MultiLayerBatch& batch);
+
+    const Dataset& dataset_;
+    GnnModel& model_;
+    Optimizer& optimizer_;
+    DeviceMemoryModel* device_;
+    TransferModel* transfer_;
+};
+
+} // namespace betty
+
+#endif // BETTY_TRAIN_TRAINER_H

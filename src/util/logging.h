@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, following the gem5
+ * fatal()/panic()/warn()/inform() conventions.
+ *
+ * fatal(): the run cannot continue because of a user-visible condition
+ * (bad configuration, impossible request). Exits with code 1.
+ * panic(): an internal invariant was violated — a bug in this library.
+ * Aborts so a debugger/core dump can capture the state.
+ */
+#ifndef BETTY_UTIL_LOGGING_H
+#define BETTY_UTIL_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace betty {
+
+namespace detail {
+
+/** Stream-concatenate any printable arguments into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a user-caused unrecoverable error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Report an internal invariant violation (library bug) and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/** Report a condition that might indicate a problem but is survivable. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Active in all build types (unlike assert).
+ */
+#define BETTY_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::betty::panic("assertion '", #cond, "' failed at ", __FILE__, \
+                           ":", __LINE__, " ", ##__VA_ARGS__);             \
+        }                                                                  \
+    } while (0)
+
+} // namespace betty
+
+#endif // BETTY_UTIL_LOGGING_H

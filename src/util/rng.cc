@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+/** SplitMix64 step, used only to expand the user seed. */
+uint64_t
+splitMix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitMix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    BETTY_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Lemire's multiply-shift rejection method: unbiased and division-free
+    // on the fast path.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+        const uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    BETTY_ASSERT(lo <= hi, "uniformInt range is empty");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(uniformInt(span));
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+double
+Rng::gaussian()
+{
+    // Box-Muller without caching the spare keeps the generator stateless
+    // beyond the xoshiro words, which keeps replay simple.
+    double u1 = uniformReal();
+    while (u1 <= 0.0)
+        u1 = uniformReal();
+    const double u2 = uniformReal();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::vector<int64_t>
+Rng::permutation(int64_t n)
+{
+    std::vector<int64_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    shuffle(perm);
+    return perm;
+}
+
+std::vector<int64_t>
+Rng::sampleWithoutReplacement(int64_t n, int64_t k)
+{
+    BETTY_ASSERT(k <= n, "cannot sample ", k, " distinct values from ", n);
+    if (k == n)
+        return permutation(n);
+
+    // Floyd's algorithm: each iteration inserts exactly one new element.
+    std::unordered_set<int64_t> chosen;
+    std::vector<int64_t> result;
+    result.reserve(static_cast<size_t>(k));
+    for (int64_t j = n - k; j < n; ++j) {
+        const int64_t t = uniformInt(0, j);
+        if (chosen.insert(t).second) {
+            result.push_back(t);
+        } else {
+            chosen.insert(j);
+            result.push_back(j);
+        }
+    }
+    return result;
+}
+
+} // namespace betty

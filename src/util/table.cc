@@ -1,0 +1,119 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace betty {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    BETTY_ASSERT(header_.empty() || row.size() == header_.size(),
+                 "row width ", row.size(), " != header width ",
+                 header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(widths[i]),
+                        row[i].c_str());
+        std::printf("\n");
+    };
+    emit(header_);
+    size_t total = header_.size() * 2;
+    for (size_t w : widths)
+        total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_)
+        emit(row);
+    std::fflush(stdout);
+
+    if (const char* dir = std::getenv("BETTY_CSV_DIR")) {
+        std::string slug;
+        for (char c : title_)
+            slug.push_back(
+                std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+        if (!writeCsv(std::string(dir) + "/" + slug + ".csv"))
+            std::fprintf(stderr,
+                         "warn: could not write CSV for '%s'\n",
+                         title_.c_str());
+    }
+}
+
+bool
+TablePrinter::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << row[i];
+        }
+        out << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    return static_cast<bool>(out);
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string
+TablePrinter::count(long long value)
+{
+    std::string digits = std::to_string(value < 0 ? -value : value);
+    std::string grouped;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            grouped.push_back(',');
+            since_sep = 0;
+        }
+        grouped.push_back(*it);
+        ++since_sep;
+    }
+    if (value < 0)
+        grouped.push_back('-');
+    return std::string(grouped.rbegin(), grouped.rend());
+}
+
+} // namespace betty

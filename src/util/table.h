@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console table and CSV emission for the benchmark harness.
+ *
+ * Every bench binary reproduces a paper table or figure; TablePrinter
+ * renders the rows in an aligned ASCII table (the "same rows/series the
+ * paper reports") and can additionally persist them as CSV for plotting.
+ */
+#ifndef BETTY_UTIL_TABLE_H
+#define BETTY_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace betty {
+
+/** Accumulates rows of strings and renders them aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /**
+     * Render to stdout. If the environment variable BETTY_CSV_DIR is
+     * set, additionally persist the table as
+     * $BETTY_CSV_DIR/<slug-of-title>.csv for plotting.
+     */
+    void print() const;
+
+    /** Render as comma-separated values into a file; returns success. */
+    bool writeCsv(const std::string& path) const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer with thousands separators for readability. */
+    static std::string count(long long value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace betty
+
+#endif // BETTY_UTIL_TABLE_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing helper used by the training loops and benches.
+ */
+#ifndef BETTY_UTIL_TIMER_H
+#define BETTY_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace betty {
+
+/** Monotonic stopwatch; starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace betty
+
+#endif // BETTY_UTIL_TIMER_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the bipartite Block and MultiLayerBatch structures.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sampling/block.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+TEST(Block, DstNodesAreSrcPrefix)
+{
+    const Block b({10, 20}, {{30, 40}, {40, 50}});
+    ASSERT_EQ(b.numDst(), 2);
+    ASSERT_EQ(b.numSrc(), 5); // 10, 20, 30, 40, 50
+    EXPECT_EQ(b.srcNodes()[0], 10);
+    EXPECT_EQ(b.srcNodes()[1], 20);
+    EXPECT_EQ(b.dstNodes()[0], 10);
+    EXPECT_EQ(b.dstNodes()[1], 20);
+}
+
+TEST(Block, SharedSourcesDeduplicated)
+{
+    const Block b({1, 2}, {{5, 6}, {6, 5}});
+    // Sources 5 and 6 shared by both dsts: counted once in srcNodes.
+    EXPECT_EQ(b.numSrc(), 4);
+    EXPECT_EQ(b.numEdges(), 4);
+}
+
+TEST(Block, DstAppearingAsSourceReusesPrefixSlot)
+{
+    const Block b({1, 2}, {{2}, {1}});
+    // 1 and 2 are already local 0/1; no new source slots.
+    EXPECT_EQ(b.numSrc(), 2);
+    EXPECT_EQ(b.inEdges(0)[0], 1); // dst 1 aggregates node 2 (local 1)
+    EXPECT_EQ(b.inEdges(1)[0], 0);
+}
+
+TEST(Block, InEdgesLocalIndicesValid)
+{
+    const auto batch = testutil::tinyBatch();
+    for (const auto& block : batch.blocks) {
+        for (int64_t d = 0; d < block.numDst(); ++d) {
+            for (int64_t s : block.inEdges(d)) {
+                EXPECT_GE(s, 0);
+                EXPECT_LT(s, block.numSrc());
+            }
+        }
+    }
+}
+
+TEST(Block, InDegreeMatchesSourceLists)
+{
+    const Block b({0, 1, 2}, {{5, 6, 7}, {}, {5}});
+    EXPECT_EQ(b.inDegree(0), 3);
+    EXPECT_EQ(b.inDegree(1), 0);
+    EXPECT_EQ(b.inDegree(2), 1);
+    EXPECT_EQ(b.numEdges(), 4);
+}
+
+TEST(Block, EdgeOffsetsAreCsr)
+{
+    const Block b({0, 1}, {{5, 6}, {7}});
+    const auto& offsets = b.edgeOffsets();
+    ASSERT_EQ(offsets.size(), 3u);
+    EXPECT_EQ(offsets[0], 0);
+    EXPECT_EQ(offsets[1], 2);
+    EXPECT_EQ(offsets[2], 3);
+    EXPECT_EQ(int64_t(b.edgeSources().size()), 3);
+}
+
+TEST(Block, DegreeBucketsExactAndTail)
+{
+    // Degrees: 1, 1, 2, 5 with max_bucket 3 -> tail holds the 5.
+    const Block b({0, 1, 2, 3},
+                  {{10}, {11}, {10, 11}, {10, 11, 12, 13, 14}});
+    const auto buckets = b.degreeBuckets(3);
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_TRUE(buckets[0].empty());
+    EXPECT_EQ(buckets[1].size(), 2u);
+    EXPECT_EQ(buckets[2].size(), 1u);
+    EXPECT_EQ(buckets[3].size(), 1u); // tail
+    EXPECT_EQ(buckets[3][0], 3);
+}
+
+TEST(MultiLayerBatch, InputAndOutputViews)
+{
+    const auto batch = testutil::tinyBatch();
+    EXPECT_EQ(batch.numLayers(), 2);
+    const auto outputs = batch.outputNodes();
+    ASSERT_EQ(outputs.size(), 2u);
+    EXPECT_EQ(outputs[0], 0);
+    EXPECT_EQ(outputs[1], 1);
+    // Input nodes are the innermost block's sources.
+    EXPECT_EQ(batch.inputNodes().size(),
+              size_t(batch.blocks.front().numSrc()));
+}
+
+TEST(MultiLayerBatch, LayerChaining)
+{
+    const auto batch = testutil::tinyBatch();
+    // Inner block's destinations are exactly the outer block's sources.
+    const auto inner_dsts = batch.blocks[0].dstNodes();
+    const auto& outer_srcs = batch.blocks[1].srcNodes();
+    ASSERT_EQ(inner_dsts.size(), outer_srcs.size());
+    for (size_t i = 0; i < outer_srcs.size(); ++i)
+        EXPECT_EQ(inner_dsts[i], outer_srcs[i]);
+}
+
+TEST(MultiLayerBatch, TotalEdges)
+{
+    const auto batch = testutil::tinyBatch();
+    EXPECT_EQ(batch.totalEdges(),
+              batch.blocks[0].numEdges() + batch.blocks[1].numEdges());
+}
+
+TEST(BlockDeathTest, DuplicateDestinationPanics)
+{
+    EXPECT_DEATH(Block({1, 1}, {{2}, {3}}), "duplicate destination");
+}
+
+TEST(BlockDeathTest, MismatchedListsPanics)
+{
+    EXPECT_DEATH(Block({1, 2}, {{3}}), "one source list");
+}
+
+} // namespace
+} // namespace betty

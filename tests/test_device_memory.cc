@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the simulated device memory model and its RAII scope.
+ */
+#include <gtest/gtest.h>
+
+#include "memory/device_memory.h"
+
+namespace betty {
+namespace {
+
+TEST(DeviceMemory, LiveAndPeakTracking)
+{
+    DeviceMemoryModel device;
+    device.onAlloc(100);
+    device.onAlloc(50);
+    EXPECT_EQ(device.liveBytes(), 150);
+    EXPECT_EQ(device.peakBytes(), 150);
+    device.onFree(100);
+    EXPECT_EQ(device.liveBytes(), 50);
+    EXPECT_EQ(device.peakBytes(), 150) << "peak is sticky";
+    device.onAlloc(60);
+    EXPECT_EQ(device.peakBytes(), 150);
+    device.onAlloc(100);
+    EXPECT_EQ(device.peakBytes(), 210);
+}
+
+TEST(DeviceMemory, ResetPeakKeepsLive)
+{
+    DeviceMemoryModel device;
+    device.onAlloc(100);
+    device.onFree(60);
+    device.resetPeak();
+    EXPECT_EQ(device.peakBytes(), 40);
+    EXPECT_EQ(device.liveBytes(), 40);
+}
+
+TEST(DeviceMemory, ResetPeakReOomsIfStillOverCapacity)
+{
+    DeviceMemoryModel device(50);
+    device.onAlloc(80);
+    device.resetPeak();
+    EXPECT_TRUE(device.oomOccurred())
+        << "still over capacity after reset";
+    EXPECT_EQ(device.worstOvershoot(), 30);
+}
+
+TEST(DeviceMemory, CapacityAccessor)
+{
+    DeviceMemoryModel device(12345);
+    EXPECT_EQ(device.capacity(), 12345);
+}
+
+TEST(DeviceMemory, GibConversion)
+{
+    EXPECT_EQ(gib(1.0), int64_t(1) << 30);
+    EXPECT_EQ(gib(24.0), int64_t(24) << 30);
+    EXPECT_EQ(gib(0.5), int64_t(1) << 29);
+}
+
+TEST(DeviceMemory, ScopeInstallsAndRestores)
+{
+    DeviceMemoryModel device;
+    EXPECT_EQ(allocationObserver(), nullptr);
+    {
+        DeviceMemoryModel::Scope scope(device);
+        EXPECT_EQ(allocationObserver(), &device);
+        {
+            Tensor t(5, 5);
+            EXPECT_EQ(device.liveBytes(), 100);
+        }
+        EXPECT_EQ(device.liveBytes(), 0);
+    }
+    EXPECT_EQ(allocationObserver(), nullptr);
+}
+
+TEST(DeviceMemory, NestedScopes)
+{
+    DeviceMemoryModel outer, inner;
+    DeviceMemoryModel::Scope outer_scope(outer);
+    Tensor a(1, 1);
+    {
+        DeviceMemoryModel::Scope inner_scope(inner);
+        Tensor b(1, 1);
+        EXPECT_EQ(inner.liveBytes(), 4);
+    }
+    EXPECT_EQ(allocationObserver(), &outer);
+    EXPECT_EQ(outer.liveBytes(), 4);
+    EXPECT_EQ(inner.liveBytes(), 0);
+}
+
+} // namespace
+} // namespace betty

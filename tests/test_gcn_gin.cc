@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the GCN and GIN layers/models: forward math, gradient
+ * checks, training, estimator accuracy and micro-batch equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "nn/gcn_conv.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "sampling/neighbor_sampler.h"
+#include "test_helpers.h"
+#include "train/trainer.h"
+
+namespace betty {
+namespace {
+
+TEST(GcnConvTest, ForwardMatchesManual)
+{
+    Rng rng(1);
+    GcnConv conv(1, 1, rng);
+    auto params = conv.parameters();
+    params[0]->value = Tensor::fromValues(1, 1, {1}); // identity W
+    params[1]->value = Tensor::zeros(1, 1);
+
+    // dst 0 (feature 10) aggregates {20, 30}:
+    // (20 + 30 + 10) / (2 + 1) = 20.
+    const Block block({0}, {{1, 2}});
+    const auto h =
+        ag::constant(Tensor::fromValues(3, 1, {10, 20, 30}));
+    const auto y = conv.forward(block, h);
+    EXPECT_FLOAT_EQ(y->value.at(0, 0), 20.0f);
+}
+
+TEST(GcnConvTest, ZeroDegreeFallsBackToSelf)
+{
+    Rng rng(2);
+    GcnConv conv(1, 1, rng);
+    auto params = conv.parameters();
+    params[0]->value = Tensor::fromValues(1, 1, {1});
+    params[1]->value = Tensor::zeros(1, 1);
+    const Block block({0}, {{}});
+    const auto h = ag::constant(Tensor::fromValues(1, 1, {8}));
+    // (0 + 8) / (0 + 1) = 8.
+    EXPECT_FLOAT_EQ(conv.forward(block, h)->value.at(0, 0), 8.0f);
+}
+
+TEST(GcnConvTest, GradientCheck)
+{
+    Rng rng(3);
+    GcnConv conv(2, 2, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 5e-2f);
+}
+
+TEST(GinConvTest, ForwardUsesEpsilon)
+{
+    Rng rng(4);
+    GinConv conv(1, 1, rng);
+    EXPECT_FLOAT_EQ(conv.epsilon(), 0.0f);
+    // With eps = 0: combined = self + sum(neigh).
+    auto params = conv.parameters();
+    // params: eps, fc1 (W, b), fc2 (W, b) -> make MLP the identity.
+    params[1]->value = Tensor::fromValues(1, 1, {1}); // fc1 W
+    params[2]->value = Tensor::zeros(1, 1);           // fc1 b
+    params[3]->value = Tensor::fromValues(1, 1, {1}); // fc2 W
+    params[4]->value = Tensor::zeros(1, 1);           // fc2 b
+    const Block block({0}, {{1, 2}});
+    const auto h = ag::constant(
+        Tensor::fromValues(3, 1, {10, 20, 30}));
+    // relu(10 + 50) = 60.
+    EXPECT_FLOAT_EQ(conv.forward(block, h)->value.at(0, 0), 60.0f);
+
+    // eps = 1 doubles the self term: relu(20 + 50) = 70.
+    params[0]->value = Tensor::fromValues(1, 1, {1});
+    EXPECT_FLOAT_EQ(conv.forward(block, h)->value.at(0, 0), 70.0f);
+}
+
+TEST(GinConvTest, GradientCheckIncludingEpsilon)
+{
+    Rng rng(5);
+    GinConv conv(2, 2, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 8e-2f);
+}
+
+struct Env
+{
+    Env()
+        : dataset(loadCatalogDataset("cora_like", 0.15, 71)),
+          sampler(dataset.graph, {-1, -1}, 72)
+    {
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 120);
+        full = sampler.sample(seeds);
+        config.inputDim = dataset.featureDim();
+        config.hiddenDim = 16;
+        config.numClasses = dataset.numClasses;
+        config.numLayers = 2;
+    }
+
+    Dataset dataset;
+    NeighborSampler sampler;
+    MultiLayerBatch full;
+    StackConfig config;
+};
+
+template <typename Model>
+void
+expectTrains(Env& env)
+{
+    Model model(env.config);
+    Adam adam(model.parameters(), 0.01f);
+    Trainer trainer(env.dataset, model, adam);
+    const double first = trainer.trainMicroBatches({env.full}).loss;
+    double last = first;
+    for (int epoch = 0; epoch < 12; ++epoch)
+        last = trainer.trainMicroBatches({env.full}).loss;
+    EXPECT_LT(last, 0.7 * first);
+}
+
+TEST(GcnModel, TrainsOnCora)
+{
+    Env env;
+    expectTrains<Gcn>(env);
+}
+
+TEST(GinModel, TrainsOnCora)
+{
+    Env env;
+    expectTrains<Gin>(env);
+}
+
+template <typename Model>
+void
+expectEstimatorAccurate(Env& env, double band)
+{
+    DeviceMemoryModel device;
+    DeviceMemoryModel::Scope scope(device);
+    Model model(env.config);
+    Adam adam(model.parameters(), 0.01f);
+    Trainer trainer(env.dataset, model, adam, &device);
+    const auto est = estimateBatchMemory(env.full, model.memorySpec());
+    const auto stats = trainer.trainMicroBatches({env.full});
+    const double err =
+        std::abs(double(est.peak) - double(stats.peakBytes)) /
+        double(stats.peakBytes);
+    EXPECT_LT(err, band) << "est " << est.peak << " measured "
+                         << stats.peakBytes;
+}
+
+TEST(GcnModel, EstimatorWithinPaperBand)
+{
+    Env env;
+    expectEstimatorAccurate<Gcn>(env, 0.08);
+}
+
+TEST(GinModel, EstimatorWithinPaperBand)
+{
+    Env env;
+    expectEstimatorAccurate<Gin>(env, 0.08);
+}
+
+template <typename Model>
+void
+expectMicroEqualsFull(Env& env)
+{
+    // Same init, full-batch vs 4 Betty micro-batches: losses match.
+    Model full_model(env.config);
+    Model micro_model(env.config);
+    Adam full_adam(full_model.parameters(), 0.01f);
+    Adam micro_adam(micro_model.parameters(), 0.01f);
+    Trainer full_trainer(env.dataset, full_model, full_adam);
+    Trainer micro_trainer(env.dataset, micro_model, micro_adam);
+    BettyPartitioner part;
+    const auto micros =
+        extractMicroBatches(env.full, part.partition(env.full, 4));
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        const double a =
+            full_trainer.trainMicroBatches({env.full}).loss;
+        const double b = micro_trainer.trainMicroBatches(micros).loss;
+        ASSERT_NEAR(a, b, 5e-3 * std::max(1.0, a)) << epoch;
+    }
+}
+
+TEST(GcnModel, MicroBatchEquivalence)
+{
+    Env env;
+    expectMicroEqualsFull<Gcn>(env);
+}
+
+TEST(GinModel, MicroBatchEquivalence)
+{
+    Env env;
+    expectMicroEqualsFull<Gin>(env);
+}
+
+TEST(StackModels, SpecsIdentifyKind)
+{
+    Env env;
+    EXPECT_EQ(Gcn(env.config).memorySpec().aggregator,
+              AggregatorKind::Gcn);
+    EXPECT_EQ(Gin(env.config).memorySpec().aggregator,
+              AggregatorKind::Gin);
+    EXPECT_EQ(aggregatorName(AggregatorKind::Gcn), "gcn");
+    EXPECT_EQ(aggregatorName(AggregatorKind::Gin), "gin");
+}
+
+} // namespace
+} // namespace betty

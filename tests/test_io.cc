@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for dataset/batch serialization (the gen_data.sh-style cache
+ * of sampled full batches, artifact appendix A.4).
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+#include "data/io.h"
+#include "sampling/neighbor_sampler.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+std::string
+tmpPath(const std::string& name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything)
+{
+    const auto original = loadCatalogDataset("cora_like", 0.1, 7);
+    const std::string path = tmpPath("ds_roundtrip.bin");
+    ASSERT_TRUE(saveDataset(original, path));
+
+    Dataset loaded;
+    ASSERT_TRUE(loadDataset(loaded, path));
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.numNodes(), original.numNodes());
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    EXPECT_EQ(loaded.numClasses, original.numClasses);
+    EXPECT_EQ(loaded.labels, original.labels);
+    EXPECT_EQ(loaded.trainNodes, original.trainNodes);
+    EXPECT_EQ(loaded.valNodes, original.valNodes);
+    EXPECT_EQ(loaded.testNodes, original.testNodes);
+    ASSERT_TRUE(loaded.features.sameShape(original.features));
+    for (int64_t i = 0; i < original.features.numel(); ++i)
+        ASSERT_EQ(loaded.features.data()[i],
+                  original.features.data()[i]);
+    // Adjacency preserved.
+    for (int64_t v = 0; v < original.numNodes(); ++v) {
+        const auto a = original.graph.inNeighbors(v);
+        const auto b = loaded.graph.inNeighbors(v);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(DatasetIo, MissingFileReturnsFalse)
+{
+    Dataset ds;
+    EXPECT_FALSE(loadDataset(ds, "/nonexistent/path/x.bin"));
+    EXPECT_FALSE(saveDataset(ds, "/nonexistent/dir/x.bin"));
+}
+
+TEST(DatasetIoDeathTest, WrongMagicIsFatal)
+{
+    const std::string path = tmpPath("not_a_dataset.bin");
+    {
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[32] = "this is not a dataset at all!";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    Dataset ds;
+    EXPECT_EXIT(loadDataset(ds, path),
+                ::testing::ExitedWithCode(1), "not a Betty dataset");
+    std::remove(path.c_str());
+}
+
+TEST(BatchIo, RoundTripPreservesBlocks)
+{
+    const auto ds = loadCatalogDataset("arxiv_like", 0.05, 9);
+    NeighborSampler sampler(ds.graph, {4, 6}, 10);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 60);
+    const auto original = sampler.sample(seeds);
+
+    const std::string path = tmpPath("batch_roundtrip.bin");
+    ASSERT_TRUE(saveBatch(original, path));
+    MultiLayerBatch loaded;
+    ASSERT_TRUE(loadBatch(loaded, path));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.numLayers(), original.numLayers());
+    for (int64_t layer = 0; layer < original.numLayers(); ++layer) {
+        const Block& a = original.blocks[size_t(layer)];
+        const Block& b = loaded.blocks[size_t(layer)];
+        ASSERT_EQ(a.numDst(), b.numDst());
+        ASSERT_EQ(a.numSrc(), b.numSrc());
+        ASSERT_EQ(a.numEdges(), b.numEdges());
+        // Identical local numbering (constructor is deterministic
+        // given edge order), hence identical everything.
+        EXPECT_EQ(a.srcNodes(), b.srcNodes());
+        EXPECT_EQ(a.edgeOffsets(), b.edgeOffsets());
+        EXPECT_EQ(a.edgeSources(), b.edgeSources());
+    }
+}
+
+TEST(BatchIo, RoundTripOfTinyHandBuiltBatch)
+{
+    const auto original = testutil::tinyBatch();
+    const std::string path = tmpPath("tiny_batch.bin");
+    ASSERT_TRUE(saveBatch(original, path));
+    MultiLayerBatch loaded;
+    ASSERT_TRUE(loadBatch(loaded, path));
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.totalEdges(), original.totalEdges());
+    EXPECT_EQ(loaded.inputNodes(), original.inputNodes());
+}
+
+TEST(BatchIoDeathTest, DatasetFileRejected)
+{
+    // Writing a dataset and reading it as a batch must fail loudly.
+    const auto ds = loadCatalogDataset("cora_like", 0.05, 11);
+    const std::string path = tmpPath("mixed_up.bin");
+    ASSERT_TRUE(saveDataset(ds, path));
+    MultiLayerBatch batch;
+    EXPECT_EXIT(loadBatch(batch, path),
+                ::testing::ExitedWithCode(1), "not a Betty batch");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for micro-batch extraction — the bipartite-closure property
+ * that underpins gradient equivalence.
+ */
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/micro_batch.h"
+#include "data/catalog.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+TEST(MicroBatch, TinyBatchSplit)
+{
+    const auto full = testutil::tinyBatch();
+    const auto micros = extractMicroBatches(full, {{0}, {1}});
+    ASSERT_EQ(micros.size(), 2u);
+    EXPECT_EQ(micros[0].outputNodes().size(), 1u);
+    EXPECT_EQ(micros[0].outputNodes()[0], 0);
+    EXPECT_EQ(micros[1].outputNodes()[0], 1);
+    // dst 0's sampled neighbors in the outer layer were {2, 3}.
+    EXPECT_EQ(micros[0].blocks[1].inDegree(0), 2);
+}
+
+TEST(MicroBatch, PreservesSampledEdgesPerDestination)
+{
+    const auto ds = loadCatalogDataset("cora_like", 0.2, 2);
+    NeighborSampler sampler(ds.graph, {3, 5}, 4);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 60);
+    const auto full = sampler.sample(seeds);
+
+    RandomPartitioner part(5);
+    const auto groups = part.partition(full, 4);
+    const auto micros = extractMicroBatches(full, groups);
+
+    // For every output node, the outer-layer in-neighbor multiset in
+    // its micro-batch must equal the full batch's.
+    std::map<int64_t, std::multiset<int64_t>> full_nbrs;
+    const Block& fblock = full.blocks.back();
+    for (int64_t d = 0; d < fblock.numDst(); ++d) {
+        auto& set = full_nbrs[fblock.dstNodes()[size_t(d)]];
+        for (int64_t s : fblock.inEdges(d))
+            set.insert(fblock.srcNodes()[size_t(s)]);
+    }
+    for (const auto& micro : micros) {
+        const Block& mblock = micro.blocks.back();
+        for (int64_t d = 0; d < mblock.numDst(); ++d) {
+            std::multiset<int64_t> got;
+            for (int64_t s : mblock.inEdges(d))
+                got.insert(mblock.srcNodes()[size_t(s)]);
+            EXPECT_EQ(got,
+                      full_nbrs.at(mblock.dstNodes()[size_t(d)]));
+        }
+    }
+}
+
+TEST(MicroBatch, OutputsDisjointAndCovering)
+{
+    const auto ds = loadCatalogDataset("arxiv_like", 0.03, 3);
+    NeighborSampler sampler(ds.graph, {4, 4}, 5);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 100);
+    const auto full = sampler.sample(seeds);
+    RangePartitioner part;
+    const auto micros =
+        extractMicroBatches(full, part.partition(full, 5));
+
+    std::set<int64_t> seen;
+    for (const auto& micro : micros)
+        for (int64_t v : micro.outputNodes())
+            EXPECT_TRUE(seen.insert(v).second);
+    EXPECT_EQ(seen.size(), full.outputNodes().size());
+}
+
+TEST(MicroBatch, LayerChainingInvariantHolds)
+{
+    const auto full = testutil::tinyBatch();
+    const auto micros = extractMicroBatches(full, {{0}, {1}});
+    for (const auto& micro : micros) {
+        const auto inner_dsts = micro.blocks[0].dstNodes();
+        const auto& outer_srcs = micro.blocks[1].srcNodes();
+        ASSERT_EQ(inner_dsts.size(), outer_srcs.size());
+        for (size_t i = 0; i < outer_srcs.size(); ++i)
+            EXPECT_EQ(inner_dsts[i], outer_srcs[i]);
+    }
+}
+
+TEST(MicroBatch, SharedNeighborsDuplicatedAcrossMicroBatches)
+{
+    // Outputs 0 and 1 share source 5: splitting them must duplicate 5.
+    Block outer({0, 1}, {{5, 6}, {5, 7}});
+    // outer sources: 0, 1, 5, 6, 7 -> five inner destinations.
+    Block inner(outer.srcNodes(), {{8}, {8}, {9}, {9}, {8}});
+    MultiLayerBatch full;
+    full.blocks = {inner, outer};
+
+    const auto micros = extractMicroBatches(full, {{0}, {1}});
+    const auto& in0 = micros[0].blocks[1].srcNodes();
+    const auto& in1 = micros[1].blocks[1].srcNodes();
+    EXPECT_TRUE(std::count(in0.begin(), in0.end(), 5));
+    EXPECT_TRUE(std::count(in1.begin(), in1.end(), 5));
+    EXPECT_GT(inputNodeRedundancy(full, micros), 0);
+}
+
+TEST(MicroBatch, SingleGroupHasZeroRedundancy)
+{
+    const auto full = testutil::tinyBatch();
+    const auto outputs = full.outputNodes();
+    const auto micros = extractMicroBatches(
+        full, {{outputs.begin(), outputs.end()}});
+    EXPECT_EQ(inputNodeRedundancy(full, micros), 0);
+    EXPECT_EQ(micros[0].totalEdges(), full.totalEdges());
+}
+
+TEST(MicroBatch, EmptyGroupYieldsEmptyBatch)
+{
+    const auto full = testutil::tinyBatch();
+    const auto micros = extractMicroBatches(full, {{0, 1}, {}});
+    ASSERT_EQ(micros.size(), 2u);
+    EXPECT_EQ(micros[1].outputNodes().size(), 0u);
+}
+
+TEST(MicroBatch, EdgeTotalsPartitionFullBatchOutputLayer)
+{
+    const auto ds = loadCatalogDataset("pubmed_like", 0.05, 6);
+    NeighborSampler sampler(ds.graph, {3, 3}, 7);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 80);
+    const auto full = sampler.sample(seeds);
+    RandomPartitioner part(8);
+    const auto micros =
+        extractMicroBatches(full, part.partition(full, 4));
+    int64_t outer_edges = 0;
+    for (const auto& micro : micros)
+        outer_edges += micro.blocks.back().numEdges();
+    EXPECT_EQ(outer_edges, full.blocks.back().numEdges());
+}
+
+TEST(MicroBatchDeathTest, UnknownOutputNodePanics)
+{
+    const auto full = testutil::tinyBatch();
+    EXPECT_DEATH(extractMicroBatches(full, {{12345}}),
+                 "not a destination");
+}
+
+} // namespace
+} // namespace betty

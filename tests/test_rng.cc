@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace betty {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIntRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const int64_t v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    const int n = 20000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i)
+        sum += rng.gaussian(5.0, 0.1);
+    EXPECT_NEAR(sum / 10000.0, 5.0, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(13);
+    const auto perm = rng.permutation(100);
+    std::set<int64_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, PermutationActuallyShuffles)
+{
+    Rng rng(14);
+    const auto perm = rng.permutation(100);
+    std::vector<int64_t> identity(100);
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_NE(perm, identity);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(15);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto sample = rng.sampleWithoutReplacement(50, 20);
+        std::set<int64_t> seen(sample.begin(), sample.end());
+        EXPECT_EQ(seen.size(), 20u);
+        for (int64_t v : sample) {
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, 50);
+        }
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet)
+{
+    Rng rng(16);
+    const auto sample = rng.sampleWithoutReplacement(10, 10);
+    std::set<int64_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementCoversRange)
+{
+    // Property: over many draws of k=1, every value should show up.
+    Rng rng(17);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.sampleWithoutReplacement(8, 1).front());
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset)
+{
+    Rng rng(18);
+    std::vector<int> values = {1, 1, 2, 3, 5, 8, 13};
+    auto copy = values;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, values);
+}
+
+/** Parameterized sweep: uniformInt is roughly uniform per bound. */
+class RngUniformity : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngUniformity, ChiSquareIsSane)
+{
+    const uint64_t bound = GetParam();
+    Rng rng(100 + bound);
+    std::vector<int64_t> counts(bound, 0);
+    const int64_t draws = int64_t(bound) * 1000;
+    for (int64_t i = 0; i < draws; ++i)
+        ++counts[rng.uniformInt(bound)];
+    const double expected = double(draws) / double(bound);
+    double chi2 = 0.0;
+    for (int64_t c : counts)
+        chi2 += (double(c) - expected) * (double(c) - expected) /
+                expected;
+    // Very loose bound: chi2 mean is bound-1; flag only gross bias.
+    EXPECT_LT(chi2, 3.0 * double(bound) + 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 7, 10, 32, 100));
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for multi-layer neighbor sampling.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+#include "sampling/neighbor_sampler.h"
+#include "test_helpers.h"
+
+namespace betty {
+namespace {
+
+TEST(NeighborSampler, OneLayerFullTakesAllNeighbors)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {-1});
+    const auto batch = sampler.sample({1});
+    ASSERT_EQ(batch.numLayers(), 1);
+    const Block& block = batch.blocks[0];
+    EXPECT_EQ(block.numDst(), 1);
+    EXPECT_EQ(block.inDegree(0), g.inDegree(1));
+}
+
+TEST(NeighborSampler, FanoutBoundsInDegree)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {2});
+    const auto batch = sampler.sample({1, 8});
+    for (int64_t d = 0; d < batch.blocks[0].numDst(); ++d)
+        EXPECT_LE(batch.blocks[0].inDegree(d), 2);
+}
+
+TEST(NeighborSampler, SampledNeighborsAreRealNeighbors)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {3});
+    const auto batch = sampler.sample({1, 6, 8});
+    const Block& block = batch.blocks[0];
+    for (int64_t d = 0; d < block.numDst(); ++d) {
+        const int64_t dst_global = block.dstNodes()[size_t(d)];
+        const auto real = g.inNeighbors(dst_global);
+        const std::set<int64_t> real_set(real.begin(), real.end());
+        for (int64_t s : block.inEdges(d)) {
+            const int64_t src_global = block.srcNodes()[size_t(s)];
+            EXPECT_TRUE(real_set.count(src_global))
+                << src_global << " is not an in-neighbor of "
+                << dst_global;
+        }
+    }
+}
+
+TEST(NeighborSampler, SampledNeighborsDistinct)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {3});
+    const auto batch = sampler.sample({1});
+    const Block& block = batch.blocks[0];
+    std::set<int64_t> seen;
+    for (int64_t s : block.inEdges(0))
+        EXPECT_TRUE(seen.insert(s).second) << "duplicate neighbor";
+}
+
+TEST(NeighborSampler, TwoLayerChainInvariant)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {2, 2});
+    const auto batch = sampler.sample({1, 8});
+    ASSERT_EQ(batch.numLayers(), 2);
+    const auto inner_dsts = batch.blocks[0].dstNodes();
+    const auto& outer_srcs = batch.blocks[1].srcNodes();
+    ASSERT_EQ(inner_dsts.size(), outer_srcs.size());
+    for (size_t i = 0; i < outer_srcs.size(); ++i)
+        EXPECT_EQ(inner_dsts[i], outer_srcs[i]);
+}
+
+TEST(NeighborSampler, OutputNodesAreTheSeeds)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {2, 2});
+    const auto batch = sampler.sample({4, 7, 9});
+    const auto outputs = batch.outputNodes();
+    ASSERT_EQ(outputs.size(), 3u);
+    EXPECT_EQ(outputs[0], 4);
+    EXPECT_EQ(outputs[1], 7);
+    EXPECT_EQ(outputs[2], 9);
+}
+
+TEST(NeighborSampler, DeterministicGivenSeed)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler a(g, {2, 2}, 42), b(g, {2, 2}, 42);
+    const auto ba = a.sample({1, 5});
+    const auto bb = b.sample({1, 5});
+    EXPECT_EQ(ba.inputNodes(), bb.inputNodes());
+    EXPECT_EQ(ba.totalEdges(), bb.totalEdges());
+}
+
+TEST(NeighborSampler, GrowthAcrossLayers)
+{
+    const auto ds = loadCatalogDataset("arxiv_like", 0.05);
+    NeighborSampler sampler(ds.graph, {5, 10});
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 50);
+    const auto batch = sampler.sample(seeds);
+    // The receptive field must grow inward.
+    EXPECT_GT(batch.blocks[1].numSrc(), batch.blocks[1].numDst());
+    EXPECT_GE(batch.blocks[0].numSrc(), batch.blocks[1].numSrc());
+    EXPECT_EQ(batch.blocks[1].numDst(), 50);
+}
+
+TEST(NeighborSampler, FullSamplingMatchesGraphDegrees)
+{
+    const auto ds = loadCatalogDataset("cora_like", 0.05);
+    NeighborSampler sampler(ds.graph, {-1});
+    std::vector<int64_t> seeds = {0, 1, 2, 3};
+    const auto batch = sampler.sample(seeds);
+    for (int64_t d = 0; d < batch.blocks[0].numDst(); ++d) {
+        const int64_t global = batch.blocks[0].dstNodes()[size_t(d)];
+        EXPECT_EQ(batch.blocks[0].inDegree(d), ds.graph.inDegree(global));
+    }
+}
+
+TEST(NeighborSamplerDeathTest, EmptySeedsPanics)
+{
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {2});
+    EXPECT_DEATH(sampler.sample({}), "empty seed");
+}
+
+/** Property sweep: for any fanout, block degrees never exceed it and
+ * every destination with in-neighbors keeps at least one. */
+class SamplerFanout : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SamplerFanout, DegreeBoundHolds)
+{
+    const int64_t fanout = GetParam();
+    const auto g = testutil::toyGraph();
+    NeighborSampler sampler(g, {fanout, fanout});
+    const auto batch = sampler.sample({1, 6, 8});
+    for (const auto& block : batch.blocks) {
+        for (int64_t d = 0; d < block.numDst(); ++d) {
+            EXPECT_LE(block.inDegree(d), fanout);
+            const int64_t global = block.dstNodes()[size_t(d)];
+            if (g.inDegree(global) > 0)
+                EXPECT_GE(block.inDegree(d), 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SamplerFanout,
+                         ::testing::Values(1, 2, 3, 5, 100));
+
+} // namespace
+} // namespace betty

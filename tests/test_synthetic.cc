@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for synthetic dataset generation and the dataset catalog.
+ */
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+#include "data/synthetic.h"
+
+namespace betty {
+namespace {
+
+SyntheticSpec
+smallSpec()
+{
+    SyntheticSpec spec;
+    spec.numNodes = 500;
+    spec.avgDegree = 8.0;
+    spec.featureDim = 16;
+    spec.numClasses = 4;
+    spec.homophily = 0.8;
+    return spec;
+}
+
+TEST(Synthetic, ShapesMatchSpec)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 1);
+    EXPECT_EQ(ds.numNodes(), 500);
+    EXPECT_EQ(ds.featureDim(), 16);
+    EXPECT_EQ(ds.numClasses, 4);
+    EXPECT_EQ(int64_t(ds.labels.size()), 500);
+}
+
+TEST(Synthetic, DeterministicGivenSeed)
+{
+    const auto a = makeSyntheticDataset(smallSpec(), 9);
+    const auto b = makeSyntheticDataset(smallSpec(), 9);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.trainNodes, b.trainNodes);
+    for (int64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(a.features.data()[i], b.features.data()[i]);
+}
+
+TEST(Synthetic, SeedsChangeTheGraph)
+{
+    const auto a = makeSyntheticDataset(smallSpec(), 1);
+    const auto b = makeSyntheticDataset(smallSpec(), 2);
+    EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(Synthetic, EdgeCountNearTarget)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 3);
+    // avgDegree 8 over 500 nodes -> ~2000 pairs -> ~4000 directed
+    // edges plus the connectivity backbone.
+    EXPECT_GT(ds.numEdges(), 3500);
+    EXPECT_LT(ds.numEdges(), 6500);
+}
+
+TEST(Synthetic, GraphIsSymmetric)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 4);
+    for (int64_t v = 0; v < ds.numNodes(); ++v)
+        EXPECT_EQ(ds.graph.inDegree(v), ds.graph.outDegree(v));
+}
+
+TEST(Synthetic, EveryNodeConnected)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 5);
+    for (int64_t v = 0; v < ds.numNodes(); ++v)
+        EXPECT_GE(ds.graph.inDegree(v), 1) << "node " << v;
+}
+
+TEST(Synthetic, PowerLawTailExists)
+{
+    auto spec = smallSpec();
+    spec.numNodes = 2000;
+    spec.powerLawAlpha = 2.2;
+    const auto ds = makeSyntheticDataset(spec, 6);
+    const double avg = double(ds.numEdges()) / double(ds.numNodes());
+    // Heavy tail: the max in-degree should dwarf the average.
+    EXPECT_GT(double(ds.graph.maxInDegree()), 5.0 * avg);
+}
+
+TEST(Synthetic, HomophilyIsMeasurable)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 7);
+    int64_t same = 0, total = 0;
+    for (const auto& e : ds.graph.edgeList()) {
+        same += ds.labels[size_t(e.src)] == ds.labels[size_t(e.dst)];
+        ++total;
+    }
+    // With homophily 0.8 and 4 classes, same-class fraction must be
+    // far above the 0.25 chance level.
+    EXPECT_GT(double(same) / double(total), 0.5);
+}
+
+TEST(Synthetic, SplitsPartitionTheNodes)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 8);
+    std::set<int64_t> all;
+    all.insert(ds.trainNodes.begin(), ds.trainNodes.end());
+    all.insert(ds.valNodes.begin(), ds.valNodes.end());
+    all.insert(ds.testNodes.begin(), ds.testNodes.end());
+    EXPECT_EQ(int64_t(all.size()), ds.numNodes());
+    EXPECT_EQ(ds.trainNodes.size() + ds.valNodes.size() +
+                  ds.testNodes.size(),
+              size_t(ds.numNodes()));
+    EXPECT_NEAR(double(ds.trainNodes.size()) / double(ds.numNodes()),
+                0.6, 0.01);
+}
+
+TEST(Synthetic, LabelsInRange)
+{
+    const auto ds = makeSyntheticDataset(smallSpec(), 9);
+    for (int32_t label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, ds.numClasses);
+    }
+}
+
+TEST(Synthetic, FeaturesCorrelateWithClass)
+{
+    // Same-class nodes should be closer in feature space on average.
+    auto spec = smallSpec();
+    spec.featureNoise = 0.5;
+    const auto ds = makeSyntheticDataset(spec, 10);
+    auto dist = [&](int64_t a, int64_t b) {
+        double d = 0.0;
+        for (int64_t f = 0; f < ds.featureDim(); ++f) {
+            const double diff =
+                ds.features.at(a, f) - ds.features.at(b, f);
+            d += diff * diff;
+        }
+        return d;
+    };
+    double same = 0.0, diff = 0.0;
+    int64_t same_n = 0, diff_n = 0;
+    for (int64_t a = 0; a < 100; ++a) {
+        for (int64_t b = a + 1; b < 100; ++b) {
+            if (ds.labels[size_t(a)] == ds.labels[size_t(b)]) {
+                same += dist(a, b);
+                ++same_n;
+            } else {
+                diff += dist(a, b);
+                ++diff_n;
+            }
+        }
+    }
+    EXPECT_LT(same / double(same_n), diff / double(diff_n));
+}
+
+TEST(Rmat, EdgeCountAndRange)
+{
+    const auto edges = rmatEdges(10, 5000, 1);
+    EXPECT_EQ(edges.size(), 5000u);
+    for (const auto& e : edges) {
+        EXPECT_GE(e.src, 0);
+        EXPECT_LT(e.src, 1024);
+        EXPECT_GE(e.dst, 0);
+        EXPECT_LT(e.dst, 1024);
+    }
+}
+
+TEST(Rmat, SkewProducesHubs)
+{
+    const auto edges = rmatEdges(10, 20000, 2);
+    const CsrGraph g(1024, edges);
+    const double avg = double(g.numEdges()) / 1024.0;
+    EXPECT_GT(double(g.maxInDegree()), 4.0 * avg);
+}
+
+TEST(Catalog, AllNamesLoad)
+{
+    for (const auto& name : catalogNames()) {
+        const auto ds = loadCatalogDataset(name, /*scale=*/0.02);
+        EXPECT_GT(ds.numNodes(), 0) << name;
+        EXPECT_GT(ds.numEdges(), 0) << name;
+        EXPECT_EQ(ds.name, name);
+    }
+}
+
+TEST(Catalog, FeatureDimsMatchPaper)
+{
+    EXPECT_EQ(coraSpec().featureDim, 1433);
+    EXPECT_EQ(pubmedSpec().featureDim, 500);
+    EXPECT_EQ(redditSpec().featureDim, 602);
+    EXPECT_EQ(arxivSpec().featureDim, 128);
+    EXPECT_EQ(productsSpec().featureDim, 100);
+}
+
+TEST(Catalog, ClassCountsMatchPaper)
+{
+    EXPECT_EQ(coraSpec().numClasses, 7);
+    EXPECT_EQ(pubmedSpec().numClasses, 3);
+    EXPECT_EQ(redditSpec().numClasses, 41);
+    EXPECT_EQ(arxivSpec().numClasses, 40);
+    EXPECT_EQ(productsSpec().numClasses, 47);
+}
+
+TEST(Catalog, ScaleShrinksNodes)
+{
+    const auto small = loadCatalogDataset("arxiv_like", 0.01);
+    const auto larger = loadCatalogDataset("arxiv_like", 0.05);
+    EXPECT_LT(small.numNodes(), larger.numNodes());
+}
+
+TEST(CatalogDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(loadCatalogDataset("nope", 1.0),
+                ::testing::ExitedWithCode(1), "unknown catalog");
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the bench table/CSV writer.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace betty {
+namespace {
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, CountGroupsThousands)
+{
+    EXPECT_EQ(TablePrinter::count(0), "0");
+    EXPECT_EQ(TablePrinter::count(999), "999");
+    EXPECT_EQ(TablePrinter::count(1000), "1,000");
+    EXPECT_EQ(TablePrinter::count(1829066), "1,829,066");
+    EXPECT_EQ(TablePrinter::count(-12345), "-12,345");
+}
+
+TEST(TablePrinter, CsvRoundTrip)
+{
+    TablePrinter table("t");
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addRow({"x", "y"});
+    const std::string path = ::testing::TempDir() + "/betty_table.csv";
+    ASSERT_TRUE(table.writeCsv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::remove(path.c_str());
+}
+
+TEST(TablePrinter, PrintDoesNotCrashOnEmpty)
+{
+    TablePrinter table("empty");
+    table.setHeader({"only"});
+    table.print();
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchPanics)
+{
+    TablePrinter table("t");
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"just-one"}), "row width");
+}
+
+} // namespace
+} // namespace betty

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for warm-start partitioning (the paper's future-work item on
+ * reducing partitioning overhead, §7): kwayPartitionWarm and the
+ * BettyPartitioner warm-start path across resampled epochs.
+ */
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "partition/kway_partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "util/timer.h"
+
+namespace betty {
+namespace {
+
+WeightedGraph
+communityGraph(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<WeightedEdge> edges;
+    // Two halves densely connected internally, sparsely across.
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t tries = 0; tries < 4; ++tries) {
+            const int64_t half = i < n / 2 ? 0 : 1;
+            const int64_t j = half * (n / 2) +
+                              int64_t(rng.uniformInt(uint64_t(n / 2)));
+            if (j != i)
+                edges.push_back({i, j, 5});
+        }
+    edges.push_back({0, n - 1, 1});
+    return WeightedGraph(n, edges);
+}
+
+TEST(KwayWarm, RefinesGivenAssignment)
+{
+    const auto g = communityGraph(200, 1);
+    KwayOptions opts;
+    opts.k = 2;
+    // Start from a poor random assignment; warm refinement must not
+    // make the cut worse and should improve it substantially.
+    Rng rng(2);
+    std::vector<int32_t> initial(200);
+    for (auto& p : initial)
+        p = int32_t(rng.uniformInt(2));
+    const int64_t before = g.cutCost(initial);
+    const auto refined = kwayPartitionWarm(g, opts, initial);
+    EXPECT_LT(g.cutCost(refined), before);
+    EXPECT_LE(partitionImbalance(g, refined, 2),
+              opts.imbalance + 1e-9);
+}
+
+TEST(KwayWarm, PerfectStartIsStable)
+{
+    const auto g = communityGraph(200, 3);
+    KwayOptions opts;
+    opts.k = 2;
+    std::vector<int32_t> perfect(200);
+    for (int64_t i = 0; i < 200; ++i)
+        perfect[size_t(i)] = i < 100 ? 0 : 1;
+    const auto refined = kwayPartitionWarm(g, opts, perfect);
+    EXPECT_LE(g.cutCost(refined), g.cutCost(perfect));
+}
+
+TEST(KwayWarm, KOneTrivial)
+{
+    const auto g = communityGraph(50, 4);
+    KwayOptions opts;
+    opts.k = 1;
+    const auto parts =
+        kwayPartitionWarm(g, opts, std::vector<int32_t>(50, 0));
+    for (int32_t p : parts)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(KwayWarmDeathTest, BadInitialPanics)
+{
+    const auto g = communityGraph(50, 5);
+    KwayOptions opts;
+    opts.k = 2;
+    std::vector<int32_t> bad(50, 7); // part id out of range
+    EXPECT_DEATH(kwayPartitionWarm(g, opts, bad), "out of range");
+}
+
+struct Env
+{
+    Env() : dataset(loadCatalogDataset("arxiv_like", 0.15, 91)) {}
+
+    MultiLayerBatch
+    sampleEpoch(uint64_t seed) const
+    {
+        NeighborSampler sampler(dataset.graph, {5, 8}, seed);
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 400);
+        return sampler.sample(seeds);
+    }
+
+    Dataset dataset;
+};
+
+TEST(BettyWarmStart, SecondEpochIsWarm)
+{
+    Env env;
+    BettyOptions opts;
+    opts.warmStart = true;
+    BettyPartitioner part(opts);
+
+    part.partition(env.sampleEpoch(1), 8);
+    EXPECT_FALSE(part.lastRunWasWarm()) << "first epoch is cold";
+    part.partition(env.sampleEpoch(2), 8);
+    EXPECT_TRUE(part.lastRunWasWarm());
+}
+
+TEST(BettyWarmStart, ChangingKFallsBackToCold)
+{
+    Env env;
+    BettyOptions opts;
+    opts.warmStart = true;
+    BettyPartitioner part(opts);
+    part.partition(env.sampleEpoch(1), 8);
+    part.partition(env.sampleEpoch(2), 4);
+    EXPECT_FALSE(part.lastRunWasWarm());
+}
+
+TEST(BettyWarmStart, DisjointBatchFallsBackToCold)
+{
+    Env env;
+    BettyOptions opts;
+    opts.warmStart = true;
+    BettyPartitioner part(opts);
+    part.partition(env.sampleEpoch(1), 4);
+
+    // A batch over completely different output nodes.
+    NeighborSampler sampler(env.dataset.graph, {5, 8}, 3);
+    std::vector<int64_t> other(env.dataset.testNodes.begin(),
+                               env.dataset.testNodes.begin() + 300);
+    part.partition(sampler.sample(other), 4);
+    EXPECT_FALSE(part.lastRunWasWarm());
+}
+
+TEST(BettyWarmStart, DisabledByDefault)
+{
+    Env env;
+    BettyPartitioner part;
+    part.partition(env.sampleEpoch(1), 8);
+    part.partition(env.sampleEpoch(2), 8);
+    EXPECT_FALSE(part.lastRunWasWarm());
+}
+
+TEST(BettyWarmStart, QualityComparableToCold)
+{
+    Env env;
+    const auto epoch1 = env.sampleEpoch(1);
+    const auto epoch2 = env.sampleEpoch(2);
+
+    BettyOptions warm_opts;
+    warm_opts.warmStart = true;
+    BettyPartitioner warm(warm_opts);
+    BettyPartitioner cold;
+
+    warm.partition(epoch1, 8);
+    const auto warm_groups = warm.partition(epoch2, 8);
+    const auto cold_groups = cold.partition(epoch2, 8);
+    ASSERT_TRUE(warm.lastRunWasWarm());
+
+    const int64_t warm_red = inputNodeRedundancy(
+        epoch2, extractMicroBatches(epoch2, warm_groups));
+    const int64_t cold_red = inputNodeRedundancy(
+        epoch2, extractMicroBatches(epoch2, cold_groups));
+    // Warm refinement may be slightly worse but must stay close.
+    EXPECT_LT(double(warm_red), 1.15 * double(cold_red));
+}
+
+TEST(BettyWarmStart, ValidPartitionEitherWay)
+{
+    Env env;
+    BettyOptions opts;
+    opts.warmStart = true;
+    BettyPartitioner part(opts);
+    for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+        const auto batch = env.sampleEpoch(epoch);
+        const auto groups = part.partition(batch, 6);
+        size_t total = 0;
+        for (const auto& group : groups)
+            total += group.size();
+        EXPECT_EQ(total, batch.outputNodes().size());
+    }
+}
+
+} // namespace
+} // namespace betty

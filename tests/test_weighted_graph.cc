@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the symmetric weighted graph used by REG and the
+ * partitioner.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/weighted_graph.h"
+
+namespace betty {
+namespace {
+
+TEST(WeightedGraph, SymmetricAdjacency)
+{
+    const WeightedGraph g(3, {{0, 1, 5}, {1, 2, 7}});
+    ASSERT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.neighbors(0)[0], 1);
+    EXPECT_EQ(g.edgeWeights(0)[0], 5);
+    // Edge visible from both endpoints with the same weight.
+    bool found = false;
+    const auto nbrs = g.neighbors(2);
+    const auto wts = g.edgeWeights(2);
+    for (size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == 1) {
+            EXPECT_EQ(wts[i], 7);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(WeightedGraph, DuplicateEdgesAccumulate)
+{
+    const WeightedGraph g(2, {{0, 1, 2}, {1, 0, 3}});
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_EQ(g.edgeWeights(0)[0], 5);
+}
+
+TEST(WeightedGraph, SelfLoopsDropped)
+{
+    const WeightedGraph g(2, {{0, 0, 9}, {0, 1, 1}});
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(WeightedGraph, DefaultVertexWeightsAreUnit)
+{
+    const WeightedGraph g(4, {});
+    EXPECT_EQ(g.vertexWeight(2), 1);
+    EXPECT_EQ(g.totalVertexWeight(), 4);
+}
+
+TEST(WeightedGraph, CustomVertexWeights)
+{
+    const WeightedGraph g(3, {}, {2, 3, 4});
+    EXPECT_EQ(g.vertexWeight(0), 2);
+    EXPECT_EQ(g.totalVertexWeight(), 9);
+}
+
+TEST(WeightedGraph, CutCost)
+{
+    const WeightedGraph g(4, {{0, 1, 10}, {1, 2, 1}, {2, 3, 10}});
+    // Split {0,1} | {2,3}: only the weight-1 edge is cut.
+    EXPECT_EQ(g.cutCost({0, 0, 1, 1}), 1);
+    // Split {0,2} | {1,3}: both weight-10 edges cut plus the 1.
+    EXPECT_EQ(g.cutCost({0, 1, 0, 1}), 21);
+    // No split.
+    EXPECT_EQ(g.cutCost({0, 0, 0, 0}), 0);
+}
+
+TEST(WeightedGraph, EmptyGraph)
+{
+    const WeightedGraph g;
+    EXPECT_EQ(g.numNodes(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(WeightedGraphDeathTest, BadEndpointPanics)
+{
+    EXPECT_DEATH(WeightedGraph(2, {{0, 5, 1}}), "out of range");
+}
+
+} // namespace
+} // namespace betty
