@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batchsize_convergence.dir/bench_batchsize_convergence.cc.o"
+  "CMakeFiles/bench_batchsize_convergence.dir/bench_batchsize_convergence.cc.o.d"
+  "bench_batchsize_convergence"
+  "bench_batchsize_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchsize_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compute_efficiency.dir/bench_compute_efficiency.cc.o"
+  "CMakeFiles/bench_compute_efficiency.dir/bench_compute_efficiency.cc.o.d"
+  "bench_compute_efficiency"
+  "bench_compute_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compute_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

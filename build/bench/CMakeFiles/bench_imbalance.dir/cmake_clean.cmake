@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imbalance.dir/bench_imbalance.cc.o"
+  "CMakeFiles/bench_imbalance.dir/bench_imbalance.cc.o.d"
+  "bench_imbalance"
+  "bench_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mem_time_tradeoff.dir/bench_mem_time_tradeoff.cc.o"
+  "CMakeFiles/bench_mem_time_tradeoff.dir/bench_mem_time_tradeoff.cc.o.d"
+  "bench_mem_time_tradeoff"
+  "bench_mem_time_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mem_time_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_breakdown.dir/bench_memory_breakdown.cc.o"
+  "CMakeFiles/bench_memory_breakdown.dir/bench_memory_breakdown.cc.o.d"
+  "bench_memory_breakdown"
+  "bench_memory_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_wall.dir/bench_memory_wall.cc.o"
+  "CMakeFiles/bench_memory_wall.dir/bench_memory_wall.cc.o.d"
+  "bench_memory_wall"
+  "bench_memory_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_vs_mini.dir/bench_micro_vs_mini.cc.o"
+  "CMakeFiles/bench_micro_vs_mini.dir/bench_micro_vs_mini.cc.o.d"
+  "bench_micro_vs_mini"
+  "bench_micro_vs_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_vs_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

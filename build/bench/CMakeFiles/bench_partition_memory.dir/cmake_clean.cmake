@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_memory.dir/bench_partition_memory.cc.o"
+  "CMakeFiles/bench_partition_memory.dir/bench_partition_memory.cc.o.d"
+  "bench_partition_memory"
+  "bench_partition_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_overhead.dir/bench_partition_overhead.cc.o"
+  "CMakeFiles/bench_partition_overhead.dir/bench_partition_overhead.cc.o.d"
+  "bench_partition_overhead"
+  "bench_partition_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

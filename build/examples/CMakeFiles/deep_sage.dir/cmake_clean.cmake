@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_sage.dir/deep_sage.cpp.o"
+  "CMakeFiles/deep_sage.dir/deep_sage.cpp.o.d"
+  "deep_sage"
+  "deep_sage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_sage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

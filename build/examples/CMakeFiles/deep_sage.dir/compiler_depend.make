@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deep_sage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_large_graph.dir/lstm_large_graph.cpp.o"
+  "CMakeFiles/lstm_large_graph.dir/lstm_large_graph.cpp.o.d"
+  "lstm_large_graph"
+  "lstm_large_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_large_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_cli.dir/train_cli.cpp.o"
+  "CMakeFiles/train_cli.dir/train_cli.cpp.o.d"
+  "train_cli"
+  "train_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_core.dir/betty.cc.o"
+  "CMakeFiles/betty_core.dir/betty.cc.o.d"
+  "CMakeFiles/betty_core.dir/micro_batch.cc.o"
+  "CMakeFiles/betty_core.dir/micro_batch.cc.o.d"
+  "libbetty_core.a"
+  "libbetty_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_data.dir/catalog.cc.o"
+  "CMakeFiles/betty_data.dir/catalog.cc.o.d"
+  "CMakeFiles/betty_data.dir/io.cc.o"
+  "CMakeFiles/betty_data.dir/io.cc.o.d"
+  "CMakeFiles/betty_data.dir/synthetic.cc.o"
+  "CMakeFiles/betty_data.dir/synthetic.cc.o.d"
+  "libbetty_data.a"
+  "libbetty_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

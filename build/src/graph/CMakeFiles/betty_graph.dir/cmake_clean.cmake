@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/betty_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/betty_graph.dir/weighted_graph.cc.o"
+  "CMakeFiles/betty_graph.dir/weighted_graph.cc.o.d"
+  "libbetty_graph.a"
+  "libbetty_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_memory.dir/estimator.cc.o"
+  "CMakeFiles/betty_memory.dir/estimator.cc.o.d"
+  "libbetty_memory.a"
+  "libbetty_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gat_conv.cc" "src/nn/CMakeFiles/betty_nn.dir/gat_conv.cc.o" "gcc" "src/nn/CMakeFiles/betty_nn.dir/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "src/nn/CMakeFiles/betty_nn.dir/gcn_conv.cc.o" "gcc" "src/nn/CMakeFiles/betty_nn.dir/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/betty_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/betty_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/betty_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/betty_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/sage_conv.cc" "src/nn/CMakeFiles/betty_nn.dir/sage_conv.cc.o" "gcc" "src/nn/CMakeFiles/betty_nn.dir/sage_conv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/betty_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/betty_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/betty_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/betty_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/betty_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_nn.dir/gat_conv.cc.o"
+  "CMakeFiles/betty_nn.dir/gat_conv.cc.o.d"
+  "CMakeFiles/betty_nn.dir/gcn_conv.cc.o"
+  "CMakeFiles/betty_nn.dir/gcn_conv.cc.o.d"
+  "CMakeFiles/betty_nn.dir/models.cc.o"
+  "CMakeFiles/betty_nn.dir/models.cc.o.d"
+  "CMakeFiles/betty_nn.dir/optim.cc.o"
+  "CMakeFiles/betty_nn.dir/optim.cc.o.d"
+  "CMakeFiles/betty_nn.dir/sage_conv.cc.o"
+  "CMakeFiles/betty_nn.dir/sage_conv.cc.o.d"
+  "libbetty_nn.a"
+  "libbetty_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

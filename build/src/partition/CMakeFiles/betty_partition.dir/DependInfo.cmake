@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/coarsen.cc" "src/partition/CMakeFiles/betty_partition.dir/coarsen.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/coarsen.cc.o.d"
+  "/root/repo/src/partition/initial.cc" "src/partition/CMakeFiles/betty_partition.dir/initial.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/initial.cc.o.d"
+  "/root/repo/src/partition/kway_partitioner.cc" "src/partition/CMakeFiles/betty_partition.dir/kway_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/kway_partitioner.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/betty_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/refine.cc" "src/partition/CMakeFiles/betty_partition.dir/refine.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/refine.cc.o.d"
+  "/root/repo/src/partition/reg.cc" "src/partition/CMakeFiles/betty_partition.dir/reg.cc.o" "gcc" "src/partition/CMakeFiles/betty_partition.dir/reg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/betty_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/betty_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/betty_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_partition.dir/coarsen.cc.o"
+  "CMakeFiles/betty_partition.dir/coarsen.cc.o.d"
+  "CMakeFiles/betty_partition.dir/initial.cc.o"
+  "CMakeFiles/betty_partition.dir/initial.cc.o.d"
+  "CMakeFiles/betty_partition.dir/kway_partitioner.cc.o"
+  "CMakeFiles/betty_partition.dir/kway_partitioner.cc.o.d"
+  "CMakeFiles/betty_partition.dir/partitioner.cc.o"
+  "CMakeFiles/betty_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/betty_partition.dir/refine.cc.o"
+  "CMakeFiles/betty_partition.dir/refine.cc.o.d"
+  "CMakeFiles/betty_partition.dir/reg.cc.o"
+  "CMakeFiles/betty_partition.dir/reg.cc.o.d"
+  "libbetty_partition.a"
+  "libbetty_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

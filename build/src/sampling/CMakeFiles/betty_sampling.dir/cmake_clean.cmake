@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_sampling.dir/block.cc.o"
+  "CMakeFiles/betty_sampling.dir/block.cc.o.d"
+  "CMakeFiles/betty_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/betty_sampling.dir/neighbor_sampler.cc.o.d"
+  "libbetty_sampling.a"
+  "libbetty_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

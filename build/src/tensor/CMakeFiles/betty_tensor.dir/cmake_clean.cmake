@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_tensor.dir/autograd.cc.o"
+  "CMakeFiles/betty_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/betty_tensor.dir/tensor.cc.o"
+  "CMakeFiles/betty_tensor.dir/tensor.cc.o.d"
+  "libbetty_tensor.a"
+  "libbetty_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_train.dir/multi_device.cc.o"
+  "CMakeFiles/betty_train.dir/multi_device.cc.o.d"
+  "CMakeFiles/betty_train.dir/trainer.cc.o"
+  "CMakeFiles/betty_train.dir/trainer.cc.o.d"
+  "libbetty_train.a"
+  "libbetty_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betty_util.dir/rng.cc.o"
+  "CMakeFiles/betty_util.dir/rng.cc.o.d"
+  "CMakeFiles/betty_util.dir/table.cc.o"
+  "CMakeFiles/betty_util.dir/table.cc.o.d"
+  "libbetty_util.a"
+  "libbetty_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betty_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

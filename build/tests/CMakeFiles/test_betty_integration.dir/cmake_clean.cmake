@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betty_integration.dir/test_betty_integration.cc.o"
+  "CMakeFiles/test_betty_integration.dir/test_betty_integration.cc.o.d"
+  "test_betty_integration"
+  "test_betty_integration.pdb"
+  "test_betty_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betty_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

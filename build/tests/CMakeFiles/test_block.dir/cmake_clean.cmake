@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block.dir/test_block.cc.o"
+  "CMakeFiles/test_block.dir/test_block.cc.o.d"
+  "test_block"
+  "test_block.pdb"
+  "test_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

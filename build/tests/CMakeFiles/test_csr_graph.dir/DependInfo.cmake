@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csr_graph.cc" "tests/CMakeFiles/test_csr_graph.dir/test_csr_graph.cc.o" "gcc" "tests/CMakeFiles/test_csr_graph.dir/test_csr_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/betty_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/betty_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/betty_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/betty_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/betty_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/betty_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/betty_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/betty_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/betty_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/betty_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_memory.dir/test_device_memory.cc.o"
+  "CMakeFiles/test_device_memory.dir/test_device_memory.cc.o.d"
+  "test_device_memory"
+  "test_device_memory.pdb"
+  "test_device_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

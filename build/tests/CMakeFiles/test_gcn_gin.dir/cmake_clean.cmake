@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcn_gin.dir/test_gcn_gin.cc.o"
+  "CMakeFiles/test_gcn_gin.dir/test_gcn_gin.cc.o.d"
+  "test_gcn_gin"
+  "test_gcn_gin.pdb"
+  "test_gcn_gin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcn_gin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

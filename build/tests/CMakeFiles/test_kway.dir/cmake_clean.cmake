@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kway.dir/test_kway.cc.o"
+  "CMakeFiles/test_kway.dir/test_kway.cc.o.d"
+  "test_kway"
+  "test_kway.pdb"
+  "test_kway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

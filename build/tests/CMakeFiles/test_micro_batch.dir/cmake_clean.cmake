@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_batch.dir/test_micro_batch.cc.o"
+  "CMakeFiles/test_micro_batch.dir/test_micro_batch.cc.o.d"
+  "test_micro_batch"
+  "test_micro_batch.pdb"
+  "test_micro_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_graph.dir/test_weighted_graph.cc.o"
+  "CMakeFiles/test_weighted_graph.dir/test_weighted_graph.cc.o.d"
+  "test_weighted_graph"
+  "test_weighted_graph.pdb"
+  "test_weighted_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_autograd[1]_include.cmake")
+include("/root/repo/build/tests/test_csr_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_block[1]_include.cmake")
+include("/root/repo/build/tests/test_sampler[1]_include.cmake")
+include("/root/repo/build/tests/test_kway[1]_include.cmake")
+include("/root/repo/build/tests/test_reg[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioners[1]_include.cmake")
+include("/root/repo/build/tests/test_micro_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_device_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_training[1]_include.cmake")
+include("/root/repo/build/tests/test_gradient_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_betty_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_device[1]_include.cmake")
+include("/root/repo/build/tests/test_warm_start[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gcn_gin[1]_include.cmake")
