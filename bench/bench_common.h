@@ -18,9 +18,13 @@
 #ifndef BETTY_BENCH_BENCH_COMMON_H
 #define BETTY_BENCH_BENCH_COMMON_H
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/betty.h"
 #include "data/catalog.h"
@@ -28,6 +32,8 @@
 #include "memory/transfer_model.h"
 #include "nn/models.h"
 #include "nn/optim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"
 #include "train/trainer.h"
@@ -98,6 +104,102 @@ inline double
 toMiB(int64_t bytes)
 {
     return double(bytes) / (1024.0 * 1024.0);
+}
+
+/**
+ * Observability hookup for bench binaries: enables the collectors
+ * when asked for via flags or environment, and writes the exports
+ * when the session object is destroyed (end of main).
+ *
+ *   --trace-out=FILE / BETTY_TRACE_OUT=FILE    Chrome trace JSON
+ *   --metrics-out=FILE / BETTY_METRICS_OUT=FILE  metrics snapshot
+ *
+ * Recognized flags are removed from argc/argv so they never reach
+ * google-benchmark's (strict) flag parser. With neither flag nor
+ * env set, the collectors stay disabled: one branch per site.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(int* argc = nullptr, char** argv = nullptr)
+    {
+        if (argc && argv)
+            stripFlags(argc, argv);
+        if (trace_out_.empty())
+            if (const char* env = std::getenv("BETTY_TRACE_OUT"))
+                trace_out_ = env;
+        if (metrics_out_.empty())
+            if (const char* env = std::getenv("BETTY_METRICS_OUT"))
+                metrics_out_ = env;
+        if (!trace_out_.empty())
+            obs::Trace::setEnabled(true);
+        if (!metrics_out_.empty())
+            obs::Metrics::setEnabled(true);
+    }
+
+    ~ObsSession()
+    {
+        if (!trace_out_.empty() &&
+            !obs::Trace::writeChromeTrace(trace_out_))
+            warn("could not write trace '", trace_out_, "'");
+        if (!metrics_out_.empty() &&
+            !obs::Metrics::writeJson(metrics_out_))
+            warn("could not write metrics '", metrics_out_, "'");
+    }
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+  private:
+    void
+    stripFlags(int* argc, char** argv)
+    {
+        int kept = 1;
+        for (int i = 1; i < *argc; ++i) {
+            const char* arg = argv[i];
+            if (std::strncmp(arg, "--trace-out=", 12) == 0)
+                trace_out_ = arg + 12;
+            else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
+                metrics_out_ = arg + 14;
+            else
+                argv[kept++] = argv[i];
+        }
+        *argc = kept;
+    }
+
+    std::string trace_out_;
+    std::string metrics_out_;
+};
+
+/**
+ * Persist one bench result as JSON with the current metrics snapshot
+ * embedded, so a BENCH_*.json entry carries the per-phase breakdown
+ * (counters/histograms/residuals), not just end-to-end seconds.
+ * Returns success.
+ */
+inline bool
+writeBenchJson(const std::string& path, const std::string& bench_name,
+               const std::vector<std::pair<std::string, double>>&
+                   results)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    std::string out = "{\n  \"bench\": \"" + bench_name + "\",\n";
+    out += "  \"results\": {";
+    for (size_t i = 0; i < results.size(); ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", results[i].second);
+        out += i ? ",\n    \"" : "\n    \"";
+        out += results[i].first + "\": " + buf;
+    }
+    out += results.empty() ? "},\n" : "\n  },\n";
+    out += "  \"metrics\": " + obs::Metrics::snapshotJson();
+    out += "}\n";
+    const size_t written =
+        std::fwrite(out.data(), 1, out.size(), file);
+    std::fclose(file);
+    return written == out.size();
 }
 
 } // namespace betty::benchutil

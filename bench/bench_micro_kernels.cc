@@ -5,10 +5,22 @@
  * micro-batch extraction, and the memory estimator. These are the
  * components whose overhead the paper's future-work section proposes
  * to optimize.
+ *
+ * Also measures the observability subsystem itself: BM_*Disabled
+ * pins down the cost instrumented hot paths pay when no collector is
+ * active (the "one branch per span" guarantee — compare
+ * BM_RegConstruction here against a pre-instrumentation build to see
+ * the ≤1% end-to-end bound), and BM_*Enabled the cost when recording.
+ *
+ * Accepts --trace-out=FILE / --metrics-out=FILE (or BETTY_TRACE_OUT /
+ * BETTY_METRICS_OUT) to export a trace/metrics snapshot of the bench
+ * run itself; see benchutil::ObsSession.
  */
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace betty {
 namespace {
@@ -96,6 +108,58 @@ BM_MicroBatchExtraction(benchmark::State& state)
 BENCHMARK(BM_MicroBatchExtraction);
 
 void
+BM_TraceSpanDisabled(benchmark::State& state)
+{
+    obs::Trace::setEnabled(false);
+    for (auto _ : state) {
+        BETTY_TRACE_SPAN("bench/disabled");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void
+BM_TraceSpanEnabled(benchmark::State& state)
+{
+    obs::Trace::setEnabled(true);
+    for (auto _ : state) {
+        BETTY_TRACE_SPAN("bench/enabled");
+        benchmark::ClobberMemory();
+    }
+    obs::Trace::setEnabled(false);
+    obs::Trace::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void
+BM_CounterDisabled(benchmark::State& state)
+{
+    obs::Metrics::setEnabled(false);
+    obs::Counter& counter =
+        obs::Metrics::counter("bench.disabled_counter");
+    for (auto _ : state) {
+        counter.add(1);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_CounterDisabled);
+
+void
+BM_CounterEnabled(benchmark::State& state)
+{
+    obs::Metrics::setEnabled(true);
+    obs::Counter& counter =
+        obs::Metrics::counter("bench.enabled_counter");
+    for (auto _ : state) {
+        counter.add(1);
+        benchmark::ClobberMemory();
+    }
+    obs::Metrics::setEnabled(false);
+    counter.reset();
+}
+BENCHMARK(BM_CounterEnabled);
+
+void
 BM_MemoryEstimate(benchmark::State& state)
 {
     GnnSpec spec;
@@ -116,4 +180,16 @@ BENCHMARK(BM_MemoryEstimate);
 } // namespace
 } // namespace betty
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // Strips --trace-out/--metrics-out before google-benchmark sees
+    // them; writes the exports when main returns.
+    betty::benchutil::ObsSession obs_session(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

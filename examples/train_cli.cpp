@@ -9,12 +9,20 @@
  *               [--hidden N] [--fanout a,b,...] [--epochs N]
  *               [--lr F] [--budget-mib N] [--devices N]
  *               [--partitioner betty|metis|random|range] [--warm]
- *               [--data-cache FILE]
+ *               [--data-cache FILE] [--trace-out=FILE]
+ *               [--metrics-out=FILE]
  *
  * Every epoch resamples the full batch, (re)partitions it under the
  * memory budget, trains with gradient accumulation and prints loss /
  * accuracy / memory / time. With --devices > 1 the multi-accelerator
- * trainer is used.
+ * trainer is used. The end-of-run per-epoch stats are rendered with
+ * the shared TablePrinter formatter.
+ *
+ * --trace-out=FILE enables span collection and writes a Chrome
+ * trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
+ * --metrics-out=FILE enables the metric registry and writes its JSON
+ * snapshot, including per-micro-batch estimator residuals. With both
+ * flags absent the collectors stay disabled (one branch per site).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +32,13 @@
 #include "core/betty.h"
 #include "data/catalog.h"
 #include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/neighbor_sampler.h"
 #include "train/multi_device.h"
 #include "train/trainer.h"
 #include "util/logging.h"
+#include "util/table.h"
 
 namespace {
 
@@ -51,6 +62,10 @@ struct Args
     /** Cache file for the generated dataset (gen_data.sh analog):
      * loaded if it exists, otherwise written after generation. */
     std::string data_cache;
+    /** Chrome trace JSON destination ("" = tracing disabled). */
+    std::string trace_out;
+    /** Metrics JSON destination ("" = metrics disabled). */
+    std::string metrics_out;
 };
 
 std::vector<int64_t>
@@ -73,8 +88,19 @@ parseArgs(int argc, char** argv)
 {
     Args args;
     for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
+        std::string flag = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (const size_t eq = flag.find('=');
+            eq != std::string::npos) {
+            inline_value = flag.substr(eq + 1);
+            flag = flag.substr(0, eq);
+            has_inline_value = true;
+        }
         auto next = [&]() -> const char* {
+            if (has_inline_value)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 fatal("missing value for ", flag);
             return argv[++i];
@@ -107,6 +133,10 @@ parseArgs(int argc, char** argv)
             args.warm = true;
         } else if (flag == "--data-cache") {
             args.data_cache = next();
+        } else if (flag == "--trace-out") {
+            args.trace_out = next();
+        } else if (flag == "--metrics-out") {
+            args.metrics_out = next();
         } else if (flag == "--help") {
             std::printf("see the file comment for usage\n");
             std::exit(0);
@@ -139,6 +169,10 @@ int
 main(int argc, char** argv)
 {
     const Args args = parseArgs(argc, argv);
+    if (!args.trace_out.empty())
+        obs::Trace::setEnabled(true);
+    if (!args.metrics_out.empty())
+        obs::Metrics::setEnabled(true);
 
     Dataset ds;
     if (!args.data_cache.empty() && loadDataset(ds, args.data_cache)) {
@@ -229,13 +263,30 @@ main(int argc, char** argv)
     NeighborSampler test_sampler(ds.graph, args.fanouts, 999);
     const auto test_batch = test_sampler.sample(ds.testNodes);
 
+    // End-of-run reporting goes through the shared TablePrinter
+    // formatter; during training only a terse progress line prints.
+    TablePrinter summary(args.devices == 1
+                             ? "training summary (per epoch)"
+                             : "multi-device training summary "
+                               "(per epoch)");
+    summary.setHeader({"epoch", "K", "loss", "acc", "test",
+                       "peak MiB", "seconds", "oom"});
+
     int32_t last_k = 1;
     for (int epoch = 1; epoch <= args.epochs; ++epoch) {
-        NeighborSampler sampler(ds.graph, args.fanouts,
-                                uint64_t(epoch));
-        const auto full = sampler.sample(ds.trainNodes);
-        const auto plan =
-            planner.plan(full, *partitioner, last_k);
+        BETTY_TRACE_SPAN("epoch");
+        MultiLayerBatch full;
+        {
+            BETTY_TRACE_SPAN("epoch/sample");
+            NeighborSampler sampler(ds.graph, args.fanouts,
+                                    uint64_t(epoch));
+            full = sampler.sample(ds.trainNodes);
+        }
+        PlanResult plan;
+        {
+            BETTY_TRACE_SPAN("epoch/plan");
+            plan = planner.plan(full, *partitioner, last_k);
+        }
         if (!plan.fits)
             fatal("budget too small even at one output per batch");
         last_k = plan.k; // warm the K search across epochs too
@@ -243,25 +294,57 @@ main(int argc, char** argv)
         if (args.devices == 1) {
             const auto stats =
                 trainer.trainMicroBatches(plan.microBatches);
-            std::printf("epoch %2d  K=%-3d loss %.4f  acc %.3f  "
-                        "test %.3f  peak %.1f/%.1f MiB  %.2fs%s\n",
-                        epoch, plan.k, stats.loss, stats.accuracy,
-                        trainer.evaluate(test_batch),
-                        double(stats.peakBytes) / (1 << 20),
-                        args.budget_mib, stats.computeSeconds,
-                        stats.oom ? "  OOM!" : "");
+            const double test = trainer.evaluate(test_batch);
+            inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
+                   "  loss ", TablePrinter::num(stats.loss, 4),
+                   "  acc ", TablePrinter::num(stats.accuracy, 3),
+                   stats.oom ? "  OOM!" : "");
+            summary.addRow({std::to_string(epoch),
+                            std::to_string(plan.k),
+                            TablePrinter::num(stats.loss, 4),
+                            TablePrinter::num(stats.accuracy, 3),
+                            TablePrinter::num(test, 3),
+                            TablePrinter::num(
+                                double(stats.peakBytes) / (1 << 20),
+                                1),
+                            TablePrinter::num(stats.computeSeconds,
+                                              2),
+                            stats.oom ? "yes" : "no"});
         } else {
             const auto stats =
                 multi_trainer.trainMicroBatches(plan.microBatches);
-            std::printf("epoch %2d  K=%-3d loss %.4f  acc %.3f  "
-                        "test %.3f  max-dev peak %.1f MiB  "
-                        "epoch %.2fs on %d devices%s\n",
-                        epoch, plan.k, stats.loss, stats.accuracy,
-                        trainer.evaluate(test_batch),
-                        double(stats.maxDevicePeakBytes) / (1 << 20),
-                        stats.epochSeconds, args.devices,
-                        stats.oom ? "  OOM!" : "");
+            const double test = trainer.evaluate(test_batch);
+            inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
+                   "  loss ", TablePrinter::num(stats.loss, 4),
+                   "  acc ", TablePrinter::num(stats.accuracy, 3),
+                   "  on ", args.devices, " devices",
+                   stats.oom ? "  OOM!" : "");
+            summary.addRow(
+                {std::to_string(epoch), std::to_string(plan.k),
+                 TablePrinter::num(stats.loss, 4),
+                 TablePrinter::num(stats.accuracy, 3),
+                 TablePrinter::num(test, 3),
+                 TablePrinter::num(
+                     double(stats.maxDevicePeakBytes) / (1 << 20),
+                     1),
+                 TablePrinter::num(stats.epochSeconds, 2),
+                 stats.oom ? "yes" : "no"});
         }
+    }
+    summary.print();
+
+    if (!args.trace_out.empty()) {
+        if (obs::Trace::writeChromeTrace(args.trace_out))
+            inform("wrote trace '", args.trace_out,
+                   "' (open in chrome://tracing or ui.perfetto.dev)");
+        else
+            warn("could not write trace '", args.trace_out, "'");
+    }
+    if (!args.metrics_out.empty()) {
+        if (obs::Metrics::writeJson(args.metrics_out))
+            inform("wrote metrics '", args.metrics_out, "'");
+        else
+            warn("could not write metrics '", args.metrics_out, "'");
     }
     return 0;
 }

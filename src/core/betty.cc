@@ -2,14 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace betty {
+
+namespace {
+
+/** Planner telemetry: the chosen K, search attempts, worst estimate. */
+void
+recordPlanMetrics(const PlanResult& result)
+{
+    if (!obs::Metrics::enabled())
+        return;
+    static obs::Gauge& plan_k = obs::Metrics::gauge("plan.k");
+    static obs::Counter& attempts =
+        obs::Metrics::counter("plan.attempts");
+    static obs::Gauge& estimated_peak =
+        obs::Metrics::gauge("plan.max_estimated_peak_bytes");
+    plan_k.set(result.k);
+    attempts.add(result.attempts);
+    estimated_peak.set(result.maxEstimatedPeak);
+}
+
+} // namespace
 
 std::vector<std::vector<int64_t>>
 BettyPartitioner::partition(const MultiLayerBatch& batch, int32_t k)
 {
     BETTY_ASSERT(k >= 1, "k must be >= 1");
+    BETTY_TRACE_SPAN("partition/betty");
     const auto outputs = batch.outputNodes();
     last_run_was_warm_ = false;
     if (k == 1)
@@ -44,6 +67,21 @@ BettyPartitioner::partition(const MultiLayerBatch& batch, int32_t k)
     if (parts.empty())
         parts = kwayPartition(reg, kway);
 
+    if (obs::Metrics::enabled()) {
+        // Partition quality: REG edge weight crossing micro-batch
+        // boundaries — the redundancy Betty's min-cut minimizes.
+        static obs::Gauge& edge_cut =
+            obs::Metrics::gauge("partition.edge_cut");
+        static obs::Counter& runs =
+            obs::Metrics::counter("partition.runs");
+        static obs::Counter& warm_runs =
+            obs::Metrics::counter("partition.warm_runs");
+        edge_cut.set(reg.cutCost(parts));
+        runs.increment();
+        if (last_run_was_warm_)
+            warm_runs.increment();
+    }
+
     if (options_.warmStart) {
         previous_assignment_.clear();
         previous_assignment_.reserve(outputs.size() * 2);
@@ -59,6 +97,7 @@ MemoryAwarePlanner::evaluateK(const MultiLayerBatch& full,
                               OutputPartitioner& partitioner,
                               int32_t k) const
 {
+    BETTY_TRACE_SPAN("plan/evaluate_k");
     PlanResult result;
     result.k = k;
     result.attempts = 1;
@@ -82,6 +121,7 @@ MemoryAwarePlanner::plan(const MultiLayerBatch& full,
 {
     BETTY_ASSERT(initial_k >= 1 && max_k >= initial_k,
                  "bad K search range");
+    BETTY_TRACE_SPAN("plan/search");
     const int64_t num_outputs = int64_t(full.outputNodes().size());
 
     int32_t attempts = 0;
@@ -89,8 +129,10 @@ MemoryAwarePlanner::plan(const MultiLayerBatch& full,
         ++attempts;
         PlanResult result = evaluateK(full, partitioner, k);
         result.attempts = attempts;
-        if (result.fits)
+        if (result.fits) {
+            recordPlanMetrics(result);
             return result;
+        }
         // Splitting beyond one output node per micro-batch can't help.
         if (int64_t(k) >= num_outputs || k == max_k)
             return result;
@@ -104,6 +146,7 @@ MemoryAwarePlanner::planGeometric(const MultiLayerBatch& full,
                                   int32_t max_k) const
 {
     BETTY_ASSERT(max_k >= 1, "bad K bound");
+    BETTY_TRACE_SPAN("plan/search");
     const int64_t num_outputs = int64_t(full.outputNodes().size());
     const int32_t hard_max = int32_t(
         std::min<int64_t>(max_k, std::max<int64_t>(1, num_outputs)));
@@ -143,6 +186,7 @@ MemoryAwarePlanner::planGeometric(const MultiLayerBatch& full,
         }
     }
     best.attempts = attempts;
+    recordPlanMetrics(best);
     return best;
 }
 

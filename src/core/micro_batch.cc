@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -10,6 +11,7 @@ std::vector<MultiLayerBatch>
 extractMicroBatches(const MultiLayerBatch& full,
                     const std::vector<std::vector<int64_t>>& groups)
 {
+    BETTY_TRACE_SPAN("partition/extract_micro_batches");
     const int64_t layers = full.numLayers();
     BETTY_ASSERT(layers > 0, "empty batch");
 

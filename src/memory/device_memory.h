@@ -20,9 +20,48 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 
 namespace betty {
+
+namespace detail {
+
+/** Metric charges for alloc/free/OOM (call only when enabled). */
+inline void
+chargeDeviceAlloc(int64_t bytes, int64_t live)
+{
+    static obs::Counter& alloc_count =
+        obs::Metrics::counter("device.alloc_count");
+    static obs::Counter& alloc_bytes =
+        obs::Metrics::counter("device.alloc_bytes");
+    static obs::Gauge& peak =
+        obs::Metrics::gauge("device.peak_bytes");
+    alloc_count.increment();
+    alloc_bytes.add(bytes);
+    peak.max(live);
+}
+
+inline void
+chargeDeviceFree(int64_t bytes)
+{
+    static obs::Counter& free_count =
+        obs::Metrics::counter("device.free_count");
+    static obs::Counter& free_bytes =
+        obs::Metrics::counter("device.free_bytes");
+    free_count.increment();
+    free_bytes.add(bytes);
+}
+
+inline void
+chargeDeviceOom()
+{
+    static obs::Counter& oom_events =
+        obs::Metrics::counter("device.oom_events");
+    oom_events.increment();
+}
+
+} // namespace detail
 
 /** Byte-accurate device-memory tracker with a capacity limit. */
 class DeviceMemoryModel : public AllocationObserver
@@ -40,17 +79,25 @@ class DeviceMemoryModel : public AllocationObserver
         live_ += bytes;
         if (live_ > peak_)
             peak_ = live_;
+        if (live_ > window_peak_)
+            window_peak_ = live_;
         if (capacity_ > 0 && live_ > capacity_) {
+            if (!oom_ && obs::Metrics::enabled())
+                detail::chargeDeviceOom();
             oom_ = true;
             if (live_ - capacity_ > worst_overshoot_)
                 worst_overshoot_ = live_ - capacity_;
         }
+        if (obs::Metrics::enabled())
+            detail::chargeDeviceAlloc(bytes, live_);
     }
 
     void
     onFree(int64_t bytes) override
     {
         live_ -= bytes;
+        if (obs::Metrics::enabled())
+            detail::chargeDeviceFree(bytes);
     }
 
     int64_t capacity() const { return capacity_; }
@@ -68,9 +115,22 @@ class DeviceMemoryModel : public AllocationObserver
     resetPeak()
     {
         peak_ = live_;
+        window_peak_ = live_;
         oom_ = capacity_ > 0 && live_ > capacity_;
         worst_overshoot_ = oom_ ? live_ - capacity_ : 0;
     }
+
+    /**
+     * Start a measurement window at the current live level. The
+     * window peak answers "what did THIS micro-batch reach" while
+     * peakBytes() keeps the epoch-wide maximum — the trainer uses it
+     * to measure per-micro-batch actual peaks for estimator-residual
+     * telemetry (obs/residual.h) without disturbing epoch stats.
+     */
+    void resetWindow() { window_peak_ = live_; }
+
+    /** Largest live bytes since the last resetWindow()/resetPeak(). */
+    int64_t windowPeakBytes() const { return window_peak_; }
 
     /**
      * RAII installer: tensor allocations inside the scope are routed to
@@ -97,6 +157,7 @@ class DeviceMemoryModel : public AllocationObserver
     int64_t capacity_;
     int64_t live_ = 0;
     int64_t peak_ = 0;
+    int64_t window_peak_ = 0;
     int64_t worst_overshoot_ = 0;
     bool oom_ = false;
 };

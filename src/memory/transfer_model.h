@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace betty {
 
 /** Accumulates simulated host<->device transfer time. */
@@ -37,6 +39,14 @@ class TransferModel
         seconds_ += latency_ + double(bytes) / bandwidth_;
         total_bytes_ += bytes;
         ++num_transfers_;
+        if (obs::Metrics::enabled()) {
+            static obs::Counter& transfer_bytes =
+                obs::Metrics::counter("transfer.bytes");
+            static obs::Counter& transfer_count =
+                obs::Metrics::counter("transfer.count");
+            transfer_bytes.add(bytes);
+            transfer_count.increment();
+        }
     }
 
     double seconds() const { return seconds_; }

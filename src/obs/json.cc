@@ -1,0 +1,253 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace betty::obs {
+
+namespace {
+
+/** Cursor over the input with error reporting. */
+struct Parser
+{
+    const std::string& text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string& message)
+    {
+        if (error.empty())
+            error = message + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word, size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char esc = text[pos++];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    // UTF-8 encode the BMP code point (the exporters
+                    // only emit \u for control characters).
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xC0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3F));
+                    } else {
+                        out += char(0xE0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3F));
+                        out += char(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        const char* start = text.c_str() + pos;
+        char* end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a value");
+        // strtod accepts some non-JSON spellings (hex, inf, nan);
+        // reject anything whose first character JSON disallows.
+        const char first = *start;
+        if (first != '-' &&
+            !std::isdigit(static_cast<unsigned char>(first)))
+            return fail("expected a value");
+        out.kind = JsonValue::Kind::Number;
+        pos += size_t(end - start);
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipSpace();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace(std::move(key), std::move(value));
+            skipSpace();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, JsonValue& out, std::string* error)
+{
+    Parser parser{text, 0, {}};
+    if (!parser.parseValue(out)) {
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    parser.skipSpace();
+    if (parser.pos != text.size()) {
+        parser.fail("trailing characters");
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace betty::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Exists so the observability exports (Chrome traces, metric
+ * snapshots) can be validated in-process — by tests/test_obs.cc and
+ * the check_obs_output ctest helper — without an external JSON
+ * dependency. Supports the full JSON value grammar the exporters
+ * emit: objects, arrays, strings with the common escapes, numbers,
+ * booleans and null. Not a streaming parser; intended for test-sized
+ * documents.
+ */
+#ifndef BETTY_OBS_JSON_H
+#define BETTY_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace betty::obs {
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key, or nullptr if absent / not an object. */
+    const JsonValue*
+    find(const std::string& key) const
+    {
+        if (!isObject())
+            return nullptr;
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+
+    /** Number as int64 (truncating); 0 when not a number. */
+    int64_t asInt() const { return int64_t(number); }
+};
+
+/**
+ * Parse @p text as one JSON document. Returns false on malformed
+ * input (trailing garbage included) and, when @p error is non-null,
+ * describes the first problem and its offset.
+ */
+bool parseJson(const std::string& text, JsonValue& out,
+               std::string* error = nullptr);
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_JSON_H

@@ -1,0 +1,104 @@
+#include "obs/residual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace betty::obs {
+
+void
+ResidualTracker::record(int64_t predicted_bytes, int64_t actual_bytes)
+{
+    if (!Metrics::enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(ResidualEntry{predicted_bytes, actual_bytes});
+}
+
+std::vector<ResidualEntry>
+ResidualTracker::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+ResidualSummary
+ResidualTracker::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResidualSummary summary;
+    summary.count = int64_t(entries_.size());
+    if (entries_.empty())
+        return summary;
+
+    double abs_bytes = 0.0, abs_rel = 0.0, signed_rel = 0.0;
+    int64_t rel_count = 0;
+    for (const auto& entry : entries_) {
+        abs_bytes += std::abs(double(entry.residualBytes()));
+        if (entry.actualBytes != 0) {
+            const double rel = entry.relativeError();
+            abs_rel += std::abs(rel);
+            signed_rel += rel;
+            summary.maxAbsRelative =
+                std::max(summary.maxAbsRelative, std::abs(rel));
+            ++rel_count;
+        }
+    }
+    summary.meanAbsBytes = abs_bytes / double(entries_.size());
+    if (rel_count > 0) {
+        summary.meanAbsRelative = abs_rel / double(rel_count);
+        summary.bias = signed_rel / double(rel_count);
+    }
+    return summary;
+}
+
+void
+ResidualTracker::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+std::string
+ResidualTracker::toJson() const
+{
+    const auto summary_copy = summary();
+    const auto entries_copy = entries();
+
+    std::string out = "{\"entries\": [";
+    char buf[160];
+    for (size_t i = 0; i < entries_copy.size(); ++i) {
+        const auto& entry = entries_copy[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"index\": %zu, \"predicted_bytes\": %lld, "
+                      "\"actual_bytes\": %lld, \"residual_bytes\": "
+                      "%lld, \"relative_error\": %.6g}",
+                      i ? ", " : "", i,
+                      (long long)entry.predictedBytes,
+                      (long long)entry.actualBytes,
+                      (long long)entry.residualBytes(),
+                      entry.relativeError());
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "], \"summary\": {\"count\": %lld, "
+                  "\"mean_abs_bytes\": %.6g, \"mean_abs_relative\": "
+                  "%.6g, \"max_abs_relative\": %.6g, \"bias\": %.6g}}",
+                  (long long)summary_copy.count,
+                  summary_copy.meanAbsBytes,
+                  summary_copy.meanAbsRelative,
+                  summary_copy.maxAbsRelative, summary_copy.bias);
+    out += buf;
+    return out;
+}
+
+ResidualTracker&
+residuals()
+{
+    static ResidualTracker* instance = new ResidualTracker;
+    return *instance;
+}
+
+} // namespace betty::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Estimator-residual telemetry: predicted vs. actual peak bytes per
+ * micro-batch.
+ *
+ * The memory-aware planner sizes K from estimateBatchMemory() alone
+ * (paper §4.4.3, Table 3); if the analytical model drifts from what
+ * the device actually allocates, the planner under- or over-splits
+ * silently. The trainer records one (predicted, actual) pair per
+ * micro-batch here, so model drift is a queryable metric — exported
+ * inside the metrics JSON as "estimator_residuals" — instead of a
+ * silent modeling error.
+ *
+ * Recording is gated on Metrics::enabled() like every collector:
+ * disabled cost is one branch at the call site (callers also skip
+ * computing the estimate itself when disabled).
+ */
+#ifndef BETTY_OBS_RESIDUAL_H
+#define BETTY_OBS_RESIDUAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace betty::obs {
+
+/** One micro-batch's predicted vs. measured peak. */
+struct ResidualEntry
+{
+    /** Estimator's peak-bytes prediction for the micro-batch. */
+    int64_t predictedBytes = 0;
+
+    /** Measured peak bytes while training that micro-batch. */
+    int64_t actualBytes = 0;
+
+    /** predicted - actual (positive = overestimate). */
+    int64_t residualBytes() const
+    {
+        return predictedBytes - actualBytes;
+    }
+
+    /** residual / actual; 0 when actual is 0. */
+    double
+    relativeError() const
+    {
+        if (actualBytes == 0)
+            return 0.0;
+        return double(residualBytes()) / double(actualBytes);
+    }
+};
+
+/** Aggregate view of the recorded residuals. */
+struct ResidualSummary
+{
+    int64_t count = 0;
+
+    /** Mean |predicted - actual| in bytes. */
+    double meanAbsBytes = 0.0;
+
+    /** Mean |relative error| (entries with actual == 0 excluded). */
+    double meanAbsRelative = 0.0;
+
+    /** Largest |relative error|. */
+    double maxAbsRelative = 0.0;
+
+    /** Mean signed relative error: > 0 means the estimator
+     * systematically overestimates. */
+    double bias = 0.0;
+};
+
+/** Thread-safe accumulator of estimator residuals. */
+class ResidualTracker
+{
+  public:
+    /** Record one micro-batch (no-op while metrics are disabled). */
+    void record(int64_t predicted_bytes, int64_t actual_bytes);
+
+    /** Copy of every recorded entry, in record order. */
+    std::vector<ResidualEntry> entries() const;
+
+    ResidualSummary summary() const;
+
+    void reset();
+
+    /** JSON object: {"entries": [...], "summary": {...}}. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<ResidualEntry> entries_;
+};
+
+/** The process-wide tracker the trainer records into. */
+ResidualTracker& residuals();
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_RESIDUAL_H

@@ -1,0 +1,262 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace betty::obs {
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace {
+
+/**
+ * One thread's event ring. Written lock-free by its owning thread;
+ * readers synchronize through the head counter (release on write,
+ * acquire on read), so snapshotting after the writer has quiesced —
+ * the supported usage — observes every event.
+ */
+struct ThreadBuffer
+{
+    explicit ThreadBuffer(size_t capacity) : ring(capacity) {}
+
+    std::vector<TraceEvent> ring;
+    /** Total events ever recorded; ring index is head % capacity. */
+    std::atomic<size_t> head{0};
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::unordered_map<int32_t, std::string> laneNames;
+    int32_t nextLane = 0;
+    std::atomic<size_t> ringCapacity{1 << 16};
+};
+
+Registry&
+registry()
+{
+    static Registry* instance = new Registry; // leaked: outlives threads
+    return *instance;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> tls_buffer;
+thread_local int32_t tls_lane = -1;
+
+ThreadBuffer&
+threadBuffer()
+{
+    if (!tls_buffer) {
+        auto& reg = registry();
+        auto buffer = std::make_shared<ThreadBuffer>(
+            reg.ringCapacity.load(std::memory_order_relaxed));
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        if (tls_lane < 0)
+            tls_lane = reg.nextLane++;
+        reg.buffers.push_back(buffer);
+        tls_buffer = std::move(buffer);
+    }
+    return *tls_buffer;
+}
+
+void
+appendJsonEscaped(std::string& out, const std::string& text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+Trace::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+int64_t
+Trace::nowUs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point anchor = Clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - anchor)
+        .count();
+}
+
+void
+Trace::record(const char* name, int64_t start_us, int64_t dur_us)
+{
+    ThreadBuffer& buffer = threadBuffer();
+    const size_t head = buffer.head.load(std::memory_order_relaxed);
+    buffer.ring[head % buffer.ring.size()] =
+        TraceEvent{name, start_us, dur_us, currentLane()};
+    buffer.head.store(head + 1, std::memory_order_release);
+}
+
+void
+Trace::setLane(int32_t lane, const std::string& name)
+{
+    tls_lane = lane;
+    if (!name.empty()) {
+        auto& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.laneNames[lane] = name;
+    }
+}
+
+int32_t
+Trace::currentLane()
+{
+    if (tls_lane < 0) {
+        auto& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        if (tls_lane < 0)
+            tls_lane = reg.nextLane++;
+    }
+    return tls_lane;
+}
+
+void
+Trace::setRingCapacity(size_t events)
+{
+    registry().ringCapacity.store(events > 0 ? events : 1,
+                                  std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent>
+Trace::snapshot()
+{
+    auto& reg = registry();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    std::vector<TraceEvent> events;
+    for (const auto& buffer : buffers) {
+        const size_t head =
+            buffer->head.load(std::memory_order_acquire);
+        const size_t capacity = buffer->ring.size();
+        const size_t count = head < capacity ? head : capacity;
+        const size_t first = head - count; // oldest retained event
+        for (size_t i = 0; i < count; ++i)
+            events.push_back(buffer->ring[(first + i) % capacity]);
+    }
+    return events;
+}
+
+int64_t
+Trace::droppedEvents()
+{
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    int64_t dropped = 0;
+    for (const auto& buffer : reg.buffers) {
+        const size_t head =
+            buffer->head.load(std::memory_order_acquire);
+        if (head > buffer->ring.size())
+            dropped += int64_t(head - buffer->ring.size());
+    }
+    return dropped;
+}
+
+void
+Trace::clear()
+{
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& buffer : reg.buffers)
+        buffer->head.store(0, std::memory_order_release);
+}
+
+std::string
+Trace::chromeTraceJson()
+{
+    const auto events = snapshot();
+    std::unordered_map<int32_t, std::string> lane_names;
+    {
+        auto& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        lane_names = reg.laneNames;
+    }
+
+    std::string out;
+    out.reserve(events.size() * 96 + 256);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"betty\"}}";
+    for (const auto& [lane, name] : lane_names) {
+        out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":";
+        out += std::to_string(lane);
+        out += ",\"args\":{\"name\":\"";
+        appendJsonEscaped(out, name);
+        out += "\"}}";
+    }
+    char line[256];
+    for (const auto& event : events) {
+        std::string name;
+        appendJsonEscaped(name, event.name);
+        std::snprintf(line, sizeof(line),
+                      ",{\"name\":\"%s\",\"cat\":\"betty\","
+                      "\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+                      "\"pid\":1,\"tid\":%d}",
+                      name.c_str(), (long long)event.startUs,
+                      (long long)event.durUs, event.lane);
+        out += line;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Trace::writeChromeTrace(const std::string& path)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::string json = chromeTraceJson();
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    return written == json.size();
+}
+
+TraceLaneScope::TraceLaneScope(int32_t lane, const std::string& name)
+    : previous_(Trace::currentLane())
+{
+    Trace::setLane(lane, name);
+}
+
+TraceLaneScope::~TraceLaneScope()
+{
+    Trace::setLane(previous_);
+}
+
+} // namespace betty::obs

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Scoped trace spans exported as Chrome trace_event JSON.
+ *
+ * Betty's performance story is about where time goes — sampling vs.
+ * REG construction vs. K-way partitioning vs. transfer vs. compute
+ * (paper §4.3–§4.4) — so the hot paths are bracketed with
+ * BETTY_TRACE_SPAN("phase/name") markers. Each span records into a
+ * per-thread ring buffer; Trace::writeChromeTrace() merges the buffers
+ * into a JSON file that chrome://tracing or https://ui.perfetto.dev
+ * can open directly.
+ *
+ * Cost model: collection is off by default, and a disabled span costs
+ * exactly one relaxed atomic load and branch in its constructor (no
+ * allocation, no lock, no clock read) — cheap enough to leave in
+ * per-micro-batch and per-partition-phase code permanently. When
+ * enabled, recording is lock-free: each thread appends to its own
+ * fixed-capacity ring (oldest events are overwritten once full, and
+ * counted as dropped).
+ *
+ * Simulated devices execute serially on one OS thread; TraceLaneScope
+ * reassigns the lane ("tid" in the Chrome JSON) so each device still
+ * gets its own swimlane in the viewer.
+ */
+#ifndef BETTY_OBS_TRACE_H
+#define BETTY_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace betty::obs {
+
+/** One completed span, timestamps in microseconds since trace start. */
+struct TraceEvent
+{
+    /** Span label; must point at storage that outlives the trace
+     * (string literals in practice). */
+    const char* name = nullptr;
+
+    /** Start time, microseconds since the process time anchor. */
+    int64_t startUs = 0;
+
+    /** Duration in microseconds. */
+    int64_t durUs = 0;
+
+    /** Swimlane ("tid" in the exported JSON): the recording thread's
+     * ordinal, unless overridden by TraceLaneScope. */
+    int32_t lane = 0;
+};
+
+/** Process-wide trace collector (all methods are static). */
+class Trace
+{
+  public:
+    /** True if spans are being recorded. Hot-path gate. */
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Turn collection on or off (off drops nothing already recorded). */
+    static void setEnabled(bool on);
+
+    /** Microseconds since the process time anchor (first use). */
+    static int64_t nowUs();
+
+    /** Append one completed span for the calling thread. */
+    static void record(const char* name, int64_t start_us,
+                       int64_t dur_us);
+
+    /**
+     * Override the calling thread's lane id (and optionally give the
+     * lane a display name). Prefer TraceLaneScope for scoped use.
+     */
+    static void setLane(int32_t lane, const std::string& name = "");
+
+    /** The calling thread's current lane id. */
+    static int32_t currentLane();
+
+    /**
+     * Ring capacity (events) for buffers of threads that have not
+     * recorded yet; existing buffers keep their capacity.
+     */
+    static void setRingCapacity(size_t events);
+
+    /** All retained events from every thread, oldest first per lane. */
+    static std::vector<TraceEvent> snapshot();
+
+    /** Events overwritten because a ring filled up, across threads. */
+    static int64_t droppedEvents();
+
+    /**
+     * Drop all recorded events (buffers stay registered). Only call
+     * while no other thread is recording.
+     */
+    static void clear();
+
+    /** The merged trace as a Chrome trace_event JSON document. */
+    static std::string chromeTraceJson();
+
+    /** Write chromeTraceJson() to @p path; returns success. */
+    static bool writeChromeTrace(const std::string& path);
+
+  private:
+    static std::atomic<bool> enabled_;
+};
+
+/** RAII span: records [construction, destruction) when tracing is on. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char* name)
+    {
+        if (Trace::enabled()) {
+            name_ = name;
+            start_ = Trace::nowUs();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (name_)
+            Trace::record(name_, start_, Trace::nowUs() - start_);
+    }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    const char* name_ = nullptr;
+    int64_t start_ = 0;
+};
+
+/** RAII lane override: spans on this thread land in lane @p lane until
+ * the scope ends (used to give each simulated device a swimlane). */
+class TraceLaneScope
+{
+  public:
+    TraceLaneScope(int32_t lane, const std::string& name = "");
+    ~TraceLaneScope();
+
+    TraceLaneScope(const TraceLaneScope&) = delete;
+    TraceLaneScope& operator=(const TraceLaneScope&) = delete;
+
+  private:
+    int32_t previous_;
+};
+
+#define BETTY_OBS_CONCAT2(a, b) a##b
+#define BETTY_OBS_CONCAT(a, b) BETTY_OBS_CONCAT2(a, b)
+
+/** Trace the enclosing scope as a span named @p name (a literal). */
+#define BETTY_TRACE_SPAN(name)                                   \
+    ::betty::obs::TraceSpan BETTY_OBS_CONCAT(betty_trace_span_,  \
+                                             __LINE__)(name)
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_TRACE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "partition/coarsen.h"
 #include "partition/initial.h"
 #include "partition/refine.h"
@@ -24,25 +25,32 @@ multilevelCycle(const WeightedGraph& graph, const KwayOptions& opts,
     // stops shrinking it (>95% survival means mostly singletons).
     std::vector<CoarseLevel> levels;
     const WeightedGraph* current = &graph;
-    while (current->numNodes() > coarsen_target) {
-        const auto matching = heavyEdgeMatching(*current, rng);
-        CoarseLevel level = coarsen(*current, matching);
-        if (level.graph.numNodes() >
-            int64_t(double(current->numNodes()) * 0.95)) {
-            break;
+    {
+        BETTY_TRACE_SPAN("partition/coarsen");
+        while (current->numNodes() > coarsen_target) {
+            const auto matching = heavyEdgeMatching(*current, rng);
+            CoarseLevel level = coarsen(*current, matching);
+            if (level.graph.numNodes() >
+                int64_t(double(current->numNodes()) * 0.95)) {
+                break;
+            }
+            levels.push_back(std::move(level));
+            current = &levels.back().graph;
         }
-        levels.push_back(std::move(level));
-        current = &levels.back().graph;
     }
 
     // Initial partition on the coarsest graph, then refine it there.
-    std::vector<int32_t> parts =
-        greedyGrowPartition(*current, opts.k, rng);
-    rebalance(*current, parts, opts.k, opts.imbalance, rng);
-    refineKway(*current, parts, opts.k, opts.imbalance, opts.refinePasses,
-               rng);
+    std::vector<int32_t> parts;
+    {
+        BETTY_TRACE_SPAN("partition/initial");
+        parts = greedyGrowPartition(*current, opts.k, rng);
+        rebalance(*current, parts, opts.k, opts.imbalance, rng);
+        refineKway(*current, parts, opts.k, opts.imbalance,
+                   opts.refinePasses, rng);
+    }
 
     // Uncoarsening: project through the levels, refining each time.
+    BETTY_TRACE_SPAN("partition/refine");
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
         const WeightedGraph& finer =
             (std::next(it) == levels.rend()) ? graph
@@ -66,6 +74,7 @@ std::vector<int32_t>
 kwayPartition(const WeightedGraph& graph, const KwayOptions& opts)
 {
     BETTY_ASSERT(opts.k >= 1, "k must be >= 1");
+    BETTY_TRACE_SPAN("partition/kway");
     const int64_t n = graph.numNodes();
     if (opts.k == 1 || n == 0)
         return std::vector<int32_t>(size_t(n), 0);
@@ -92,6 +101,7 @@ kwayPartitionWarm(const WeightedGraph& graph, const KwayOptions& opts,
                   std::vector<int32_t> initial)
 {
     BETTY_ASSERT(opts.k >= 1, "k must be >= 1");
+    BETTY_TRACE_SPAN("partition/kway_warm");
     BETTY_ASSERT(int64_t(initial.size()) == graph.numNodes(),
                  "initial assignment size mismatch");
     if (opts.k == 1 || graph.numNodes() == 0)

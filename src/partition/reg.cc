@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -11,6 +13,7 @@ namespace betty {
 WeightedGraph
 buildReg(const Block& last_block, const RegOptions& opts)
 {
+    BETTY_TRACE_SPAN("partition/reg_build");
     const int64_t num_dst = last_block.numDst();
     const int64_t num_src = last_block.numSrc();
 
@@ -65,6 +68,14 @@ buildReg(const Block& last_block, const RegOptions& opts)
             vertex_weights[size_t(d)] = 1 + last_block.inDegree(d);
     }
 
+    if (obs::Metrics::enabled()) {
+        static obs::Counter& builds =
+            obs::Metrics::counter("partition.reg_builds");
+        static obs::Counter& reg_edges =
+            obs::Metrics::counter("partition.reg_edges");
+        builds.increment();
+        reg_edges.add(int64_t(edges.size()));
+    }
     return WeightedGraph(num_dst, edges, std::move(vertex_weights));
 }
 

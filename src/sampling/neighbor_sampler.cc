@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -18,6 +20,7 @@ MultiLayerBatch
 NeighborSampler::sample(const std::vector<int64_t>& seeds)
 {
     BETTY_ASSERT(!seeds.empty(), "cannot sample an empty seed set");
+    BETTY_TRACE_SPAN("sample/neighbor");
 
     MultiLayerBatch batch;
     batch.blocks.resize(size_t(fanouts_.size()));
@@ -46,6 +49,19 @@ NeighborSampler::sample(const std::vector<int64_t>& seeds)
         batch.blocks[size_t(layer)] =
             Block(std::move(layer_seeds), src_per_dst);
         layer_seeds = batch.blocks[size_t(layer)].srcNodes();
+    }
+    if (obs::Metrics::enabled()) {
+        static obs::Counter& batches =
+            obs::Metrics::counter("sampler.batches");
+        static obs::Counter& fanout_nodes =
+            obs::Metrics::counter("sampler.fanout_nodes");
+        static obs::Counter& edges =
+            obs::Metrics::counter("sampler.edges");
+        batches.increment();
+        // "Fanout nodes": first-layer inputs — the feature rows this
+        // batch will force onto the device (Table 6's metric).
+        fanout_nodes.add(int64_t(batch.inputNodes().size()));
+        edges.add(batch.totalEdges());
     }
     return batch;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -77,8 +80,14 @@ MultiDeviceTrainer::trainMicroBatches(
 
     // Devices would run concurrently; we execute serially per device
     // and take the max busy time, which is exact for the simulated
-    // clock (no shared resources between simulated devices).
+    // clock (no shared resources between simulated devices). Each
+    // device's spans land in its own trace lane so the serialized
+    // execution still renders as parallel swimlanes in the viewer.
     for (int32_t device_id = 0; device_id < devices; ++device_id) {
+        obs::TraceLaneScope lane(
+            1000 + device_id,
+            "device" + std::to_string(device_id));
+        BETTY_TRACE_SPAN("multi/device");
         DeviceMemoryModel device(config_.deviceCapacityBytes);
         TransferModel link(config_.hostLinkBandwidth);
         double busy = 0.0;
@@ -91,6 +100,7 @@ MultiDeviceTrainer::trainMicroBatches(
                 int64_t(batch.outputNodes().size());
             if (outputs == 0)
                 continue;
+            BETTY_TRACE_SPAN("train/micro_batch");
             ++stats.batchesPerDevice[size_t(device_id)];
 
             DeviceMemoryModel::Scope scope(device);
@@ -102,12 +112,17 @@ MultiDeviceTrainer::trainMicroBatches(
                 const auto& inputs = batch.inputNodes();
                 const int64_t dim = dataset_.featureDim();
                 Tensor features(int64_t(inputs.size()), dim);
-                for (size_t r = 0; r < inputs.size(); ++r)
-                    std::copy_n(dataset_.features.data() +
-                                    inputs[r] * dim,
-                                dim,
-                                features.data() + int64_t(r) * dim);
-                link.transfer(features.bytes() + structure_bytes);
+                {
+                    BETTY_TRACE_SPAN("train/transfer");
+                    for (size_t r = 0; r < inputs.size(); ++r)
+                        std::copy_n(dataset_.features.data() +
+                                        inputs[r] * dim,
+                                    dim,
+                                    features.data() +
+                                        int64_t(r) * dim);
+                    link.transfer(features.bytes() +
+                                  structure_bytes);
+                }
 
                 std::vector<int32_t> labels;
                 labels.reserve(size_t(outputs));
@@ -115,14 +130,21 @@ MultiDeviceTrainer::trainMicroBatches(
                     labels.push_back(dataset_.labels[size_t(v)]);
 
                 Timer timer;
-                const auto logits = model_.forward(
-                    batch, ag::constant(std::move(features)));
+                ag::NodePtr logits;
+                {
+                    BETTY_TRACE_SPAN("train/forward");
+                    logits = model_.forward(
+                        batch, ag::constant(std::move(features)));
+                }
                 correct += ag::countCorrect(logits->value, labels);
                 const auto loss = ag::softmaxCrossEntropy(
                     logits, std::move(labels));
                 const float weight = float(double(outputs) /
                                            double(total_outputs));
-                ag::backward(ag::scale(loss, weight));
+                {
+                    BETTY_TRACE_SPAN("train/backward");
+                    ag::backward(ag::scale(loss, weight));
+                }
                 busy += timer.seconds();
                 stats.loss +=
                     double(loss->value.at(0, 0)) * double(weight);
@@ -148,9 +170,16 @@ MultiDeviceTrainer::trainMicroBatches(
                 double(grad_bytes) / config_.interconnectBandwidth;
     }
     {
+        BETTY_TRACE_SPAN("train/step");
         Timer timer;
         optimizer_.step();
         stats.allreduceSeconds += timer.seconds();
+    }
+    if (obs::Metrics::enabled()) {
+        static obs::Gauge& allreduce_us =
+            obs::Metrics::gauge("multi.allreduce_microseconds");
+        allreduce_us.set(
+            int64_t(stats.allreduceSeconds * 1e6));
     }
 
     stats.epochSeconds =

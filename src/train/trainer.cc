@@ -1,5 +1,9 @@
 #include "train/trainer.h"
 
+#include "memory/estimator.h"
+#include "obs/metrics.h"
+#include "obs/residual.h"
+#include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -15,6 +19,17 @@ batchNodeCount(const MultiLayerBatch& batch)
     for (const auto& block : batch.blocks)
         total += block.numSrc();
     return total;
+}
+
+/** Per-micro-batch wall-time histogram (1ms .. ~16s buckets). */
+obs::Histogram&
+microBatchSecondsHistogram()
+{
+    static obs::Histogram& histogram = obs::Metrics::histogram(
+        "trainer.microbatch_seconds",
+        {0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128,
+         0.256, 0.512, 1.0, 2.0, 4.0, 8.0, 16.0});
+    return histogram;
 }
 
 } // namespace
@@ -38,6 +53,9 @@ Trainer::blockBytes(const MultiLayerBatch& batch)
 ag::NodePtr
 Trainer::loadFeatures(const MultiLayerBatch& batch)
 {
+    // The host-side gather IS the transfer work in this simulated
+    // setup, so the span covers gather + the analytic charge.
+    BETTY_TRACE_SPAN("train/transfer");
     const auto& inputs = batch.inputNodes();
     const int64_t dim = dataset_.featureDim();
     Tensor features(int64_t(inputs.size()), dim);
@@ -69,7 +87,11 @@ Trainer::forwardBatch(const MultiLayerBatch& batch)
 {
     ForwardResult result;
     const auto features = loadFeatures(batch);
-    const auto logits = model_.forward(batch, features);
+    ag::NodePtr logits;
+    {
+        BETTY_TRACE_SPAN("train/forward");
+        logits = model_.forward(batch, features);
+    }
     auto labels = loadLabels(batch);
     result.correct = ag::countCorrect(logits->value, labels);
     result.outputs = int64_t(labels.size());
@@ -81,6 +103,7 @@ EpochStats
 Trainer::trainMicroBatches(
     const std::vector<MultiLayerBatch>& micro_batches)
 {
+    BETTY_TRACE_SPAN("train/accumulation_step");
     EpochStats stats;
     if (device_)
         device_->resetPeak();
@@ -96,12 +119,15 @@ Trainer::trainMicroBatches(
         const int64_t outputs = int64_t(batch.outputNodes().size());
         if (outputs == 0)
             continue;
+        BETTY_TRACE_SPAN("train/micro_batch");
         stats.inputNodesProcessed += int64_t(batch.inputNodes().size());
         stats.totalNodesProcessed += batchNodeCount(batch);
 
         const int64_t structure_bytes = blockBytes(batch);
-        if (device_)
+        if (device_) {
+            device_->resetWindow();
             device_->onAlloc(structure_bytes);
+        }
         {
             Timer timer;
             ForwardResult fwd = forwardBatch(batch);
@@ -110,8 +136,12 @@ Trainer::trainMicroBatches(
             // batch's mean-loss gradient (paper §4.2.3).
             const float weight =
                 float(double(fwd.outputs) / double(total_outputs));
-            ag::backward(ag::scale(fwd.loss, weight));
+            {
+                BETTY_TRACE_SPAN("train/backward");
+                ag::backward(ag::scale(fwd.loss, weight));
+            }
             stats.computeSeconds += timer.seconds();
+            microBatchSecondsHistogram().observe(timer.seconds());
             stats.loss += double(fwd.loss->value.at(0, 0)) *
                           double(weight);
             correct += fwd.correct;
@@ -119,11 +149,22 @@ Trainer::trainMicroBatches(
             // here — only parameter gradients persist, matching the
             // paper's "only the gradients are stored" (§4.2.3).
         }
-        if (device_)
+        if (device_) {
             device_->onFree(structure_bytes);
+            if (obs::Metrics::enabled()) {
+                // Estimator-residual telemetry: what the planner's
+                // model predicted for this micro-batch vs. what the
+                // device actually reached (paper §4.4, Table 3).
+                const MemoryEstimate predicted = estimateBatchMemory(
+                    batch, model_.memorySpec());
+                obs::residuals().record(predicted.peak,
+                                        device_->windowPeakBytes());
+            }
+        }
     }
 
     {
+        BETTY_TRACE_SPAN("train/step");
         Timer timer;
         optimizer_.step();
         stats.computeSeconds += timer.seconds();
@@ -137,6 +178,12 @@ Trainer::trainMicroBatches(
     if (device_) {
         stats.peakBytes = device_->peakBytes();
         stats.oom = device_->oomOccurred();
+        if (stats.oom)
+            warnOnce("device budget exceeded during micro-batch "
+                     "training (worst overshoot ",
+                     device_->worstOvershoot(),
+                     " bytes); reporting once — see the "
+                     "device.oom_events metric for the full count");
     }
     return stats;
 }
@@ -144,6 +191,7 @@ Trainer::trainMicroBatches(
 EpochStats
 Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
 {
+    BETTY_TRACE_SPAN("train/mini_batch_epoch");
     EpochStats stats;
     if (device_)
         device_->resetPeak();
@@ -163,12 +211,20 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
         if (device_)
             device_->onAlloc(structure_bytes);
         {
+            BETTY_TRACE_SPAN("train/micro_batch");
             Timer timer;
             optimizer_.zeroGrad();
             ForwardResult fwd = forwardBatch(batch);
-            ag::backward(fwd.loss);
-            optimizer_.step();
+            {
+                BETTY_TRACE_SPAN("train/backward");
+                ag::backward(fwd.loss);
+            }
+            {
+                BETTY_TRACE_SPAN("train/step");
+                optimizer_.step();
+            }
             stats.computeSeconds += timer.seconds();
+            microBatchSecondsHistogram().observe(timer.seconds());
             loss_sum += double(fwd.loss->value.at(0, 0)) *
                         double(outputs);
             correct += fwd.correct;

@@ -7,17 +7,37 @@
  * (bad configuration, impossible request). Exits with code 1.
  * panic(): an internal invariant was violated — a bug in this library.
  * Aborts so a debugger/core dump can capture the state.
+ *
+ * Verbosity: warn()/inform()/debugLog() are filtered by a level read
+ * from the BETTY_LOG_LEVEL environment variable (a number 0-4 or one
+ * of silent/error/warn/info/debug; default info) and overridable at
+ * runtime with setLogLevel(). fatal()/panic() always print.
+ * warnOnce() and BETTY_WARN_ONCE suppress repeats so a per-micro-batch
+ * warning cannot flood a long training run.
  */
 #ifndef BETTY_UTIL_LOGGING_H
 #define BETTY_UTIL_LOGGING_H
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 namespace betty {
+
+/** Message severities, most to least severe. */
+enum class LogLevel : int {
+    Silent = 0, ///< nothing below fatal/panic
+    Error = 1,  ///< reserved for recoverable-error reporting
+    Warn = 2,   ///< warn()
+    Info = 3,   ///< inform() — the default
+    Debug = 4,  ///< debugLog()
+};
 
 namespace detail {
 
@@ -31,7 +51,65 @@ concatMessage(Args&&... args)
     return os.str();
 }
 
+inline std::atomic<int>&
+logLevelStorage()
+{
+    static std::atomic<int> level{-1}; // -1 = read env on first use
+    return level;
+}
+
+inline int
+parseLogLevel(const char* text)
+{
+    if (std::strcmp(text, "silent") == 0)
+        return int(LogLevel::Silent);
+    if (std::strcmp(text, "error") == 0)
+        return int(LogLevel::Error);
+    if (std::strcmp(text, "warn") == 0)
+        return int(LogLevel::Warn);
+    if (std::strcmp(text, "info") == 0)
+        return int(LogLevel::Info);
+    if (std::strcmp(text, "debug") == 0)
+        return int(LogLevel::Debug);
+    if (text[0] >= '0' && text[0] <= '9')
+        return std::atoi(text);
+    return int(LogLevel::Info);
+}
+
+/** True exactly once per distinct message text. */
+inline bool
+firstSighting(const std::string& message)
+{
+    static std::mutex mutex;
+    static std::unordered_set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mutex);
+    return seen.insert(message).second;
+}
+
 } // namespace detail
+
+/** Active verbosity (BETTY_LOG_LEVEL, unless setLogLevel() ran). */
+inline LogLevel
+logLevel()
+{
+    auto& storage = detail::logLevelStorage();
+    int level = storage.load(std::memory_order_relaxed);
+    if (level < 0) {
+        const char* env = std::getenv("BETTY_LOG_LEVEL");
+        level = env ? detail::parseLogLevel(env)
+                    : int(LogLevel::Info);
+        storage.store(level, std::memory_order_relaxed);
+    }
+    return LogLevel(level);
+}
+
+/** Override the verbosity (wins over BETTY_LOG_LEVEL). */
+inline void
+setLogLevel(LogLevel level)
+{
+    detail::logLevelStorage().store(int(level),
+                                    std::memory_order_relaxed);
+}
 
 /** Report a user-caused unrecoverable error and exit(1). */
 template <typename... Args>
@@ -58,8 +136,28 @@ template <typename... Args>
 void
 warn(Args&&... args)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n",
                  detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/**
+ * Like warn(), but each distinct message text prints at most once per
+ * process — for warnings raised per micro-batch or per epoch that
+ * would otherwise flood a long run.
+ */
+template <typename... Args>
+void
+warnOnce(Args&&... args)
+{
+    if (logLevel() < LogLevel::Warn)
+        return;
+    std::string message =
+        detail::concatMessage(std::forward<Args>(args)...);
+    if (!detail::firstSighting(message))
+        return;
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
 }
 
 /** Report normal operating status. */
@@ -67,7 +165,20 @@ template <typename... Args>
 void
 inform(Args&&... args)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::fprintf(stdout, "info: %s\n",
+                 detail::concatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Verbose diagnostics, printed only at BETTY_LOG_LEVEL=debug. */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    std::fprintf(stderr, "debug: %s\n",
                  detail::concatMessage(std::forward<Args>(args)...).c_str());
 }
 
@@ -81,6 +192,18 @@ inform(Args&&... args)
             ::betty::panic("assertion '", #cond, "' failed at ", __FILE__, \
                            ":", __LINE__, " ", ##__VA_ARGS__);             \
         }                                                                  \
+    } while (0)
+
+/**
+ * Warn at most once per call site (cheaper than warnOnce(): no
+ * message formatting or dedup lookup after the first hit).
+ */
+#define BETTY_WARN_ONCE(...)                                         \
+    do {                                                             \
+        static std::atomic<bool> betty_warned_once{false};           \
+        if (!betty_warned_once.exchange(true,                        \
+                                        std::memory_order_relaxed))  \
+            ::betty::warn(__VA_ARGS__);                              \
     } while (0)
 
 } // namespace betty
