@@ -10,7 +10,7 @@
  *               [--lr F] [--budget-mib N] [--devices N]
  *               [--partitioner betty|metis|random|range] [--warm]
  *               [--data-cache FILE] [--trace-out=FILE]
- *               [--metrics-out=FILE]
+ *               [--metrics-out=FILE] [--memprof-out=FILE]
  *
  * Every epoch resamples the full batch, (re)partitions it under the
  * memory budget, trains with gradient accumulation and prints loss /
@@ -21,9 +21,15 @@
  * --trace-out=FILE enables span collection and writes a Chrome
  * trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
  * --metrics-out=FILE enables the metric registry and writes its JSON
- * snapshot, including per-micro-batch estimator residuals. With both
- * flags absent the collectors stay disabled (one branch per site).
+ * snapshot, including per-micro-batch estimator residuals.
+ * --memprof-out=FILE enables metrics and writes a structured run
+ * report: dataset/config echo, per-epoch stats, the per-micro-batch
+ * Table 3 category breakdown with estimator residuals, and the
+ * sampled per-category memory timeline (betty_report prints/diffs
+ * it). With all flags absent the collectors stay disabled (one
+ * branch per site).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +38,10 @@
 #include "core/betty.h"
 #include "data/catalog.h"
 #include "data/io.h"
+#include "memory/transfer_model.h"
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "sampling/neighbor_sampler.h"
 #include "train/multi_device.h"
@@ -66,6 +75,8 @@ struct Args
     std::string trace_out;
     /** Metrics JSON destination ("" = metrics disabled). */
     std::string metrics_out;
+    /** Run-report JSON destination ("" = no report; enables metrics). */
+    std::string memprof_out;
 };
 
 std::vector<int64_t>
@@ -137,6 +148,8 @@ parseArgs(int argc, char** argv)
             args.trace_out = next();
         } else if (flag == "--metrics-out") {
             args.metrics_out = next();
+        } else if (flag == "--memprof-out") {
+            args.memprof_out = next();
         } else if (flag == "--help") {
             std::printf("see the file comment for usage\n");
             std::exit(0);
@@ -171,8 +184,15 @@ main(int argc, char** argv)
     const Args args = parseArgs(argc, argv);
     if (!args.trace_out.empty())
         obs::Trace::setEnabled(true);
-    if (!args.metrics_out.empty())
+    // The run report is fed by the metric collectors (memory
+    // profiler, residuals, transfer counters), so --memprof-out
+    // implies metrics collection.
+    if (!args.metrics_out.empty() || !args.memprof_out.empty())
         obs::Metrics::setEnabled(true);
+
+    obs::setRunMeta("binary", "train_cli");
+    obs::setRunMeta("dataset", args.dataset);
+    obs::setRunMeta("model", args.model + "/" + args.aggregator);
 
     Dataset ds;
     if (!args.data_cache.empty() && loadDataset(ds, args.data_cache)) {
@@ -254,7 +274,8 @@ main(int argc, char** argv)
         fatal("unknown partitioner '", args.partitioner, "'");
 
     MemoryAwarePlanner planner(model->memorySpec(), budget);
-    Trainer trainer(ds, *model, adam, &device);
+    TransferModel transfer;
+    Trainer trainer(ds, *model, adam, &device, &transfer);
     MultiDeviceConfig multi_config;
     multi_config.numDevices = args.devices;
     multi_config.deviceCapacityBytes = budget;
@@ -271,6 +292,26 @@ main(int argc, char** argv)
                                "(per epoch)");
     summary.setHeader({"epoch", "K", "loss", "acc", "test",
                        "peak MiB", "seconds", "oom"});
+
+    obs::RunReport report;
+    report.setBinary("train_cli");
+    report.setDataset(ds.name, ds.numNodes(), ds.numEdges(),
+                      ds.numClasses, ds.featureDim());
+    report.setConfig("dataset", args.dataset);
+    report.setConfig("scale", std::to_string(args.scale));
+    report.setConfig("model", args.model);
+    report.setConfig("aggregator", args.aggregator);
+    report.setConfig("layers", std::to_string(args.layers));
+    report.setConfig("hidden", std::to_string(args.hidden));
+    report.setConfig("epochs", std::to_string(args.epochs));
+    report.setConfig("budget_mib", std::to_string(args.budget_mib));
+    report.setConfig("devices", std::to_string(args.devices));
+    report.setConfig("partitioner", args.partitioner);
+
+    int64_t run_peak_bytes = 0;
+    double total_compute_seconds = 0.0;
+    double total_transfer_seconds = 0.0;
+    double final_test_accuracy = 0.0;
 
     int32_t last_k = 1;
     for (int epoch = 1; epoch <= args.epochs; ++epoch) {
@@ -295,6 +336,21 @@ main(int argc, char** argv)
             const auto stats =
                 trainer.trainMicroBatches(plan.microBatches);
             const double test = trainer.evaluate(test_batch);
+            obs::RunReportEpoch epoch_row;
+            epoch_row.epoch = epoch;
+            epoch_row.k = plan.k;
+            epoch_row.loss = stats.loss;
+            epoch_row.accuracy = stats.accuracy;
+            epoch_row.testAccuracy = test;
+            epoch_row.peakBytes = stats.peakBytes;
+            epoch_row.computeSeconds = stats.computeSeconds;
+            epoch_row.transferSeconds = stats.transferSeconds;
+            epoch_row.oom = stats.oom;
+            report.addEpoch(epoch_row);
+            run_peak_bytes = std::max(run_peak_bytes, stats.peakBytes);
+            total_compute_seconds += stats.computeSeconds;
+            total_transfer_seconds += stats.transferSeconds;
+            final_test_accuracy = test;
             inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
                    "  loss ", TablePrinter::num(stats.loss, 4),
                    "  acc ", TablePrinter::num(stats.accuracy, 3),
@@ -314,6 +370,20 @@ main(int argc, char** argv)
             const auto stats =
                 multi_trainer.trainMicroBatches(plan.microBatches);
             const double test = trainer.evaluate(test_batch);
+            obs::RunReportEpoch epoch_row;
+            epoch_row.epoch = epoch;
+            epoch_row.k = plan.k;
+            epoch_row.loss = stats.loss;
+            epoch_row.accuracy = stats.accuracy;
+            epoch_row.testAccuracy = test;
+            epoch_row.peakBytes = stats.maxDevicePeakBytes;
+            epoch_row.computeSeconds = stats.epochSeconds;
+            epoch_row.oom = stats.oom;
+            report.addEpoch(epoch_row);
+            run_peak_bytes =
+                std::max(run_peak_bytes, stats.maxDevicePeakBytes);
+            total_compute_seconds += stats.epochSeconds;
+            final_test_accuracy = test;
             inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
                    "  loss ", TablePrinter::num(stats.loss, 4),
                    "  acc ", TablePrinter::num(stats.accuracy, 3),
@@ -345,6 +415,25 @@ main(int argc, char** argv)
             inform("wrote metrics '", args.metrics_out, "'");
         else
             warn("could not write metrics '", args.metrics_out, "'");
+    }
+    if (!args.memprof_out.empty()) {
+        report.setTimeline(device.timeline());
+        report.setPeakBytes(run_peak_bytes);
+        report.setTotalComputeSeconds(total_compute_seconds);
+        report.setTotalTransferSeconds(total_transfer_seconds);
+        report.setFinalTestAccuracy(final_test_accuracy);
+        report.setEdgeCut(
+            obs::Metrics::gauge("partition.edge_cut").value());
+        report.setTransferBytes(
+            obs::Metrics::counter("transfer.bytes").value());
+        report.setOomEvents(
+            obs::Metrics::counter("device.oom_events").value());
+        if (report.writeJson(args.memprof_out))
+            inform("wrote run report '", args.memprof_out,
+                   "' (inspect with betty_report)");
+        else
+            warn("could not write run report '", args.memprof_out,
+                 "'");
     }
     return 0;
 }

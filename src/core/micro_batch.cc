@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -60,6 +61,16 @@ extractMicroBatches(const MultiLayerBatch& full,
             seeds = micro.blocks[size_t(layer)].srcNodes();
         }
         micros.push_back(std::move(micro));
+    }
+    if (obs::Metrics::enabled()) {
+        // Structure bytes (Table 3 item (4)) across the extracted
+        // micro-batches: K copies of shared edges make this exceed the
+        // full batch's structureBytes() — the redundancy Betty trades
+        // for peak-memory headroom.
+        static obs::Counter& structure_bytes =
+            obs::Metrics::counter("micro_batch.structure_bytes");
+        for (const auto& micro : micros)
+            structure_bytes.add(micro.structureBytes());
     }
     return micros;
 }

@@ -18,10 +18,15 @@
 #ifndef BETTY_MEMORY_DEVICE_MEMORY_H
 #define BETTY_MEMORY_DEVICE_MEMORY_H
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
+#include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
+#include "util/logging.h"
 
 namespace betty {
 
@@ -73,36 +78,89 @@ class DeviceMemoryModel : public AllocationObserver
     {
     }
 
+    using AllocationObserver::onAlloc;
+    using AllocationObserver::onFree;
+
     void
-    onAlloc(int64_t bytes) override
+    onAlloc(int64_t bytes, obs::MemCategory category) override
     {
+        const size_t cat = size_t(category);
         live_ += bytes;
+        cat_live_[cat] += bytes;
         if (live_ > peak_)
             peak_ = live_;
         if (live_ > window_peak_)
             window_peak_ = live_;
+        if (cat_live_[cat] > cat_peak_[cat])
+            cat_peak_[cat] = cat_live_[cat];
+        if (cat_live_[cat] > cat_window_peak_[cat])
+            cat_window_peak_[cat] = cat_live_[cat];
         if (capacity_ > 0 && live_ > capacity_) {
-            if (!oom_ && obs::Metrics::enabled())
+            // One device.oom_events count per EPISODE: a contiguous
+            // stretch of over-capacity residency. The episode ends
+            // when live drops back under capacity (see onFree), not
+            // when oom_ is reset — oom_ stays latched for
+            // oomOccurred() until resetPeak().
+            if (!in_oom_episode_ && obs::Metrics::enabled())
                 detail::chargeDeviceOom();
+            in_oom_episode_ = true;
             oom_ = true;
             if (live_ - capacity_ > worst_overshoot_)
                 worst_overshoot_ = live_ - capacity_;
         }
         if (obs::Metrics::enabled())
             detail::chargeDeviceAlloc(bytes, live_);
+        maybeSample();
     }
 
     void
-    onFree(int64_t bytes) override
+    onFree(int64_t bytes, obs::MemCategory category) override
     {
-        live_ -= bytes;
+        const size_t cat = size_t(category);
+        // Clamp: a model installed mid-lifetime can observe frees for
+        // storage it never saw allocated. Debiting those would drive
+        // live_ below zero and poison every later peak comparison, so
+        // cap the debit at what this model actually has live in the
+        // category (cat_live_[cat] <= live_ always, since live_ is
+        // the sum over categories).
+        int64_t freed = bytes;
+        if (freed > cat_live_[cat]) {
+            freed = cat_live_[cat];
+            BETTY_WARN_ONCE("DeviceMemoryModel: free of ", bytes,
+                            " bytes (", obs::memCategoryName(category),
+                            ") exceeds tracked live bytes; clamping — "
+                            "was the observer installed mid-lifetime?");
+        }
+        cat_live_[cat] -= freed;
+        live_ -= freed;
+        if (in_oom_episode_ && live_ <= capacity_)
+            in_oom_episode_ = false;
         if (obs::Metrics::enabled())
             detail::chargeDeviceFree(bytes);
+        maybeSample();
     }
 
     int64_t capacity() const { return capacity_; }
     int64_t liveBytes() const { return live_; }
     int64_t peakBytes() const { return peak_; }
+
+    /** @name Per-category (Table 3 provenance) accessors */
+    /** @{ */
+    int64_t liveBytes(obs::MemCategory category) const
+    {
+        return cat_live_[size_t(category)];
+    }
+
+    int64_t peakBytes(obs::MemCategory category) const
+    {
+        return cat_peak_[size_t(category)];
+    }
+
+    int64_t windowPeakBytes(obs::MemCategory category) const
+    {
+        return cat_window_peak_[size_t(category)];
+    }
+    /** @} */
 
     /** True if live usage ever exceeded capacity since the last reset. */
     bool oomOccurred() const { return oom_; }
@@ -116,8 +174,13 @@ class DeviceMemoryModel : public AllocationObserver
     {
         peak_ = live_;
         window_peak_ = live_;
+        cat_peak_ = cat_live_;
+        cat_window_peak_ = cat_live_;
         oom_ = capacity_ > 0 && live_ > capacity_;
         worst_overshoot_ = oom_ ? live_ - capacity_ : 0;
+        // If still over capacity this is the SAME ongoing episode, so
+        // in_oom_episode_ (already true) must survive the reset and
+        // suppress a duplicate device.oom_events count.
     }
 
     /**
@@ -127,10 +190,27 @@ class DeviceMemoryModel : public AllocationObserver
      * to measure per-micro-batch actual peaks for estimator-residual
      * telemetry (obs/residual.h) without disturbing epoch stats.
      */
-    void resetWindow() { window_peak_ = live_; }
+    void
+    resetWindow()
+    {
+        window_peak_ = live_;
+        cat_window_peak_ = cat_live_;
+    }
 
     /** Largest live bytes since the last resetWindow()/resetPeak(). */
     int64_t windowPeakBytes() const { return window_peak_; }
+
+    /**
+     * The sampled per-category live-bytes timeline collected while
+     * tracing or metrics were enabled. Event-stride sampled: when the
+     * buffer fills, every other retained sample is dropped and the
+     * stride doubles, so long runs keep bounded, evenly-thinned
+     * coverage.
+     */
+    const std::vector<obs::MemTimelineSample>& timeline() const
+    {
+        return timeline_;
+    }
 
     /**
      * RAII installer: tensor allocations inside the scope are routed to
@@ -154,12 +234,64 @@ class DeviceMemoryModel : public AllocationObserver
     };
 
   private:
+    /**
+     * Record a timeline sample every sample_stride_-th allocation
+     * event while collection is on. Also mirrors the sample into the
+     * trace as a "device/memory" counter event, which Perfetto draws
+     * as stacked per-category bands.
+     */
+    void
+    maybeSample()
+    {
+        const bool tracing = obs::Trace::enabled();
+        if (!tracing && !obs::Metrics::enabled())
+            return;
+        if (++events_since_sample_ < sample_stride_)
+            return;
+        events_since_sample_ = 0;
+
+        if (timeline_.size() >= kMaxTimelineSamples) {
+            // Thin: keep every other sample, double the stride.
+            for (size_t i = 1; 2 * i < timeline_.size(); ++i)
+                timeline_[i] = timeline_[2 * i];
+            timeline_.resize((timeline_.size() + 1) / 2);
+            sample_stride_ *= 2;
+        }
+
+        obs::MemTimelineSample sample;
+        sample.tsUs = obs::Trace::nowUs();
+        sample.live = cat_live_;
+        sample.totalLive = live_;
+        timeline_.push_back(sample);
+
+        if (tracing) {
+            std::vector<std::pair<const char*, int64_t>> values;
+            values.reserve(obs::kMemCategoryCount);
+            for (size_t c = 0; c < obs::kMemCategoryCount; ++c)
+                values.emplace_back(
+                    obs::memCategoryName(obs::MemCategory(c)),
+                    cat_live_[c]);
+            obs::Trace::recordCounter("device/memory",
+                                      std::move(values));
+        }
+    }
+
+    static constexpr size_t kMaxTimelineSamples = 4096;
+
     int64_t capacity_;
     int64_t live_ = 0;
     int64_t peak_ = 0;
     int64_t window_peak_ = 0;
     int64_t worst_overshoot_ = 0;
     bool oom_ = false;
+    /** Inside a contiguous over-capacity stretch right now. */
+    bool in_oom_episode_ = false;
+    std::array<int64_t, obs::kMemCategoryCount> cat_live_{};
+    std::array<int64_t, obs::kMemCategoryCount> cat_peak_{};
+    std::array<int64_t, obs::kMemCategoryCount> cat_window_peak_{};
+    std::vector<obs::MemTimelineSample> timeline_;
+    int64_t events_since_sample_ = 0;
+    int64_t sample_stride_ = 1;
 };
 
 /** Convenience: gibibytes to bytes for capacity configuration. */

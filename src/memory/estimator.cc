@@ -9,8 +9,8 @@ namespace betty {
 namespace {
 
 constexpr int64_t kFloat = 4;   // bytes per float32 scalar
-constexpr int64_t kNodeId = 8;  // bytes per node index
 constexpr int64_t kLabel = 4;   // bytes per label
+// Node-ID bytes for item (4) live in MultiLayerBatch::structureBytes().
 
 /** Per-layer forward/backward byte costs (see the derivations below). */
 struct LayerCost
@@ -181,13 +181,12 @@ estimateBatchMemory(const MultiLayerBatch& batch, const GnnSpec& spec)
     est.inputFeatures =
         int64_t(batch.inputNodes().size()) * spec.inputDim * kFloat; // (2)
     est.labels = int64_t(batch.outputNodes().size()) * kLabel;   // (3)
-    est.blocks = batch.totalEdges() * (2 * kNodeId + kFloat);    // (4)
+    est.blocks = batch.structureBytes();                         // (4)
     est.gradients = params * kFloat;                             // (7)
     est.optimizerStates =
         (spec.optimizer == OptimizerKind::Adam ? 2 : 0) * params *
         kFloat;                                                  // (8)
 
-    int64_t backward = 0;
     for (int64_t layer = 0; layer < spec.numLayers; ++layer) {
         const LayerCost cost = layerCost(
             batch.blocks[size_t(layer)], spec.layerInDim(layer),
@@ -196,7 +195,7 @@ estimateBatchMemory(const MultiLayerBatch& batch, const GnnSpec& spec)
             spec.lstmIntermediatesPerNode, spec.attentionHeads);
         est.hidden += cost.hidden;          // (5)
         est.aggregator += cost.aggregator;  // (6)
-        backward += cost.backward;
+        est.backwardBuffers += cost.backward;
     }
 
     // Our runtime holds the autograd graph (forward values) until the
@@ -205,9 +204,38 @@ estimateBatchMemory(const MultiLayerBatch& batch, const GnnSpec& spec)
     // paper's max((6),(7)) variant models eager freeing; with graph
     // retention the sum is the accurate bound.)
     est.peak = est.parameters + est.inputFeatures + est.labels +
-               est.blocks + est.hidden + est.aggregator + backward +
-               est.gradients + est.optimizerStates;
+               est.blocks + est.hidden + est.aggregator +
+               est.backwardBuffers + est.gradients +
+               est.optimizerStates;
     return est;
+}
+
+int64_t
+componentBytes(const MemoryEstimate& estimate, obs::MemCategory category)
+{
+    switch (category) {
+      case obs::MemCategory::Parameters:
+        return estimate.parameters;
+      case obs::MemCategory::InputFeatures:
+        return estimate.inputFeatures;
+      case obs::MemCategory::Labels:
+        return estimate.labels;
+      case obs::MemCategory::Blocks:
+        return estimate.blocks;
+      case obs::MemCategory::Hidden:
+        return estimate.hidden;
+      case obs::MemCategory::Aggregator:
+        return estimate.aggregator;
+      case obs::MemCategory::Gradients:
+        // The profiler tags intermediate (backward-buffer) gradients
+        // and parameter gradients alike as Gradients.
+        return estimate.gradients + estimate.backwardBuffers;
+      case obs::MemCategory::OptimizerState:
+        return estimate.optimizerStates;
+      case obs::MemCategory::Uncategorized:
+        return 0;
+    }
+    return 0;
 }
 
 } // namespace betty

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/memprof.h"
 #include "sampling/block.h"
 
 namespace betty {
@@ -96,6 +97,11 @@ struct MemoryEstimate
     int64_t gradients = 0;       ///< (7)
     int64_t optimizerStates = 0; ///< (8)
 
+    /** Backward gradient buffers of (5)+(6) — the "+ backward
+     * buffers" term of the peak formula, exposed so per-category
+     * comparisons can fold it into the measured-gradients bucket. */
+    int64_t backwardBuffers = 0;
+
     /** Estimated peak resident bytes. */
     int64_t peak = 0;
 
@@ -104,6 +110,15 @@ struct MemoryEstimate
         return double(peak) / (1024.0 * 1024.0 * 1024.0);
     }
 };
+
+/**
+ * The estimate's prediction for one provenance category
+ * (obs/memprof.h). Gradients folds in backwardBuffers — the profiler
+ * tags intermediate gradient buffers and parameter gradients alike as
+ * Gradients — and Uncategorized predicts 0 by definition.
+ */
+int64_t componentBytes(const MemoryEstimate& estimate,
+                       obs::MemCategory category);
 
 /**
  * Estimate the peak device memory of training one (micro-)batch.

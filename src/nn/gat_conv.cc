@@ -1,5 +1,6 @@
 #include "nn/gat_conv.h"
 
+#include "obs/memprof.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -28,6 +29,10 @@ GatConv::forward(const Block& block, const ag::NodePtr& h_src,
 {
     BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
                  "h_src rows mismatch");
+
+    // The estimator prices the whole attention chain — projections,
+    // score chain, messages, head concatenation — as item (6).
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Aggregator);
 
     // Extended edge lists: every destination gets an implicit self
     // edge in front of its sampled in-edges, so attention segments are

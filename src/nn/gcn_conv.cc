@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/memprof.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -31,17 +32,23 @@ GcnConv::forward(const Block& block, const ag::NodePtr& h_src) const
     BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
                  "h_src rows mismatch");
     using namespace ag;
-    const auto summed = gatherSegmentReduce(
-        h_src, block.edgeSources(), block.edgeOffsets(),
-        /*mean=*/false);
-    const auto self = gatherRows(h_src, selfIndices(block));
+    // The aggregation chain through the normalization is Table 3
+    // item (6); the fc projection is the hidden chain.
+    NodePtr normalized;
+    {
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Aggregator);
+        const auto summed = gatherSegmentReduce(
+            h_src, block.edgeSources(), block.edgeOffsets(),
+            /*mean=*/false);
+        const auto self = gatherRows(h_src, selfIndices(block));
 
-    // (sum + self) / (deg + 1): right-normalization with self edge.
-    Tensor inv_deg(block.numDst(), 1);
-    for (int64_t d = 0; d < block.numDst(); ++d)
-        inv_deg.at(d, 0) = 1.0f / float(block.inDegree(d) + 1);
-    const auto normalized = mulColBroadcast(
-        add(summed, self), constant(std::move(inv_deg)));
+        // (sum + self) / (deg + 1): right-normalization with self edge.
+        Tensor inv_deg(block.numDst(), 1);
+        for (int64_t d = 0; d < block.numDst(); ++d)
+            inv_deg.at(d, 0) = 1.0f / float(block.inDegree(d) + 1);
+        normalized = mulColBroadcast(add(summed, self),
+                                     constant(std::move(inv_deg)));
+    }
     return fc_->forward(normalized);
 }
 
@@ -60,20 +67,27 @@ GinConv::forward(const Block& block, const ag::NodePtr& h_src) const
     BETTY_ASSERT(h_src->value.rows() == block.numSrc(),
                  "h_src rows mismatch");
     using namespace ag;
-    const auto summed = gatherSegmentReduce(
-        h_src, block.edgeSources(), block.edgeOffsets(),
-        /*mean=*/false);
-    const auto self = gatherRows(h_src, selfIndices(block));
+    // Everything through the first MLP layer is priced as item (6)
+    // by the estimator; fc2_'s projection is the hidden chain.
+    NodePtr transformed;
+    {
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Aggregator);
+        const auto summed = gatherSegmentReduce(
+            h_src, block.edgeSources(), block.edgeOffsets(),
+            /*mean=*/false);
+        const auto self = gatherRows(h_src, selfIndices(block));
 
-    // (1 + eps) * self: broadcast the scalar through a [N,1] column
-    // so the gradient flows back into eps.
-    const auto ones =
-        constant(Tensor::full(block.numDst(), 1, 1.0f));
-    const auto one_plus_eps = add(matmul(ones, eps_), ones);
-    const auto scaled_self = mulColBroadcast(self, one_plus_eps);
+        // (1 + eps) * self: broadcast the scalar through a [N,1]
+        // column so the gradient flows back into eps.
+        const auto ones =
+            constant(Tensor::full(block.numDst(), 1, 1.0f));
+        const auto one_plus_eps = add(matmul(ones, eps_), ones);
+        const auto scaled_self = mulColBroadcast(self, one_plus_eps);
 
-    const auto combined = add(scaled_self, summed);
-    return fc2_->forward(relu(fc1_->forward(combined)));
+        const auto combined = add(scaled_self, summed);
+        transformed = relu(fc1_->forward(combined));
+    }
+    return fc2_->forward(transformed);
 }
 
 } // namespace betty

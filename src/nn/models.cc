@@ -1,5 +1,6 @@
 #include "nn/models.h"
 
+#include "obs/memprof.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -7,6 +8,7 @@ namespace betty {
 
 GraphSage::GraphSage(const SageConfig& config) : config_(config)
 {
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Parameters);
     BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
                  config.numLayers >= 1,
                  "incomplete SageConfig");
@@ -63,6 +65,7 @@ GraphSage::memorySpec() const
 
 Gat::Gat(const GatConfig& config) : config_(config)
 {
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Parameters);
     BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
                  config.numLayers >= 1,
                  "incomplete GatConfig");
@@ -144,6 +147,7 @@ stackSpec(const StackConfig& config, AggregatorKind kind,
 
 Gcn::Gcn(const StackConfig& config) : config_(config)
 {
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Parameters);
     BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
                  config.numLayers >= 1,
                  "incomplete StackConfig");
@@ -179,6 +183,7 @@ Gcn::memorySpec() const
 
 Gin::Gin(const StackConfig& config) : config_(config)
 {
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Parameters);
     BETTY_ASSERT(config.inputDim > 0 && config.numClasses > 0 &&
                  config.numLayers >= 1,
                  "incomplete StackConfig");

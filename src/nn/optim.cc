@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/memprof.h"
+
 namespace betty {
 
 void
@@ -21,6 +23,7 @@ Adam::Adam(std::vector<ag::NodePtr> params, float lr, float beta1,
     : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
       beta2_(beta2), eps_(eps)
 {
+    obs::MemCategoryScope mem_scope(obs::MemCategory::OptimizerState);
     m_.reserve(params_.size());
     v_.reserve(params_.size());
     for (const auto& p : params_) {

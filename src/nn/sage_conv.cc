@@ -3,6 +3,7 @@
 #include <map>
 #include <numeric>
 
+#include "obs/memprof.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -31,18 +32,31 @@ SageConv::forward(const Block& block, const ag::NodePtr& h_src) const
     BETTY_ASSERT(h_src->value.cols() == in_dim_,
                  "h_src width mismatch");
 
-    // Self representations: destinations are the source prefix.
-    std::vector<int64_t> self_idx(static_cast<size_t>(block.numDst()));
-    std::iota(self_idx.begin(), self_idx.end(), 0);
-    const auto h_self = ag::gatherRows(h_src, std::move(self_idx));
+    // The self gather and the concat are priced as aggregator
+    // intermediates by the estimator (memory/estimator.cc layerCost),
+    // so they carry the same provenance tag; the output projection is
+    // the hidden chain (the ambient category of the caller).
+    ag::NodePtr combined;
+    {
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Aggregator);
+        // Self representations: destinations are the source prefix.
+        std::vector<int64_t> self_idx(
+            static_cast<size_t>(block.numDst()));
+        std::iota(self_idx.begin(), self_idx.end(), 0);
+        const auto h_self = ag::gatherRows(h_src, std::move(self_idx));
 
-    const auto h_neigh = aggregate(block, h_src);
-    return out_->forward(ag::concatCols(h_self, h_neigh));
+        const auto h_neigh = aggregate(block, h_src);
+        combined = ag::concatCols(h_self, h_neigh);
+    }
+    return out_->forward(combined);
 }
 
 ag::NodePtr
 SageConv::aggregate(const Block& block, const ag::NodePtr& h_src) const
 {
+    // Table 3 item (6): everything the aggregator materializes,
+    // including the per-timestep LSTM chain of Eq. 5.
+    obs::MemCategoryScope mem_scope(obs::MemCategory::Aggregator);
     switch (aggregator_) {
       case AggregatorKind::Mean:
         // Fused kernel (as in DGL): no [E, d] materialization.

@@ -1,0 +1,159 @@
+#include "obs/memprof.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace betty::obs {
+
+namespace {
+
+/** Fixed-depth thread-local category stack. Deep enough for every
+ * legitimate nesting (trainer > model > layer > aggregator); overflow
+ * pushes are counted and ignored so pop stays balanced. */
+constexpr size_t kMaxDepth = 32;
+
+struct CategoryStack
+{
+    std::array<MemCategory, kMaxDepth> entries;
+    size_t depth = 0;
+    size_t overflow = 0;
+};
+
+thread_local CategoryStack tls_stack;
+
+const char* const kCategoryNames[kMemCategoryCount] = {
+    "parameters",    "input_features", "labels",
+    "blocks",        "hidden",         "aggregator",
+    "gradients",     "optimizer_state", "uncategorized",
+};
+
+} // namespace
+
+const char*
+memCategoryName(MemCategory category)
+{
+    const auto index = size_t(category);
+    BETTY_ASSERT(index < kMemCategoryCount, "bad MemCategory");
+    return kCategoryNames[index];
+}
+
+MemCategory
+currentMemCategory()
+{
+    const CategoryStack& stack = tls_stack;
+    if (stack.depth == 0)
+        return MemCategory::Uncategorized;
+    return stack.entries[stack.depth - 1];
+}
+
+namespace detail {
+
+void
+pushMemCategory(MemCategory category)
+{
+    CategoryStack& stack = tls_stack;
+    if (stack.depth >= kMaxDepth) {
+        ++stack.overflow;
+        BETTY_WARN_ONCE("MemCategoryScope nesting exceeds ", kMaxDepth,
+                        "; allocations keep the enclosing category");
+        return;
+    }
+    stack.entries[stack.depth++] = category;
+}
+
+void
+popMemCategory()
+{
+    CategoryStack& stack = tls_stack;
+    if (stack.overflow > 0) {
+        --stack.overflow;
+        return;
+    }
+    BETTY_ASSERT(stack.depth > 0, "unbalanced MemCategoryScope pop");
+    --stack.depth;
+}
+
+} // namespace detail
+
+void
+MemProfiler::record(const MicroBatchMemRecord& record)
+{
+    if (!Metrics::enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+}
+
+std::vector<MicroBatchMemRecord>
+MemProfiler::records() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+void
+MemProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+}
+
+std::string
+MemProfiler::toJson() const
+{
+    const auto records = this->records();
+
+    std::string out = "{\"micro_batches\": [";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const MicroBatchMemRecord& record = records[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"index\": " + std::to_string(i);
+        out += ", \"actual_peak_bytes\": " +
+               std::to_string(record.actualTotalPeak);
+        out += ", \"predicted_peak_bytes\": " +
+               std::to_string(record.predictedTotalPeak);
+        out += ", \"categories\": {";
+        for (size_t c = 0; c < kMemCategoryCount; ++c) {
+            if (c)
+                out += ", ";
+            const int64_t predicted = record.predicted[c];
+            const int64_t actual = record.actualPeak[c];
+            out += "\"";
+            out += kCategoryNames[c];
+            out += "\": {\"predicted_bytes\": " +
+                   std::to_string(predicted);
+            out += ", \"actual_bytes\": " + std::to_string(actual);
+            out += ", \"residual_bytes\": " +
+                   std::to_string(predicted - actual);
+            out += "}";
+        }
+        out += "}}";
+    }
+    out += records.empty() ? "]" : "\n  ]";
+
+    // Worst (max) measured peak per category across micro-batches:
+    // the number a budget has to accommodate.
+    out += ", \"category_peaks\": {";
+    for (size_t c = 0; c < kMemCategoryCount; ++c) {
+        int64_t worst = 0;
+        for (const MicroBatchMemRecord& record : records)
+            if (record.actualPeak[c] > worst)
+                worst = record.actualPeak[c];
+        if (c)
+            out += ", ";
+        out += "\"";
+        out += kCategoryNames[c];
+        out += "\": " + std::to_string(worst);
+    }
+    out += "}}";
+    return out;
+}
+
+MemProfiler&
+memProfiler()
+{
+    static MemProfiler* instance = new MemProfiler; // leaked: outlives threads
+    return *instance;
+}
+
+} // namespace betty::obs

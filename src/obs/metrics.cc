@@ -6,7 +6,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/memprof.h"
 #include "obs/residual.h"
+#include "obs/run_meta.h"
 
 namespace betty::obs {
 
@@ -156,6 +158,7 @@ Metrics::reset()
     for (auto& [name, histogram] : reg.histograms)
         histogram->reset();
     residuals().reset();
+    memProfiler().reset();
 }
 
 std::string
@@ -164,7 +167,10 @@ Metrics::snapshotJson()
     auto& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
 
-    std::string out = "{\n  \"counters\": {";
+    std::string out = "{\n  \"schema_version\": " +
+                      std::to_string(kObsSchemaVersion) + ",\n";
+    out += "  \"meta\": " + runMetaJson() + ",\n";
+    out += "  \"counters\": {";
     bool first = true;
     for (const auto& [name, counter] : reg.counters) {
         out += first ? "\n" : ",\n";
@@ -210,6 +216,7 @@ Metrics::snapshotJson()
     out += first ? "},\n" : "\n  },\n";
 
     out += "  \"estimator_residuals\": " + residuals().toJson();
+    out += ",\n  \"memory_profile\": " + memProfiler().toJson();
     out += "\n}\n";
     return out;
 }

@@ -141,8 +141,9 @@ class Metrics
     static void reset();
 
     /**
-     * The registry as one JSON object: {"counters": {...}, "gauges":
-     * {...}, "histograms": {...}, "estimator_residuals": {...}}.
+     * The registry as one JSON object: {"schema_version": N, "meta":
+     * {...}, "counters": {...}, "gauges": {...}, "histograms": {...},
+     * "estimator_residuals": {...}, "memory_profile": {...}}.
      */
     static std::string snapshotJson();
 

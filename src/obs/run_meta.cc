@@ -1,0 +1,101 @@
+#include "obs/run_meta.h"
+
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+namespace betty::obs {
+
+namespace {
+
+struct MetaRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::string> entries; // sorted => diffable
+};
+
+MetaRegistry&
+metaRegistry()
+{
+    static MetaRegistry* instance = new MetaRegistry;
+    return *instance;
+}
+
+void
+appendJsonEscaped(std::string& out, const std::string& text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+}
+
+} // namespace
+
+void
+setRunMeta(const std::string& key, const std::string& value)
+{
+    auto& reg = metaRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries[key] = value;
+}
+
+void
+clearRunMeta()
+{
+    auto& reg = metaRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.clear();
+}
+
+std::string
+runMetaJson()
+{
+    auto& reg = metaRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+
+    std::string out = "{\"timestamp\": \"" + isoTimestampUtc() + "\"";
+    for (const auto& [key, value] : reg.entries) {
+        out += ", \"";
+        appendJsonEscaped(out, key);
+        out += "\": \"";
+        appendJsonEscaped(out, value);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace betty::obs

@@ -1,0 +1,175 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+#include "obs/residual.h"
+#include "obs/run_meta.h"
+
+namespace betty::obs {
+
+namespace {
+
+void
+appendJsonEscaped(std::string& out, const std::string& text)
+{
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendNumber(std::string& out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+} // namespace
+
+void
+RunReport::setConfig(const std::string& key, const std::string& value)
+{
+    for (auto& [existing_key, existing_value] : config_) {
+        if (existing_key == key) {
+            existing_value = value;
+            return;
+        }
+    }
+    config_.emplace_back(key, value);
+}
+
+void
+RunReport::addEpoch(const RunReportEpoch& epoch)
+{
+    epochs_.push_back(epoch);
+}
+
+std::string
+RunReport::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema_version\": " +
+           std::to_string(kObsSchemaVersion) + ",\n";
+
+    out += "  \"meta\": " + runMetaJson() + ",\n";
+
+    out += "  \"binary\": \"";
+    appendJsonEscaped(out, binary_);
+    out += "\",\n";
+
+    out += "  \"dataset\": {\"name\": \"";
+    appendJsonEscaped(out, datasetName_);
+    out += "\", \"nodes\": " + std::to_string(datasetNodes_);
+    out += ", \"edges\": " + std::to_string(datasetEdges_);
+    out += ", \"classes\": " + std::to_string(datasetClasses_);
+    out += ", \"feature_dim\": " + std::to_string(datasetFeatureDim_);
+    out += "},\n";
+
+    out += "  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+        out += i ? ", \"" : "\"";
+        appendJsonEscaped(out, config_[i].first);
+        out += "\": \"";
+        appendJsonEscaped(out, config_[i].second);
+        out += "\"";
+    }
+    out += "},\n";
+
+    out += "  \"epochs\": [";
+    for (size_t i = 0; i < epochs_.size(); ++i) {
+        const RunReportEpoch& epoch = epochs_[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"epoch\": " + std::to_string(epoch.epoch);
+        out += ", \"k\": " + std::to_string(epoch.k);
+        out += ", \"loss\": ";
+        appendNumber(out, epoch.loss);
+        out += ", \"accuracy\": ";
+        appendNumber(out, epoch.accuracy);
+        out += ", \"test_accuracy\": ";
+        appendNumber(out, epoch.testAccuracy);
+        out += ", \"peak_bytes\": " + std::to_string(epoch.peakBytes);
+        out += ", \"compute_seconds\": ";
+        appendNumber(out, epoch.computeSeconds);
+        out += ", \"transfer_seconds\": ";
+        appendNumber(out, epoch.transferSeconds);
+        out += ", \"oom\": ";
+        out += epoch.oom ? "true" : "false";
+        out += "}";
+    }
+    out += epochs_.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"summary\": {";
+    out += "\"peak_bytes\": " + std::to_string(peakBytes_);
+    out += ", \"total_compute_seconds\": ";
+    appendNumber(out, totalComputeSeconds_);
+    out += ", \"total_transfer_seconds\": ";
+    appendNumber(out, totalTransferSeconds_);
+    out += ", \"final_test_accuracy\": ";
+    appendNumber(out, finalTestAccuracy_);
+    out += ", \"edge_cut\": " + std::to_string(edgeCut_);
+    out += ", \"transfer_bytes\": " + std::to_string(transferBytes_);
+    out += ", \"oom_events\": " + std::to_string(oomEvents_);
+    out += "},\n";
+
+    out += "  \"memory_profile\": " + memProfiler().toJson() + ",\n";
+    out += "  \"estimator_residuals\": " + residuals().toJson() + ",\n";
+
+    out += "  \"timeline\": [";
+    for (size_t i = 0; i < timeline_.size(); ++i) {
+        const MemTimelineSample& sample = timeline_[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"ts_us\": " + std::to_string(sample.tsUs);
+        out += ", \"total_live_bytes\": " +
+               std::to_string(sample.totalLive);
+        out += ", \"categories\": {";
+        for (size_t c = 0; c < kMemCategoryCount; ++c) {
+            if (c)
+                out += ", ";
+            out += "\"";
+            out += memCategoryName(MemCategory(c));
+            out += "\": " + std::to_string(sample.live[c]);
+        }
+        out += "}}";
+    }
+    out += timeline_.empty() ? "]\n" : "\n  ]\n";
+
+    out += "}\n";
+    return out;
+}
+
+bool
+RunReport::writeJson(const std::string& path) const
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::string json = toJson();
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    return written == json.size();
+}
+
+} // namespace betty::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structured run-report manifest (train_cli --memprof-out=FILE).
+ *
+ * One training run, one JSON artifact: dataset + config echo,
+ * per-epoch stats (K, loss, accuracy, peak bytes, compute/transfer
+ * seconds, OOM), the per-micro-batch Table 3 category breakdown from
+ * obs/memprof.h, per-component estimator residuals, the sampled
+ * per-category live-bytes timeline, and summary figures (peak bytes,
+ * edge cut, transfer bytes, OOM episodes). betty_report (tools/)
+ * prints one report as a table and diffs two with thresholds, so
+ * every run leaves a comparable artifact — the regression gate the
+ * BENCH trajectory needs.
+ */
+#ifndef BETTY_OBS_RUN_REPORT_H
+#define BETTY_OBS_RUN_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/memprof.h"
+
+namespace betty::obs {
+
+/** One epoch's row in the report. */
+struct RunReportEpoch
+{
+    int64_t epoch = 0;
+    int64_t k = 1;           ///< micro-batches per mini-batch
+    double loss = 0.0;
+    double accuracy = 0.0;     ///< train accuracy
+    double testAccuracy = 0.0;
+    int64_t peakBytes = 0;     ///< device peak during the epoch
+    double computeSeconds = 0.0;
+    double transferSeconds = 0.0;
+    bool oom = false;
+};
+
+/**
+ * Collects one run's facts and serializes them as the run-report
+ * JSON. The memory_profile and estimator_residuals sections are
+ * pulled from the process-wide collectors at toJson() time.
+ */
+class RunReport
+{
+  public:
+    /** argv[0] (or a logical binary name) for the meta block. */
+    void setBinary(const std::string& name) { binary_ = name; }
+
+    void
+    setDataset(const std::string& name, int64_t nodes, int64_t edges,
+               int64_t classes, int64_t feature_dim)
+    {
+        datasetName_ = name;
+        datasetNodes_ = nodes;
+        datasetEdges_ = edges;
+        datasetClasses_ = classes;
+        datasetFeatureDim_ = feature_dim;
+    }
+
+    /** Echo one config knob (flag name -> value as text). */
+    void setConfig(const std::string& key, const std::string& value);
+
+    void addEpoch(const RunReportEpoch& epoch);
+
+    /** The device's sampled per-category timeline. */
+    void setTimeline(std::vector<MemTimelineSample> timeline)
+    {
+        timeline_ = std::move(timeline);
+    }
+
+    /** @name Run-level summary figures */
+    /** @{ */
+    void setPeakBytes(int64_t bytes) { peakBytes_ = bytes; }
+    void setEdgeCut(int64_t cut) { edgeCut_ = cut; }
+    void setTransferBytes(int64_t bytes) { transferBytes_ = bytes; }
+    void setOomEvents(int64_t events) { oomEvents_ = events; }
+    void setFinalTestAccuracy(double acc) { finalTestAccuracy_ = acc; }
+    void setTotalComputeSeconds(double s) { totalComputeSeconds_ = s; }
+    void setTotalTransferSeconds(double s)
+    {
+        totalTransferSeconds_ = s;
+    }
+    /** @} */
+
+    /** The complete report as a JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; returns success. */
+    bool writeJson(const std::string& path) const;
+
+  private:
+    std::string binary_;
+    std::string datasetName_;
+    int64_t datasetNodes_ = 0;
+    int64_t datasetEdges_ = 0;
+    int64_t datasetClasses_ = 0;
+    int64_t datasetFeatureDim_ = 0;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<RunReportEpoch> epochs_;
+    std::vector<MemTimelineSample> timeline_;
+    int64_t peakBytes_ = 0;
+    int64_t edgeCut_ = 0;
+    int64_t transferBytes_ = 0;
+    int64_t oomEvents_ = 0;
+    double finalTestAccuracy_ = 0.0;
+    double totalComputeSeconds_ = 0.0;
+    double totalTransferSeconds_ = 0.0;
+};
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_RUN_REPORT_H

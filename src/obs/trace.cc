@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/run_meta.h"
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -34,7 +36,15 @@ struct Registry
     std::unordered_map<int32_t, std::string> laneNames;
     int32_t nextLane = 0;
     std::atomic<size_t> ringCapacity{1 << 16};
+
+    /** Counter samples (ph="C"): low-rate, so a capped flat vector
+     * under the mutex beats per-thread rings. */
+    std::vector<CounterSample> counters;
+    int64_t droppedCounters = 0;
 };
+
+/** Retention cap for counter samples across the process. */
+constexpr size_t kMaxCounterSamples = 1 << 16;
 
 Registry&
 registry()
@@ -120,6 +130,32 @@ Trace::record(const char* name, int64_t start_us, int64_t dur_us)
 }
 
 void
+Trace::recordCounter(const char* track,
+                     std::vector<std::pair<const char*, int64_t>> values)
+{
+    if (!enabled())
+        return;
+    const int64_t ts = nowUs();
+    const int32_t lane = currentLane();
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (reg.counters.size() >= kMaxCounterSamples) {
+        ++reg.droppedCounters;
+        return;
+    }
+    reg.counters.push_back(
+        CounterSample{track, ts, lane, std::move(values)});
+}
+
+std::vector<CounterSample>
+Trace::counterSnapshot()
+{
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.counters;
+}
+
+void
 Trace::setLane(int32_t lane, const std::string& name)
 {
     tls_lane = lane;
@@ -176,7 +212,7 @@ Trace::droppedEvents()
 {
     auto& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
-    int64_t dropped = 0;
+    int64_t dropped = reg.droppedCounters;
     for (const auto& buffer : reg.buffers) {
         const size_t head =
             buffer->head.load(std::memory_order_acquire);
@@ -193,12 +229,15 @@ Trace::clear()
     std::lock_guard<std::mutex> lock(reg.mutex);
     for (const auto& buffer : reg.buffers)
         buffer->head.store(0, std::memory_order_release);
+    reg.counters.clear();
+    reg.droppedCounters = 0;
 }
 
 std::string
 Trace::chromeTraceJson()
 {
     const auto events = snapshot();
+    const auto counters = counterSnapshot();
     std::unordered_map<int32_t, std::string> lane_names;
     {
         auto& reg = registry();
@@ -207,8 +246,12 @@ Trace::chromeTraceJson()
     }
 
     std::string out;
-    out.reserve(events.size() * 96 + 256);
-    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    out.reserve(events.size() * 96 + counters.size() * 192 + 512);
+    out += "{\"displayTimeUnit\":\"ms\",\"schema_version\":";
+    out += std::to_string(kObsSchemaVersion);
+    out += ",\"otherData\":";
+    out += runMetaJson();
+    out += ",\"traceEvents\":[";
     out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
            "\"tid\":0,\"args\":{\"name\":\"betty\"}}";
     for (const auto& [lane, name] : lane_names) {
@@ -230,6 +273,26 @@ Trace::chromeTraceJson()
                       name.c_str(), (long long)event.startUs,
                       (long long)event.durUs, event.lane);
         out += line;
+    }
+    for (const auto& sample : counters) {
+        out += ",{\"name\":\"";
+        appendJsonEscaped(out, sample.track);
+        out += "\",\"cat\":\"betty\",\"ph\":\"C\",\"ts\":";
+        out += std::to_string(sample.tsUs);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(sample.lane);
+        out += ",\"args\":{";
+        bool first_value = true;
+        for (const auto& [key, value] : sample.values) {
+            if (!first_value)
+                out += ",";
+            first_value = false;
+            out += "\"";
+            appendJsonEscaped(out, key);
+            out += "\":";
+            out += std::to_string(value);
+        }
+        out += "}}";
     }
     out += "]}";
     return out;

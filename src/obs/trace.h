@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace betty::obs {
@@ -50,6 +51,26 @@ struct TraceEvent
     int32_t lane = 0;
 };
 
+/**
+ * One multi-value counter sample (Chrome ph="C" event). Perfetto
+ * renders each track as a stacked area chart with one band per value
+ * key — the per-category memory lanes of docs/OBSERVABILITY.md.
+ */
+struct CounterSample
+{
+    /** Track label; string literal (stored by pointer, like spans). */
+    const char* track = nullptr;
+
+    /** Sample time, microseconds since the process time anchor. */
+    int64_t tsUs = 0;
+
+    /** Swimlane the sample belongs to (device lane in practice). */
+    int32_t lane = 0;
+
+    /** (key literal, value) pairs plotted as stacked bands. */
+    std::vector<std::pair<const char*, int64_t>> values;
+};
+
 /** Process-wide trace collector (all methods are static). */
 class Trace
 {
@@ -70,6 +91,19 @@ class Trace
     /** Append one completed span for the calling thread. */
     static void record(const char* name, int64_t start_us,
                        int64_t dur_us);
+
+    /**
+     * Append one counter sample for track @p track (a literal) at
+     * the current time on the calling thread's lane. No-op while
+     * disabled; samples beyond the retention cap are counted as
+     * dropped.
+     */
+    static void
+    recordCounter(const char* track,
+                  std::vector<std::pair<const char*, int64_t>> values);
+
+    /** All retained counter samples, in record order. */
+    static std::vector<CounterSample> counterSnapshot();
 
     /**
      * Override the calling thread's lane id (and optionally give the

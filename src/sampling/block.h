@@ -119,6 +119,19 @@ struct MultiLayerBatch
             total += b.numEdges();
         return total;
     }
+
+    /**
+     * Device bytes of the batch's block structure (Table 3 item (4)):
+     * per edge, source + destination node IDs plus one float of edge
+     * payload. The trainers charge exactly this when a batch lands on
+     * a device; the estimator prices item (4) with the same formula.
+     */
+    int64_t
+    structureBytes() const
+    {
+        const int64_t per_edge = 2 * 8 + 4; // two int64 IDs + one float
+        return totalEdges() * per_edge;
+    }
 };
 
 } // namespace betty

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/memprof.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -13,8 +14,12 @@ namespace ag {
 Tensor&
 Node::ensureGrad()
 {
-    if (grad.empty() && value.numel() > 0)
+    if (grad.empty() && value.numel() > 0) {
+        // Every gradient buffer — parameter gradients and the
+        // backward buffers of intermediates alike — is item (7).
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Gradients);
         grad = Tensor::zeros(value.rows(), value.cols());
+    }
     return grad;
 }
 

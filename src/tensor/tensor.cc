@@ -33,23 +33,27 @@ allocationObserver()
  * Backing buffer. Reports its byte size to the observer that was
  * installed at allocation time; the same observer is notified on
  * release even if the global observer changed in between, so paired
- * alloc/free events always reach the same memory model.
+ * alloc/free events always reach the same memory model. The memory
+ * category is likewise snapshotted at allocation time, so a tensor
+ * freed outside the MemCategoryScope it was allocated under is still
+ * debited from the right category.
  */
 struct Tensor::Storage
 {
     explicit Storage(int64_t count)
         : values(static_cast<size_t>(count)),
           bytes(count * int64_t(sizeof(float))),
-          observer(g_observer)
+          observer(g_observer),
+          category(obs::currentMemCategory())
     {
         if (observer)
-            observer->onAlloc(bytes);
+            observer->onAlloc(bytes, category);
     }
 
     ~Storage()
     {
         if (observer)
-            observer->onFree(bytes);
+            observer->onFree(bytes, category);
     }
 
     Storage(const Storage&) = delete;
@@ -58,6 +62,7 @@ struct Tensor::Storage
     std::vector<float> values;
     int64_t bytes;
     AllocationObserver* observer;
+    obs::MemCategory category;
 };
 
 Tensor::Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols)

@@ -15,21 +15,46 @@
 #include <memory>
 #include <vector>
 
+#include "obs/memprof.h"
+
 namespace betty {
 
 class Rng;
 
-/** Receives storage lifetime events from every Tensor allocation. */
+/**
+ * Receives storage lifetime events from every Tensor allocation.
+ *
+ * Events carry the Table 3 memory category (obs/memprof.h) the
+ * allocation happened under; paired alloc/free events always report
+ * the same category because Tensor::Storage snapshots it at
+ * allocation time. Observers that do not care about provenance can
+ * ignore the argument; callers that do not care can use the 1-arg
+ * convenience overloads, which tag with the calling thread's current
+ * MemCategoryScope.
+ */
 class AllocationObserver
 {
   public:
     virtual ~AllocationObserver() = default;
 
     /** Called when @p bytes of tensor storage are allocated. */
-    virtual void onAlloc(int64_t bytes) = 0;
+    virtual void onAlloc(int64_t bytes, obs::MemCategory category) = 0;
 
     /** Called when @p bytes of tensor storage are released. */
-    virtual void onFree(int64_t bytes) = 0;
+    virtual void onFree(int64_t bytes, obs::MemCategory category) = 0;
+
+    /** @name Convenience: tag with the thread's current category. */
+    /** @{ */
+    void onAlloc(int64_t bytes)
+    {
+        onAlloc(bytes, obs::currentMemCategory());
+    }
+
+    void onFree(int64_t bytes)
+    {
+        onFree(bytes, obs::currentMemCategory());
+    }
+    /** @} */
 };
 
 /**

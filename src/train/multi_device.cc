@@ -4,6 +4,7 @@
 #include <numeric>
 #include <string>
 
+#include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
@@ -104,16 +105,22 @@ MultiDeviceTrainer::trainMicroBatches(
             ++stats.batchesPerDevice[size_t(device_id)];
 
             DeviceMemoryModel::Scope scope(device);
-            const int64_t structure_bytes =
-                batch.totalEdges() * (2 * 8 + 4);
-            device.onAlloc(structure_bytes);
+            const int64_t structure_bytes = batch.structureBytes();
+            const int64_t label_bytes =
+                outputs * int64_t(sizeof(int32_t));
+            device.onAlloc(structure_bytes,
+                           obs::MemCategory::Blocks);
+            device.onAlloc(label_bytes, obs::MemCategory::Labels);
             {
                 // Gather features (host -> this device's link).
                 const auto& inputs = batch.inputNodes();
                 const int64_t dim = dataset_.featureDim();
-                Tensor features(int64_t(inputs.size()), dim);
+                ag::NodePtr feature_node;
                 {
                     BETTY_TRACE_SPAN("train/transfer");
+                    obs::MemCategoryScope mem_scope(
+                        obs::MemCategory::InputFeatures);
+                    Tensor features(int64_t(inputs.size()), dim);
                     for (size_t r = 0; r < inputs.size(); ++r)
                         std::copy_n(dataset_.features.data() +
                                         inputs[r] * dim,
@@ -122,6 +129,7 @@ MultiDeviceTrainer::trainMicroBatches(
                                         int64_t(r) * dim);
                     link.transfer(features.bytes() +
                                   structure_bytes);
+                    feature_node = ag::constant(std::move(features));
                 }
 
                 std::vector<int32_t> labels;
@@ -133,8 +141,9 @@ MultiDeviceTrainer::trainMicroBatches(
                 ag::NodePtr logits;
                 {
                     BETTY_TRACE_SPAN("train/forward");
-                    logits = model_.forward(
-                        batch, ag::constant(std::move(features)));
+                    obs::MemCategoryScope mem_scope(
+                        obs::MemCategory::Hidden);
+                    logits = model_.forward(batch, feature_node);
                 }
                 correct += ag::countCorrect(logits->value, labels);
                 const auto loss = ag::softmaxCrossEntropy(
@@ -143,13 +152,17 @@ MultiDeviceTrainer::trainMicroBatches(
                                            double(total_outputs));
                 {
                     BETTY_TRACE_SPAN("train/backward");
+                    obs::MemCategoryScope mem_scope(
+                        obs::MemCategory::Gradients);
                     ag::backward(ag::scale(loss, weight));
                 }
                 busy += timer.seconds();
                 stats.loss +=
                     double(loss->value.at(0, 0)) * double(weight);
             }
-            device.onFree(structure_bytes);
+            device.onFree(structure_bytes,
+                          obs::MemCategory::Blocks);
+            device.onFree(label_bytes, obs::MemCategory::Labels);
         }
 
         busy += link.seconds();

@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "memory/estimator.h"
+#include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
@@ -45,9 +46,18 @@ Trainer::Trainer(const Dataset& dataset, GnnModel& model,
 int64_t
 Trainer::blockBytes(const MultiLayerBatch& batch)
 {
-    // Two 8-byte node ids plus a 4-byte weight per edge (paper item
-    // (4): "the size of a block is E x 3" elements).
-    return batch.totalEdges() * (2 * 8 + 4);
+    // Paper item (4): "the size of a block is E x 3" elements; the
+    // formula lives with the batch so the estimator prices the same
+    // bytes the trainers charge.
+    return batch.structureBytes();
+}
+
+/** Host-side label bytes charged to the device per batch (item (3)). */
+static int64_t
+labelBytes(const MultiLayerBatch& batch)
+{
+    return int64_t(batch.outputNodes().size()) *
+           int64_t(sizeof(int32_t));
 }
 
 ag::NodePtr
@@ -56,6 +66,7 @@ Trainer::loadFeatures(const MultiLayerBatch& batch)
     // The host-side gather IS the transfer work in this simulated
     // setup, so the span covers gather + the analytic charge.
     BETTY_TRACE_SPAN("train/transfer");
+    obs::MemCategoryScope mem_scope(obs::MemCategory::InputFeatures);
     const auto& inputs = batch.inputNodes();
     const int64_t dim = dataset_.featureDim();
     Tensor features(int64_t(inputs.size()), dim);
@@ -90,6 +101,9 @@ Trainer::forwardBatch(const MultiLayerBatch& batch)
     ag::NodePtr logits;
     {
         BETTY_TRACE_SPAN("train/forward");
+        // Ambient category for layer outputs (item (5)); layers
+        // override with Aggregator for their aggregation chains.
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Hidden);
         logits = model_.forward(batch, features);
     }
     auto labels = loadLabels(batch);
@@ -124,9 +138,12 @@ Trainer::trainMicroBatches(
         stats.totalNodesProcessed += batchNodeCount(batch);
 
         const int64_t structure_bytes = blockBytes(batch);
+        const int64_t label_bytes = labelBytes(batch);
         if (device_) {
             device_->resetWindow();
-            device_->onAlloc(structure_bytes);
+            device_->onAlloc(structure_bytes,
+                             obs::MemCategory::Blocks);
+            device_->onAlloc(label_bytes, obs::MemCategory::Labels);
         }
         {
             Timer timer;
@@ -138,6 +155,10 @@ Trainer::trainMicroBatches(
                 float(double(fwd.outputs) / double(total_outputs));
             {
                 BETTY_TRACE_SPAN("train/backward");
+                // Catches gradient temporaries allocated outside
+                // Node::ensureGrad (item (7)).
+                obs::MemCategoryScope mem_scope(
+                    obs::MemCategory::Gradients);
                 ag::backward(ag::scale(fwd.loss, weight));
             }
             stats.computeSeconds += timer.seconds();
@@ -150,15 +171,29 @@ Trainer::trainMicroBatches(
             // paper's "only the gradients are stored" (§4.2.3).
         }
         if (device_) {
-            device_->onFree(structure_bytes);
+            device_->onFree(structure_bytes,
+                            obs::MemCategory::Blocks);
+            device_->onFree(label_bytes, obs::MemCategory::Labels);
             if (obs::Metrics::enabled()) {
                 // Estimator-residual telemetry: what the planner's
                 // model predicted for this micro-batch vs. what the
-                // device actually reached (paper §4.4, Table 3).
+                // device actually reached (paper §4.4, Table 3) —
+                // in total and per component.
                 const MemoryEstimate predicted = estimateBatchMemory(
                     batch, model_.memorySpec());
                 obs::residuals().record(predicted.peak,
                                         device_->windowPeakBytes());
+                obs::MicroBatchMemRecord record;
+                record.actualTotalPeak = device_->windowPeakBytes();
+                record.predictedTotalPeak = predicted.peak;
+                for (size_t c = 0; c < obs::kMemCategoryCount; ++c) {
+                    const auto category = obs::MemCategory(c);
+                    record.actualPeak[c] =
+                        device_->windowPeakBytes(category);
+                    record.predicted[c] =
+                        componentBytes(predicted, category);
+                }
+                obs::memProfiler().record(record);
             }
         }
     }
@@ -208,8 +243,12 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
         total_outputs += outputs;
 
         const int64_t structure_bytes = blockBytes(batch);
-        if (device_)
-            device_->onAlloc(structure_bytes);
+        const int64_t label_bytes = labelBytes(batch);
+        if (device_) {
+            device_->onAlloc(structure_bytes,
+                             obs::MemCategory::Blocks);
+            device_->onAlloc(label_bytes, obs::MemCategory::Labels);
+        }
         {
             BETTY_TRACE_SPAN("train/micro_batch");
             Timer timer;
@@ -217,6 +256,8 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
             ForwardResult fwd = forwardBatch(batch);
             {
                 BETTY_TRACE_SPAN("train/backward");
+                obs::MemCategoryScope mem_scope(
+                    obs::MemCategory::Gradients);
                 ag::backward(fwd.loss);
             }
             {
@@ -229,8 +270,11 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
                         double(outputs);
             correct += fwd.correct;
         }
-        if (device_)
-            device_->onFree(structure_bytes);
+        if (device_) {
+            device_->onFree(structure_bytes,
+                            obs::MemCategory::Blocks);
+            device_->onFree(label_bytes, obs::MemCategory::Labels);
+        }
     }
     BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
 

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/memprof.h"
+#include "obs/run_meta.h"
 
 namespace {
 
@@ -73,13 +75,34 @@ checkTrace(const JsonValue& doc)
         return;
     }
 
+    const JsonValue* schema = doc.find("schema_version");
+    if (!schema || schema->asInt() != betty::obs::kObsSchemaVersion)
+        fail("trace schema_version missing or stale");
+
     std::set<std::string> span_names;
     size_t complete_events = 0;
+    size_t memory_counters = 0;
     for (const auto& event : events->array) {
         const JsonValue* phase = event.find("ph");
         const JsonValue* name = event.find("name");
         if (!phase || !name) {
             fail("trace event missing ph/name");
+            continue;
+        }
+        if (phase->string == "C" &&
+            name->string == "device/memory") {
+            // One stacked-counter sample: all Table 3 categories must
+            // be present so Perfetto renders the full breakdown.
+            const JsonValue* args = event.find("args");
+            bool complete = args && args->isObject();
+            for (size_t c = 0;
+                 complete && c < betty::obs::kMemCategoryCount; ++c)
+                complete = args->find(betty::obs::memCategoryName(
+                               betty::obs::MemCategory(c))) != nullptr;
+            if (!complete)
+                fail("device/memory counter event lacks a category");
+            else
+                ++memory_counters;
             continue;
         }
         if (phase->string != "X")
@@ -108,11 +131,27 @@ checkTrace(const JsonValue& doc)
     for (const auto& name : required)
         if (!span_names.count(name))
             fail("trace is missing required span '" + name + "'");
+    if (memory_counters == 0)
+        fail("trace has no device/memory counter (ph=C) events");
 }
 
 void
 checkMetrics(const JsonValue& doc)
 {
+    const JsonValue* schema = doc.find("schema_version");
+    if (!schema || schema->asInt() != betty::obs::kObsSchemaVersion)
+        fail("metrics schema_version missing or stale");
+    const JsonValue* meta = doc.find("meta");
+    if (!meta || !meta->find("binary"))
+        fail("metrics meta.binary is missing");
+
+    const JsonValue* profile = doc.find("memory_profile");
+    const JsonValue* micro_batches =
+        profile ? profile->find("micro_batches") : nullptr;
+    if (!micro_batches || !micro_batches->isArray() ||
+        micro_batches->array.empty())
+        fail("memory_profile.micro_batches is missing or empty");
+
     const JsonValue* gauges = doc.find("gauges");
     if (!gauges || !gauges->isObject()) {
         fail("metrics has no gauges object");

@@ -5,9 +5,31 @@
 #include <gtest/gtest.h>
 
 #include "memory/device_memory.h"
+#include "obs/memprof.h"
+#include "obs/metrics.h"
 
 namespace betty {
 namespace {
+
+/** Enable metrics for one test, restoring the prior state after. */
+class MetricsEnabledScope
+{
+  public:
+    MetricsEnabledScope() : was_(obs::Metrics::enabled())
+    {
+        obs::Metrics::setEnabled(true);
+    }
+    ~MetricsEnabledScope() { obs::Metrics::setEnabled(was_); }
+
+  private:
+    bool was_;
+};
+
+int64_t
+oomEventCount()
+{
+    return obs::Metrics::counter("device.oom_events").value();
+}
 
 TEST(DeviceMemory, LiveAndPeakTracking)
 {
@@ -87,6 +109,128 @@ TEST(DeviceMemory, NestedScopes)
     EXPECT_EQ(allocationObserver(), &outer);
     EXPECT_EQ(outer.liveBytes(), 4);
     EXPECT_EQ(inner.liveBytes(), 0);
+}
+
+TEST(DeviceMemory, UnmatchedFreeClampsAtZero)
+{
+    DeviceMemoryModel device;
+    // A model installed mid-lifetime can see frees for storage it
+    // never observed being allocated; live must clamp at zero, not
+    // underflow and poison later peak comparisons.
+    device.onFree(100);
+    EXPECT_EQ(device.liveBytes(), 0);
+    device.onAlloc(40);
+    device.onFree(100);
+    EXPECT_EQ(device.liveBytes(), 0);
+    device.onAlloc(25);
+    EXPECT_EQ(device.liveBytes(), 25);
+    EXPECT_EQ(device.peakBytes(), 40) << "peak unaffected by clamp";
+}
+
+TEST(DeviceMemory, UnmatchedFreeClampsPerCategory)
+{
+    DeviceMemoryModel device;
+    device.onAlloc(100, obs::MemCategory::Hidden);
+    // Freeing more Gradients than were ever allocated must not debit
+    // the Hidden bytes.
+    device.onFree(60, obs::MemCategory::Gradients);
+    EXPECT_EQ(device.liveBytes(), 100);
+    EXPECT_EQ(device.liveBytes(obs::MemCategory::Hidden), 100);
+    EXPECT_EQ(device.liveBytes(obs::MemCategory::Gradients), 0);
+}
+
+TEST(DeviceMemory, PerCategorySumsEqualTotal)
+{
+    DeviceMemoryModel device;
+    device.onAlloc(100, obs::MemCategory::InputFeatures);
+    device.onAlloc(50, obs::MemCategory::Blocks);
+    device.onAlloc(30, obs::MemCategory::Hidden);
+    device.onFree(20, obs::MemCategory::Hidden);
+    int64_t sum = 0;
+    for (size_t c = 0; c < obs::kMemCategoryCount; ++c)
+        sum += device.liveBytes(obs::MemCategory(c));
+    EXPECT_EQ(sum, device.liveBytes());
+    EXPECT_EQ(device.liveBytes(obs::MemCategory::InputFeatures), 100);
+    EXPECT_EQ(device.peakBytes(obs::MemCategory::Hidden), 30);
+    EXPECT_EQ(device.liveBytes(obs::MemCategory::Hidden), 10);
+}
+
+TEST(DeviceMemory, CategoryScopeRoutesTensorAllocations)
+{
+    DeviceMemoryModel device;
+    DeviceMemoryModel::Scope scope(device);
+    {
+        obs::MemCategoryScope mem_scope(obs::MemCategory::Gradients);
+        Tensor t(4, 4);
+        EXPECT_EQ(device.liveBytes(obs::MemCategory::Gradients), 64);
+        EXPECT_EQ(device.liveBytes(obs::MemCategory::Uncategorized),
+                  0);
+    }
+    // The free pairs with the alloc's snapshotted category even
+    // though the scope has unwound.
+    EXPECT_EQ(device.liveBytes(obs::MemCategory::Gradients), 0);
+    EXPECT_EQ(device.liveBytes(), 0);
+}
+
+TEST(DeviceMemory, OomEpisodesCountedPerEpisode)
+{
+    MetricsEnabledScope metrics;
+    const int64_t before = oomEventCount();
+    DeviceMemoryModel device(100);
+    device.onAlloc(150); // episode 1 starts
+    device.onAlloc(10);  // same episode: no new event
+    EXPECT_EQ(oomEventCount() - before, 1);
+    device.onFree(160); // back under capacity: episode 1 ends
+    EXPECT_TRUE(device.oomOccurred()) << "latch survives the episode";
+    device.onAlloc(150); // episode 2
+    EXPECT_EQ(oomEventCount() - before, 2);
+}
+
+TEST(DeviceMemory, ResetPeakDoesNotRecountOngoingEpisode)
+{
+    MetricsEnabledScope metrics;
+    const int64_t before = oomEventCount();
+    DeviceMemoryModel device(50);
+    device.onAlloc(80);
+    EXPECT_EQ(oomEventCount() - before, 1);
+    device.resetPeak();
+    EXPECT_TRUE(device.oomOccurred())
+        << "still over capacity after reset";
+    device.onAlloc(10); // the SAME over-capacity stretch continues
+    EXPECT_EQ(oomEventCount() - before, 1)
+        << "ongoing episode must not be double-counted";
+}
+
+TEST(DeviceMemory, OomLatchSurvivesResetWindow)
+{
+    DeviceMemoryModel device(50);
+    device.onAlloc(80);
+    device.onFree(80);
+    device.resetWindow();
+    EXPECT_TRUE(device.oomOccurred())
+        << "resetWindow must not clear the OOM latch";
+    EXPECT_EQ(device.worstOvershoot(), 30);
+    device.resetPeak();
+    EXPECT_FALSE(device.oomOccurred())
+        << "resetPeak clears the latch once back under capacity";
+    EXPECT_EQ(device.worstOvershoot(), 0);
+}
+
+TEST(DeviceMemory, TimelineSamplesAreInternallyConsistent)
+{
+    MetricsEnabledScope metrics;
+    DeviceMemoryModel device;
+    device.onAlloc(100, obs::MemCategory::InputFeatures);
+    device.onAlloc(50, obs::MemCategory::Hidden);
+    device.onFree(30, obs::MemCategory::Hidden);
+    ASSERT_FALSE(device.timeline().empty());
+    for (const auto& sample : device.timeline()) {
+        int64_t sum = 0;
+        for (int64_t bytes : sample.live)
+            sum += bytes;
+        EXPECT_EQ(sum, sample.totalLive);
+    }
+    EXPECT_EQ(device.timeline().back().totalLive, 120);
 }
 
 } // namespace

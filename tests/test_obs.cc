@@ -11,13 +11,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/residual.h"
+#include "obs/run_meta.h"
+#include "obs/run_report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -353,6 +357,185 @@ TEST_F(ObsTest, JsonParserAcceptsAndRejects)
     EXPECT_FALSE(parseJson("{} trailing", doc));
     EXPECT_FALSE(parseJson("[1, 2", doc));
     EXPECT_FALSE(parseJson("", doc));
+}
+
+TEST_F(ObsTest, MemCategoryScopeNestsAndRestores)
+{
+    EXPECT_EQ(obs::currentMemCategory(),
+              obs::MemCategory::Uncategorized);
+    {
+        obs::MemCategoryScope outer(obs::MemCategory::Hidden);
+        EXPECT_EQ(obs::currentMemCategory(), obs::MemCategory::Hidden);
+        {
+            obs::MemCategoryScope inner(
+                obs::MemCategory::Aggregator);
+            EXPECT_EQ(obs::currentMemCategory(),
+                      obs::MemCategory::Aggregator);
+        }
+        EXPECT_EQ(obs::currentMemCategory(), obs::MemCategory::Hidden);
+    }
+    EXPECT_EQ(obs::currentMemCategory(),
+              obs::MemCategory::Uncategorized);
+}
+
+TEST_F(ObsTest, MemCategoryNamesAreStableAndDistinct)
+{
+    std::vector<std::string> names;
+    for (size_t c = 0; c < obs::kMemCategoryCount; ++c)
+        names.push_back(
+            obs::memCategoryName(obs::MemCategory(c)));
+    EXPECT_EQ(names.front(), "parameters");
+    EXPECT_EQ(names.back(), "uncategorized");
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end())
+        << "category names must be distinct (they key JSON objects)";
+}
+
+TEST_F(ObsTest, MemProfilerRecordsOnlyWhenEnabled)
+{
+    obs::MicroBatchMemRecord record;
+    record.actualTotalPeak = 100;
+    obs::memProfiler().record(record);
+    EXPECT_TRUE(obs::memProfiler().records().empty())
+        << "disabled metrics must make record() a no-op";
+
+    obs::Metrics::setEnabled(true);
+    obs::memProfiler().record(record);
+    ASSERT_EQ(obs::memProfiler().records().size(), 1u);
+    EXPECT_EQ(obs::memProfiler().records()[0].actualTotalPeak, 100);
+}
+
+TEST_F(ObsTest, MemProfilerJsonRoundTrip)
+{
+    obs::Metrics::setEnabled(true);
+    obs::MicroBatchMemRecord record;
+    record.predicted[size_t(obs::MemCategory::InputFeatures)] = 120;
+    record.actualPeak[size_t(obs::MemCategory::InputFeatures)] = 100;
+    record.predictedTotalPeak = 120;
+    record.actualTotalPeak = 100;
+    obs::memProfiler().record(record);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(obs::memProfiler().toJson(), doc, &error))
+        << error;
+    const JsonValue* batches = doc.find("micro_batches");
+    ASSERT_NE(batches, nullptr);
+    ASSERT_EQ(batches->array.size(), 1u);
+    const JsonValue* categories =
+        batches->array[0].find("categories");
+    ASSERT_NE(categories, nullptr);
+    const JsonValue* features = categories->find("input_features");
+    ASSERT_NE(features, nullptr);
+    EXPECT_EQ(features->find("predicted_bytes")->asInt(), 120);
+    EXPECT_EQ(features->find("actual_bytes")->asInt(), 100);
+    EXPECT_EQ(features->find("residual_bytes")->asInt(), 20);
+    const JsonValue* peaks = doc.find("category_peaks");
+    ASSERT_NE(peaks, nullptr);
+    EXPECT_EQ(peaks->find("input_features")->asInt(), 100);
+}
+
+TEST_F(ObsTest, TraceCounterEventsAppearInChromeJson)
+{
+    obs::Trace::setEnabled(true);
+    obs::Trace::recordCounter("obs_test/counter",
+                              {{"hidden", 64}, {"gradients", 32}});
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(obs::Trace::chromeTraceJson(), doc, &error))
+        << error;
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              obs::kObsSchemaVersion);
+    bool saw_counter = false;
+    for (const auto& event : doc.find("traceEvents")->array) {
+        if (event.find("ph")->string != "C" ||
+            event.find("name")->string != "obs_test/counter")
+            continue;
+        saw_counter = true;
+        const JsonValue* args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->find("hidden")->asInt(), 64);
+        EXPECT_EQ(args->find("gradients")->asInt(), 32);
+    }
+    EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(ObsTest, ExportsCarrySchemaVersionAndRunMeta)
+{
+    obs::Metrics::setEnabled(true);
+    obs::setRunMeta("binary", "test_obs");
+    const std::string snapshot = obs::Metrics::snapshotJson();
+    obs::clearRunMeta();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(snapshot, doc, &error)) << error;
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              obs::kObsSchemaVersion);
+    const JsonValue* meta = doc.find("meta");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->find("binary")->string, "test_obs");
+    ASSERT_NE(meta->find("timestamp"), nullptr);
+    // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SSZ".
+    const std::string& stamp = meta->find("timestamp")->string;
+    ASSERT_EQ(stamp.size(), 20u);
+    EXPECT_EQ(stamp[10], 'T');
+    EXPECT_EQ(stamp.back(), 'Z');
+    ASSERT_NE(doc.find("memory_profile"), nullptr);
+}
+
+TEST_F(ObsTest, RunReportJsonRoundTrip)
+{
+    obs::RunReport report;
+    report.setBinary("test_obs");
+    report.setDataset("synthetic", 100, 400, 4, 16);
+    report.setConfig("epochs", "2");
+    report.setConfig("epochs", "3"); // updates, no duplicate
+    obs::RunReportEpoch epoch;
+    epoch.epoch = 0;
+    epoch.k = 4;
+    epoch.loss = 1.5;
+    epoch.peakBytes = 2048;
+    report.addEpoch(epoch);
+    obs::MemTimelineSample sample;
+    sample.tsUs = 7;
+    sample.live[size_t(obs::MemCategory::Hidden)] = 30;
+    sample.live[size_t(obs::MemCategory::Blocks)] = 12;
+    sample.totalLive = 42;
+    report.setTimeline({sample});
+    report.setPeakBytes(2048);
+    report.setOomEvents(1);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(report.toJson(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("schema_version")->asInt(),
+              obs::kObsSchemaVersion);
+    EXPECT_EQ(doc.find("binary")->string, "test_obs");
+    EXPECT_EQ(doc.find("dataset")->find("nodes")->asInt(), 100);
+
+    const JsonValue* config = doc.find("config");
+    ASSERT_NE(config, nullptr);
+    EXPECT_EQ(config->find("epochs")->string, "3");
+    ASSERT_EQ(config->object.size(), 1u) << "setConfig must dedup";
+
+    const JsonValue* epochs = doc.find("epochs");
+    ASSERT_EQ(epochs->array.size(), 1u);
+    EXPECT_EQ(epochs->array[0].find("k")->asInt(), 4);
+    EXPECT_EQ(epochs->array[0].find("peak_bytes")->asInt(), 2048);
+
+    const JsonValue* timeline = doc.find("timeline");
+    ASSERT_EQ(timeline->array.size(), 1u);
+    EXPECT_EQ(
+        timeline->array[0].find("total_live_bytes")->asInt(), 42);
+    const JsonValue* categories =
+        timeline->array[0].find("categories");
+    ASSERT_NE(categories, nullptr);
+    EXPECT_EQ(categories->find("hidden")->asInt(), 30);
+    EXPECT_EQ(categories->find("blocks")->asInt(), 12);
+
+    EXPECT_EQ(doc.find("summary")->find("peak_bytes")->asInt(), 2048);
+    EXPECT_EQ(doc.find("summary")->find("oom_events")->asInt(), 1);
 }
 
 TEST(ObsLoggingTest, LogLevelFiltersWarnings)

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Run-report inspector and perf-regression gate.
+ *
+ * Usage:
+ *   betty_report print <report.json>
+ *   betty_report check <report.json>
+ *   betty_report diff <baseline.json> <candidate.json>
+ *       [--max-peak-regress F]      (default 0.10: +10% peak bytes)
+ *       [--max-time-regress F]      (default 0.25: +25% compute time)
+ *       [--max-edge-cut-regress F]  (default 0.10: +10% edge cut)
+ *       [--max-accuracy-drop F]     (default 0.05: -5 points test acc)
+ *       [--inject-peak-scale F]     (test hook: scale candidate peaks)
+ *
+ * `print` renders the report's epochs and per-category Table 3
+ * breakdown as aligned tables. `check` validates the report's
+ * internal consistency (schema version, category sums vs. totals,
+ * residual arithmetic) — the acceptance contract of the memory
+ * profiler. `diff` compares two reports and exits non-zero when the
+ * candidate regresses past any threshold, refusing to compare
+ * artifacts with mismatched schema versions.
+ *
+ * Exit codes: 0 ok, 1 regression/violation, 2 usage or parse error.
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/memprof.h"
+#include "obs/run_meta.h"
+#include "util/table.h"
+
+namespace {
+
+using betty::TablePrinter;
+using betty::obs::JsonValue;
+using betty::obs::kMemCategoryCount;
+using betty::obs::kObsSchemaVersion;
+using betty::obs::MemCategory;
+using betty::obs::memCategoryName;
+using betty::obs::parseJson;
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: betty_report print <report.json>\n"
+        "       betty_report check <report.json>\n"
+        "       betty_report diff <baseline.json> <candidate.json>\n"
+        "           [--max-peak-regress F] [--max-time-regress F]\n"
+        "           [--max-edge-cut-regress F] "
+        "[--max-accuracy-drop F]\n"
+        "           [--inject-peak-scale F]\n");
+    return 2;
+}
+
+bool
+loadReport(const std::string& path, JsonValue& doc)
+{
+    std::ifstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "betty_report: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    std::string error;
+    if (!parseJson(buffer.str(), doc, &error)) {
+        std::fprintf(stderr,
+                     "betty_report: '%s' is not valid JSON: %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    if (!doc.isObject()) {
+        std::fprintf(stderr,
+                     "betty_report: '%s' is not a JSON object\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+int64_t
+schemaVersion(const JsonValue& doc)
+{
+    const JsonValue* version = doc.find("schema_version");
+    return version && version->isNumber() ? version->asInt() : 0;
+}
+
+/** summary.<key> as a double, or @p fallback when absent. */
+double
+summaryNumber(const JsonValue& doc, const char* key, double fallback)
+{
+    const JsonValue* summary = doc.find("summary");
+    const JsonValue* value = summary ? summary->find(key) : nullptr;
+    return value && value->isNumber() ? value->number : fallback;
+}
+
+// ---------------------------------------------------------------- print
+
+int
+printReport(const std::string& path, const JsonValue& doc)
+{
+    const JsonValue* dataset = doc.find("dataset");
+    const JsonValue* dataset_name =
+        dataset ? dataset->find("name") : nullptr;
+    std::printf("report: %s\n", path.c_str());
+    if (const JsonValue* meta = doc.find("meta")) {
+        if (const JsonValue* stamp = meta->find("timestamp"))
+            std::printf("recorded: %s\n", stamp->string.c_str());
+    }
+    if (dataset_name)
+        std::printf("dataset: %s\n", dataset_name->string.c_str());
+
+    TablePrinter epochs("epochs");
+    epochs.setHeader({"epoch", "K", "loss", "acc", "test", "peak MiB",
+                      "seconds", "oom"});
+    if (const JsonValue* rows = doc.find("epochs")) {
+        for (const JsonValue& row : rows->array) {
+            auto field = [&](const char* key) -> double {
+                const JsonValue* value = row.find(key);
+                return value ? value->number : 0.0;
+            };
+            const JsonValue* oom = row.find("oom");
+            epochs.addRow(
+                {TablePrinter::count((long long)field("epoch")),
+                 TablePrinter::count((long long)field("k")),
+                 TablePrinter::num(field("loss"), 4),
+                 TablePrinter::num(field("accuracy"), 3),
+                 TablePrinter::num(field("test_accuracy"), 3),
+                 TablePrinter::num(field("peak_bytes") / kMiB, 1),
+                 TablePrinter::num(field("compute_seconds"), 2),
+                 oom && oom->boolean ? "yes" : "no"});
+        }
+    }
+    epochs.print();
+
+    // Table 3 predicted-vs-actual, worst micro-batch per category.
+    const JsonValue* profile = doc.find("memory_profile");
+    const JsonValue* micro_batches =
+        profile ? profile->find("micro_batches") : nullptr;
+    TablePrinter breakdown(
+        "memory breakdown (worst micro-batch per category)");
+    breakdown.setHeader({"category", "predicted MiB", "actual MiB",
+                         "residual %"});
+    for (size_t c = 0; c < kMemCategoryCount; ++c) {
+        const char* name = memCategoryName(MemCategory(c));
+        double predicted = 0.0, actual = 0.0;
+        if (micro_batches) {
+            for (const JsonValue& batch : micro_batches->array) {
+                const JsonValue* categories =
+                    batch.find("categories");
+                const JsonValue* entry =
+                    categories ? categories->find(name) : nullptr;
+                if (!entry)
+                    continue;
+                const JsonValue* a = entry->find("actual_bytes");
+                if (a && a->number > actual) {
+                    actual = a->number;
+                    const JsonValue* p =
+                        entry->find("predicted_bytes");
+                    predicted = p ? p->number : 0.0;
+                }
+            }
+        }
+        const double residual_pct =
+            actual > 0.0 ? (predicted - actual) / actual * 100.0
+                         : 0.0;
+        breakdown.addRow({name, TablePrinter::num(predicted / kMiB, 3),
+                          TablePrinter::num(actual / kMiB, 3),
+                          TablePrinter::num(residual_pct, 1)});
+    }
+    breakdown.print();
+
+    TablePrinter summary("summary");
+    summary.setHeader({"metric", "value"});
+    summary.addRow(
+        {"peak MiB",
+         TablePrinter::num(summaryNumber(doc, "peak_bytes", 0) / kMiB,
+                           1)});
+    summary.addRow(
+        {"compute seconds",
+         TablePrinter::num(
+             summaryNumber(doc, "total_compute_seconds", 0), 2)});
+    summary.addRow(
+        {"final test accuracy",
+         TablePrinter::num(
+             summaryNumber(doc, "final_test_accuracy", 0), 3)});
+    summary.addRow(
+        {"edge cut", TablePrinter::count((long long)summaryNumber(
+                         doc, "edge_cut", 0))});
+    summary.addRow(
+        {"transfer MiB",
+         TablePrinter::num(
+             summaryNumber(doc, "transfer_bytes", 0) / kMiB, 1)});
+    summary.addRow(
+        {"OOM events", TablePrinter::count((long long)summaryNumber(
+                           doc, "oom_events", 0))});
+    summary.print();
+    return 0;
+}
+
+// ---------------------------------------------------------------- check
+
+int check_failures = 0;
+
+void
+violation(const std::string& message)
+{
+    std::fprintf(stderr, "betty_report: check FAIL: %s\n",
+                 message.c_str());
+    ++check_failures;
+}
+
+/**
+ * Validate the acceptance contract: schema version matches this
+ * build, every timeline sample's category bytes sum to its total,
+ * and every micro-batch record carries all Table 3 categories with
+ * consistent residual arithmetic.
+ */
+int
+checkReport(const JsonValue& doc)
+{
+    if (schemaVersion(doc) != kObsSchemaVersion)
+        violation("schema_version " +
+                  std::to_string(schemaVersion(doc)) + " != expected " +
+                  std::to_string(kObsSchemaVersion));
+
+    const JsonValue* meta = doc.find("meta");
+    if (!meta || !meta->find("timestamp"))
+        violation("meta.timestamp is missing");
+
+    const JsonValue* epochs = doc.find("epochs");
+    if (!epochs || !epochs->isArray() || epochs->array.empty()) {
+        violation("epochs is missing or empty");
+    } else {
+        for (const JsonValue& row : epochs->array) {
+            const JsonValue* peak = row.find("peak_bytes");
+            if (!peak || peak->asInt() <= 0) {
+                violation("an epoch has non-positive peak_bytes");
+                break;
+            }
+        }
+    }
+
+    const JsonValue* timeline = doc.find("timeline");
+    if (!timeline || !timeline->isArray() ||
+        timeline->array.empty()) {
+        violation("timeline is missing or empty");
+    } else {
+        for (size_t i = 0; i < timeline->array.size(); ++i) {
+            const JsonValue& sample = timeline->array[i];
+            const JsonValue* total = sample.find("total_live_bytes");
+            const JsonValue* categories = sample.find("categories");
+            if (!total || !categories || !categories->isObject()) {
+                violation("timeline[" + std::to_string(i) +
+                          "] is malformed");
+                continue;
+            }
+            int64_t sum = 0;
+            for (const auto& [name, value] : categories->object)
+                sum += value.asInt();
+            if (sum != total->asInt())
+                violation("timeline[" + std::to_string(i) +
+                          "]: category sum " + std::to_string(sum) +
+                          " != total_live_bytes " +
+                          std::to_string(total->asInt()));
+        }
+    }
+
+    const JsonValue* profile = doc.find("memory_profile");
+    const JsonValue* micro_batches =
+        profile ? profile->find("micro_batches") : nullptr;
+    if (!micro_batches || !micro_batches->isArray() ||
+        micro_batches->array.empty()) {
+        violation("memory_profile.micro_batches is missing or empty");
+    } else {
+        for (size_t i = 0; i < micro_batches->array.size(); ++i) {
+            const JsonValue& batch = micro_batches->array[i];
+            const JsonValue* categories = batch.find("categories");
+            if (!categories || !categories->isObject()) {
+                violation("micro_batches[" + std::to_string(i) +
+                          "] has no categories");
+                continue;
+            }
+            for (size_t c = 0; c < kMemCategoryCount; ++c) {
+                const char* name = memCategoryName(MemCategory(c));
+                const JsonValue* entry = categories->find(name);
+                if (!entry) {
+                    violation("micro_batches[" + std::to_string(i) +
+                              "] lacks category '" + name + "'");
+                    continue;
+                }
+                const JsonValue* predicted =
+                    entry->find("predicted_bytes");
+                const JsonValue* actual = entry->find("actual_bytes");
+                const JsonValue* residual =
+                    entry->find("residual_bytes");
+                if (!predicted || !actual || !residual) {
+                    violation("micro_batches[" + std::to_string(i) +
+                              "]." + name +
+                              " lacks predicted/actual/residual");
+                } else if (residual->asInt() !=
+                           predicted->asInt() - actual->asInt()) {
+                    violation("micro_batches[" + std::to_string(i) +
+                              "]." + name +
+                              ": residual != predicted - actual");
+                }
+            }
+        }
+    }
+
+    const JsonValue* residuals = doc.find("estimator_residuals");
+    const JsonValue* entries =
+        residuals ? residuals->find("entries") : nullptr;
+    if (!entries || !entries->isArray() || entries->array.empty())
+        violation("estimator_residuals.entries is missing or empty");
+
+    if (check_failures) {
+        std::fprintf(stderr, "betty_report: %d check failure(s)\n",
+                     check_failures);
+        return 1;
+    }
+    std::printf("betty_report: check OK\n");
+    return 0;
+}
+
+// ----------------------------------------------------------------- diff
+
+struct DiffThresholds
+{
+    double maxPeakRegress = 0.10;
+    double maxTimeRegress = 0.25;
+    double maxEdgeCutRegress = 0.10;
+    double maxAccuracyDrop = 0.05;
+    /** Test hook: scale the candidate's peak figures before
+     * comparing, to simulate a memory regression. */
+    double injectPeakScale = 1.0;
+};
+
+int diff_regressions = 0;
+
+void
+regression(const char* metric, double baseline, double candidate,
+           const std::string& detail)
+{
+    std::fprintf(stderr,
+                 "REGRESSION: %s baseline %.6g candidate %.6g (%s)\n",
+                 metric, baseline, candidate, detail.c_str());
+    ++diff_regressions;
+}
+
+/** Flag a regression when candidate exceeds baseline by more than
+ * @p max_ratio (relative); zero/absent baselines are skipped. */
+void
+compareIncrease(const char* metric, double baseline, double candidate,
+                double max_ratio)
+{
+    if (baseline <= 0.0)
+        return;
+    const double ratio = (candidate - baseline) / baseline;
+    if (ratio > max_ratio)
+        regression(metric, baseline, candidate,
+                   "+" + std::to_string(ratio * 100.0) +
+                       "% > allowed +" +
+                       std::to_string(max_ratio * 100.0) + "%");
+}
+
+int
+diffReports(const JsonValue& baseline, const JsonValue& candidate,
+            const DiffThresholds& thresholds)
+{
+    if (schemaVersion(baseline) != schemaVersion(candidate)) {
+        std::fprintf(stderr,
+                     "betty_report: refusing to diff schema_version "
+                     "%lld against %lld\n",
+                     (long long)schemaVersion(baseline),
+                     (long long)schemaVersion(candidate));
+        return 2;
+    }
+
+    const double base_peak = summaryNumber(baseline, "peak_bytes", 0);
+    const double cand_peak =
+        summaryNumber(candidate, "peak_bytes", 0) *
+        thresholds.injectPeakScale;
+    compareIncrease("peak_bytes", base_peak, cand_peak,
+                    thresholds.maxPeakRegress);
+
+    compareIncrease(
+        "total_compute_seconds",
+        summaryNumber(baseline, "total_compute_seconds", 0),
+        summaryNumber(candidate, "total_compute_seconds", 0),
+        thresholds.maxTimeRegress);
+
+    compareIncrease("edge_cut",
+                    summaryNumber(baseline, "edge_cut", 0),
+                    summaryNumber(candidate, "edge_cut", 0),
+                    thresholds.maxEdgeCutRegress);
+
+    const double base_acc =
+        summaryNumber(baseline, "final_test_accuracy", 0);
+    const double cand_acc =
+        summaryNumber(candidate, "final_test_accuracy", 0);
+    if (base_acc - cand_acc > thresholds.maxAccuracyDrop)
+        regression("final_test_accuracy", base_acc, cand_acc,
+                   "dropped " + std::to_string(base_acc - cand_acc) +
+                       " > allowed " +
+                       std::to_string(thresholds.maxAccuracyDrop));
+
+    const double base_oom = summaryNumber(baseline, "oom_events", 0);
+    const double cand_oom = summaryNumber(candidate, "oom_events", 0);
+    if (cand_oom > base_oom)
+        regression("oom_events", base_oom, cand_oom,
+                   "more OOM episodes than baseline");
+
+    if (diff_regressions) {
+        std::fprintf(stderr, "betty_report: %d regression(s)\n",
+                     diff_regressions);
+        return 1;
+    }
+    std::printf("betty_report: diff OK (no regressions)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string command = argv[1];
+
+    if (command == "print" || command == "check") {
+        JsonValue doc;
+        if (!loadReport(argv[2], doc))
+            return 2;
+        return command == "print" ? printReport(argv[2], doc)
+                                  : checkReport(doc);
+    }
+
+    if (command == "diff") {
+        if (argc < 4)
+            return usage();
+        DiffThresholds thresholds;
+        for (int i = 4; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto value = [&]() -> double {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "betty_report: missing value for "
+                                 "%s\n",
+                                 flag.c_str());
+                    std::exit(2);
+                }
+                return std::atof(argv[++i]);
+            };
+            if (flag == "--max-peak-regress")
+                thresholds.maxPeakRegress = value();
+            else if (flag == "--max-time-regress")
+                thresholds.maxTimeRegress = value();
+            else if (flag == "--max-edge-cut-regress")
+                thresholds.maxEdgeCutRegress = value();
+            else if (flag == "--max-accuracy-drop")
+                thresholds.maxAccuracyDrop = value();
+            else if (flag == "--inject-peak-scale")
+                thresholds.injectPeakScale = value();
+            else
+                return usage();
+        }
+        JsonValue baseline, candidate;
+        if (!loadReport(argv[2], baseline) ||
+            !loadReport(argv[3], candidate))
+            return 2;
+        return diffReports(baseline, candidate, thresholds);
+    }
+
+    return usage();
+}
