@@ -14,6 +14,10 @@
  *   BETTY_DEVICE_GIB   simulated accelerator capacity (default 0.25
  *                      GiB — plays the role of the paper's 24 GB
  *                      RTX6000 at our dataset scale).
+ *   BETTY_THREADS      global ThreadPool lanes for parallel batch
+ *                      preparation (default 1 = serial). Results are
+ *                      bit-identical for any value; only wall-clock
+ *                      changes. Benches also accept --threads=N.
  */
 #ifndef BETTY_BENCH_BENCH_COMMON_H
 #define BETTY_BENCH_BENCH_COMMON_H
@@ -39,6 +43,7 @@
 #include "train/trainer.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace betty::benchutil {
@@ -113,6 +118,7 @@ toMiB(int64_t bytes)
  *
  *   --trace-out=FILE / BETTY_TRACE_OUT=FILE    Chrome trace JSON
  *   --metrics-out=FILE / BETTY_METRICS_OUT=FILE  metrics snapshot
+ *   --threads=N / BETTY_THREADS=N   global ThreadPool lanes
  *
  * Recognized flags are removed from argc/argv so they never reach
  * google-benchmark's (strict) flag parser. With neither flag nor
@@ -135,6 +141,8 @@ class ObsSession
             obs::Trace::setEnabled(true);
         if (!metrics_out_.empty())
             obs::Metrics::setEnabled(true);
+        if (threads_ > 0)
+            ThreadPool::setGlobalThreads(threads_);
     }
 
     ~ObsSession()
@@ -161,6 +169,8 @@ class ObsSession
                 trace_out_ = arg + 12;
             else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
                 metrics_out_ = arg + 14;
+            else if (std::strncmp(arg, "--threads=", 10) == 0)
+                threads_ = std::atoi(arg + 10);
             else
                 argv[kept++] = argv[i];
         }
@@ -169,6 +179,7 @@ class ObsSession
 
     std::string trace_out_;
     std::string metrics_out_;
+    int32_t threads_ = 0;
 };
 
 /**

@@ -13,10 +13,11 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace betty;
     using namespace betty::benchutil;
+    ObsSession obs(&argc, argv);
 
     std::printf("Figure 14: train + transfer time vs #batches, "
                 "3-layer SAGE + Mean, products_like\n");
@@ -70,9 +71,53 @@ main()
     }
     table.print();
 
+    // Transfer-compute pipelining: epoch wall-clock vs thread count
+    // (betty partitioning at K = 16; identical losses/stats at every
+    // thread count — see tests/test_pipeline.cc).
+    {
+        auto part = makePartitioner("betty", ds.graph);
+        const auto micros =
+            extractMicroBatches(full, part->partition(full, 16));
+        TablePrinter table("pipelined epoch wall-clock vs threads "
+                           "(K = 16, best of 3)");
+        table.setHeader({"threads", "wall_s", "compute_s",
+                         "transfer_s", "speedup"});
+        double serial_wall = 0.0;
+        for (int32_t threads : {1, 2, 4}) {
+            ThreadPool::setGlobalThreads(threads);
+            GraphSage model(cfg);
+            Adam adam(model.parameters(), 0.01f);
+            TransferModel transfer;
+            Trainer trainer(ds, model, adam, nullptr, &transfer);
+            double best_wall = 1e300;
+            EpochStats stats;
+            for (int rep = 0; rep < 3; ++rep) {
+                Timer wall;
+                const auto run = trainer.trainMicroBatches(micros);
+                if (wall.seconds() < best_wall) {
+                    best_wall = wall.seconds();
+                    stats = run;
+                }
+            }
+            if (threads == 1)
+                serial_wall = best_wall;
+            table.addRow({std::to_string(threads),
+                          TablePrinter::num(best_wall, 3),
+                          TablePrinter::num(stats.computeSeconds, 3),
+                          TablePrinter::num(stats.transferSeconds, 4),
+                          TablePrinter::num(serial_wall / best_wall,
+                                            2) +
+                              "x"});
+        }
+        ThreadPool::setGlobalThreads(1);
+        table.print();
+    }
+
     std::printf("\nShape targets: time grows with K for every "
                 "partitioner (redundancy + lower efficiency); betty "
                 "is the fastest column at every K (paper: 20.6-22.9%% "
-                "better compute efficiency).\n");
+                "better compute efficiency). With >= 2 cores the "
+                "pipelined sweep overlaps the feature gather with "
+                "compute, shrinking wall-clock at identical stats.\n");
     return 0;
 }

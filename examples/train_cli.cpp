@@ -9,8 +9,16 @@
  *               [--hidden N] [--fanout a,b,...] [--epochs N]
  *               [--lr F] [--budget-mib N] [--devices N]
  *               [--partitioner betty|metis|random|range] [--warm]
+ *               [--threads N] [--no-pipeline]
  *               [--data-cache FILE] [--trace-out=FILE]
  *               [--metrics-out=FILE] [--memprof-out=FILE]
+ *
+ * --threads N sizes the global ThreadPool used by batch preparation
+ * (parallel REG construction, parallel neighbor sampling) and by the
+ * trainer's transfer-compute pipelining. Every result is bit-
+ * identical for any N (docs/PARALLELISM.md); N=1 (the default, or
+ * BETTY_THREADS) is fully serial. --no-pipeline disables the
+ * transfer-compute overlap without changing the pool size.
  *
  * Every epoch resamples the full batch, (re)partitions it under the
  * memory budget, trains with gradient accumulation and prints loss /
@@ -48,6 +56,7 @@
 #include "train/trainer.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -68,6 +77,10 @@ struct Args
     int32_t devices = 1;
     std::string partitioner = "betty";
     bool warm = false;
+    /** Global ThreadPool lanes (0 = leave default/BETTY_THREADS). */
+    int32_t threads = 0;
+    /** Disable transfer-compute pipelining in the trainer. */
+    bool no_pipeline = false;
     /** Cache file for the generated dataset (gen_data.sh analog):
      * loaded if it exists, otherwise written after generation. */
     std::string data_cache;
@@ -142,6 +155,10 @@ parseArgs(int argc, char** argv)
             args.partitioner = next();
         } else if (flag == "--warm") {
             args.warm = true;
+        } else if (flag == "--threads") {
+            args.threads = std::atoi(next());
+        } else if (flag == "--no-pipeline") {
+            args.no_pipeline = true;
         } else if (flag == "--data-cache") {
             args.data_cache = next();
         } else if (flag == "--trace-out") {
@@ -182,6 +199,8 @@ int
 main(int argc, char** argv)
 {
     const Args args = parseArgs(argc, argv);
+    if (args.threads > 0)
+        ThreadPool::setGlobalThreads(args.threads);
     if (!args.trace_out.empty())
         obs::Trace::setEnabled(true);
     // The run report is fed by the metric collectors (memory
@@ -276,6 +295,8 @@ main(int argc, char** argv)
     MemoryAwarePlanner planner(model->memorySpec(), budget);
     TransferModel transfer;
     Trainer trainer(ds, *model, adam, &device, &transfer);
+    if (args.no_pipeline)
+        trainer.setPipeline(false);
     MultiDeviceConfig multi_config;
     multi_config.numDevices = args.devices;
     multi_config.deviceCapacityBytes = budget;
@@ -307,6 +328,8 @@ main(int argc, char** argv)
     report.setConfig("budget_mib", std::to_string(args.budget_mib));
     report.setConfig("devices", std::to_string(args.devices));
     report.setConfig("partitioner", args.partitioner);
+    report.setConfig("threads",
+                     std::to_string(ThreadPool::globalThreads()));
 
     int64_t run_peak_bytes = 0;
     double total_compute_seconds = 0.0;

@@ -7,28 +7,32 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace betty {
 
-WeightedGraph
-buildReg(const Block& last_block, const RegOptions& opts)
+namespace {
+
+/**
+ * Sources per enumeration block. Fixed (never derived from the thread
+ * count) so the work decomposition — and therefore the set of partial
+ * weight maps — is identical for any pool size; only the schedule
+ * varies. ~4k sources is coarse enough to amortize task overhead and
+ * fine enough to balance hub-heavy blocks across workers.
+ */
+constexpr int64_t kSourceBlock = 4096;
+
+/**
+ * Accumulate the co-destination pair weights of sources [lo, hi) into
+ * @p weights (key = lo_dst * num_dst + hi_dst).
+ */
+void
+accumulateBlock(std::vector<std::vector<int64_t>>& dsts_of_src,
+                int64_t lo, int64_t hi, int64_t num_dst,
+                const RegOptions& opts,
+                std::unordered_map<int64_t, int64_t>& weights)
 {
-    BETTY_TRACE_SPAN("partition/reg_build");
-    const int64_t num_dst = last_block.numDst();
-    const int64_t num_src = last_block.numSrc();
-
-    // Invert the block's dst->src CSR: which destinations does each
-    // source feed? (Column view of the adjacency matrix A.)
-    std::vector<std::vector<int64_t>> dsts_of_src(
-        static_cast<size_t>(num_src));
-    for (int64_t d = 0; d < num_dst; ++d)
-        for (int64_t s : last_block.inEdges(d))
-            dsts_of_src[size_t(s)].push_back(d);
-
-    // c_ij = sum over sources of [i in dsts(s)][j in dsts(s)]:
-    // enumerate co-destination pairs per source and accumulate.
-    std::unordered_map<int64_t, int64_t> weights;
-    for (int64_t s = 0; s < num_src; ++s) {
+    for (int64_t s = lo; s < hi; ++s) {
         auto& dsts = dsts_of_src[size_t(s)];
         if (dsts.size() < 2)
             continue;
@@ -50,16 +54,75 @@ buildReg(const Block& last_block, const RegOptions& opts)
                 const int64_t j = dsts[size_t(double(b) * step)];
                 if (i == j)
                     continue;
-                const int64_t lo = std::min(i, j), hi = std::max(i, j);
-                ++weights[lo * num_dst + hi];
+                const int64_t lo_d = std::min(i, j);
+                const int64_t hi_d = std::max(i, j);
+                ++weights[lo_d * num_dst + hi_d];
             }
         }
+    }
+}
+
+} // namespace
+
+WeightedGraph
+buildReg(const Block& last_block, const RegOptions& opts)
+{
+    BETTY_TRACE_SPAN("partition/reg_build");
+    const int64_t num_dst = last_block.numDst();
+    const int64_t num_src = last_block.numSrc();
+
+    // Invert the block's dst->src CSR: which destinations does each
+    // source feed? (Column view of the adjacency matrix A.)
+    std::vector<std::vector<int64_t>> dsts_of_src(
+        static_cast<size_t>(num_src));
+    for (int64_t d = 0; d < num_dst; ++d)
+        for (int64_t s : last_block.inEdges(d))
+            dsts_of_src[size_t(s)].push_back(d);
+
+    // c_ij = sum over sources of [i in dsts(s)][j in dsts(s)]:
+    // enumerate co-destination pairs per source and accumulate.
+    // Row-blocked: each fixed block of sources fills its own weight
+    // map (no sharing, no locks); the maps are then merged in block
+    // order. Weight totals are sums, so the merge order cannot change
+    // a value, and the final edge list is sorted by endpoint pair —
+    // the output is byte-identical for any thread count (and no
+    // longer depends on unordered_map iteration order at all).
+    const int64_t num_blocks =
+        num_src == 0 ? 0 : (num_src + kSourceBlock - 1) / kSourceBlock;
+    std::vector<std::unordered_map<int64_t, int64_t>> block_weights(
+        static_cast<size_t>(num_blocks));
+    ThreadPool::global().parallelFor(
+        0, num_blocks, 1, [&](int64_t block_lo, int64_t block_hi) {
+            for (int64_t block = block_lo; block < block_hi;
+                 ++block) {
+                const int64_t lo = block * kSourceBlock;
+                const int64_t hi =
+                    std::min(lo + kSourceBlock, num_src);
+                accumulateBlock(dsts_of_src, lo, hi, num_dst, opts,
+                                block_weights[size_t(block)]);
+            }
+        });
+
+    std::unordered_map<int64_t, int64_t> weights;
+    for (auto& partial : block_weights) {
+        if (weights.empty()) {
+            weights = std::move(partial);
+            continue;
+        }
+        for (const auto& [key, w] : partial)
+            weights[key] += w;
+        partial.clear();
     }
 
     std::vector<WeightedEdge> edges;
     edges.reserve(weights.size());
     for (const auto& [key, w] : weights)
         edges.push_back({key / num_dst, key % num_dst, w});
+    // Canonical order: platform- and schedule-independent output.
+    std::sort(edges.begin(), edges.end(),
+              [](const WeightedEdge& a, const WeightedEdge& b) {
+                  return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
 
     std::vector<int64_t> vertex_weights;
     if (opts.degreeVertexWeights) {

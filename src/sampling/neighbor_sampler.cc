@@ -5,13 +5,21 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace betty {
+
+namespace {
+
+/** Destinations per parallelFor chunk (fixed; see thread_pool.h). */
+constexpr int64_t kSampleGrain = 256;
+
+} // namespace
 
 NeighborSampler::NeighborSampler(const CsrGraph& graph,
                                  std::vector<int64_t> fanouts,
                                  uint64_t seed)
-    : graph_(graph), fanouts_(std::move(fanouts)), rng_(seed)
+    : graph_(graph), fanouts_(std::move(fanouts)), seed_(seed)
 {
     BETTY_ASSERT(!fanouts_.empty(), "at least one layer required");
 }
@@ -30,22 +38,35 @@ NeighborSampler::sample(const std::vector<int64_t>& seeds)
     for (int64_t layer = int64_t(fanouts_.size()) - 1; layer >= 0;
          --layer) {
         const int64_t fanout = fanouts_[size_t(layer)];
-        std::vector<std::vector<int64_t>> src_per_dst;
-        src_per_dst.reserve(layer_seeds.size());
-        for (int64_t dst : layer_seeds) {
-            const auto nbrs = graph_.inNeighbors(dst);
-            std::vector<int64_t> chosen;
-            if (fanout < 0 || int64_t(nbrs.size()) <= fanout) {
-                chosen.assign(nbrs.begin(), nbrs.end());
-            } else {
-                const auto picks = rng_.sampleWithoutReplacement(
-                    int64_t(nbrs.size()), fanout);
-                chosen.reserve(size_t(fanout));
-                for (int64_t p : picks)
-                    chosen.push_back(nbrs[size_t(p)]);
-            }
-            src_per_dst.push_back(std::move(chosen));
-        }
+        // Each destination samples from its own counter-based stream
+        // keyed on (seed, layer, dst): slot i's content depends only
+        // on layer_seeds[i], so the parallel loop is deterministic
+        // for any thread count and chunk schedule.
+        std::vector<std::vector<int64_t>> src_per_dst(
+            layer_seeds.size());
+        ThreadPool::global().parallelFor(
+            0, int64_t(layer_seeds.size()), kSampleGrain,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    const int64_t dst = layer_seeds[size_t(i)];
+                    const auto nbrs = graph_.inNeighbors(dst);
+                    std::vector<int64_t>& chosen =
+                        src_per_dst[size_t(i)];
+                    if (fanout < 0 ||
+                        int64_t(nbrs.size()) <= fanout) {
+                        chosen.assign(nbrs.begin(), nbrs.end());
+                    } else {
+                        Rng rng = Rng::stream(seed_, uint64_t(layer),
+                                              uint64_t(dst));
+                        const auto picks =
+                            rng.sampleWithoutReplacement(
+                                int64_t(nbrs.size()), fanout);
+                        chosen.reserve(size_t(fanout));
+                        for (int64_t p : picks)
+                            chosen.push_back(nbrs[size_t(p)]);
+                    }
+                }
+            });
         batch.blocks[size_t(layer)] =
             Block(std::move(layer_seeds), src_per_dst);
         layer_seeds = batch.blocks[size_t(layer)].srcNodes();

@@ -30,8 +30,13 @@ class NeighborSampler
      * @param fanouts Per-layer in-neighbor caps, ordered from the input
      * layer (index 0) to the output layer, matching DGL. Negative
      * means "take every in-neighbor".
-     * @param seed RNG seed: sampling is deterministic given the seed
-     * and the seed-node sequence.
+     * @param seed RNG seed. Each (layer, destination) pair draws from
+     * its own counter-based stream Rng::stream(seed, layer, dst), so
+     * a destination's sample depends only on (seed, layer, dst) —
+     * never on the order destinations are visited, on earlier sample()
+     * calls, or on the thread count. Sampling is parallelized over
+     * destinations via the global ThreadPool and is bit-identical for
+     * any `--threads` value.
      */
     NeighborSampler(const CsrGraph& graph, std::vector<int64_t> fanouts,
                     uint64_t seed = 7);
@@ -45,7 +50,7 @@ class NeighborSampler
   private:
     const CsrGraph& graph_;
     std::vector<int64_t> fanouts_;
-    Rng rng_;
+    uint64_t seed_;
 };
 
 } // namespace betty

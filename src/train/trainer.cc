@@ -1,5 +1,7 @@
 #include "train/trainer.h"
 
+#include <future>
+
 #include "memory/estimator.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
@@ -7,6 +9,7 @@
 #include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace betty {
@@ -60,26 +63,48 @@ labelBytes(const MultiLayerBatch& batch)
            int64_t(sizeof(int32_t));
 }
 
-ag::NodePtr
-Trainer::loadFeatures(const MultiLayerBatch& batch)
+Trainer::StagedFeatures
+Trainer::gatherFeatures(const MultiLayerBatch& batch)
 {
     // The host-side gather IS the transfer work in this simulated
-    // setup, so the span covers gather + the analytic charge.
+    // setup, so the span covers gather + the analytic charge. Under
+    // pipelining this runs on a pool worker, whose lane shows the
+    // span overlapping the training thread's compute spans.
     BETTY_TRACE_SPAN("train/transfer");
-    obs::MemCategoryScope mem_scope(obs::MemCategory::InputFeatures);
     const auto& inputs = batch.inputNodes();
     const int64_t dim = dataset_.featureDim();
-    Tensor features(int64_t(inputs.size()), dim);
+    StagedFeatures staged;
+    staged.rows = int64_t(inputs.size());
+    staged.values.resize(inputs.size() * size_t(dim));
     for (size_t i = 0; i < inputs.size(); ++i) {
         const int64_t node = inputs[i];
         BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
                      "input node out of range");
         std::copy_n(dataset_.features.data() + node * dim, dim,
-                    features.data() + int64_t(i) * dim);
+                    staged.values.data() + int64_t(i) * dim);
     }
     if (transfer_)
-        transfer_->transfer(features.bytes() + blockBytes(batch));
+        transfer_->transfer(int64_t(staged.values.size()) *
+                                int64_t(sizeof(float)) +
+                            blockBytes(batch));
+    return staged;
+}
+
+ag::NodePtr
+Trainer::uploadFeatures(StagedFeatures staged)
+{
+    obs::MemCategoryScope mem_scope(obs::MemCategory::InputFeatures);
+    const int64_t dim = dataset_.featureDim();
+    Tensor features(staged.rows, dim);
+    std::copy(staged.values.begin(), staged.values.end(),
+              features.data());
     return ag::constant(std::move(features));
+}
+
+ag::NodePtr
+Trainer::loadFeatures(const MultiLayerBatch& batch)
+{
+    return uploadFeatures(gatherFeatures(batch));
 }
 
 std::vector<int32_t>
@@ -96,8 +121,15 @@ Trainer::loadLabels(const MultiLayerBatch& batch) const
 Trainer::ForwardResult
 Trainer::forwardBatch(const MultiLayerBatch& batch)
 {
+    return forwardStaged(batch, gatherFeatures(batch));
+}
+
+Trainer::ForwardResult
+Trainer::forwardStaged(const MultiLayerBatch& batch,
+                       StagedFeatures staged)
+{
     ForwardResult result;
-    const auto features = loadFeatures(batch);
+    const auto features = uploadFeatures(std::move(staged));
     ag::NodePtr logits;
     {
         BETTY_TRACE_SPAN("train/forward");
@@ -127,12 +159,38 @@ Trainer::trainMicroBatches(
         total_outputs += int64_t(batch.outputNodes().size());
     BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
 
+    // Pipelined schedule: while micro-batch k computes on this
+    // thread, a pool worker gathers micro-batch k+1's feature rows
+    // into host staging and charges the TransferModel ("transfer of
+    // k+1 while k's activations are live"). Exactly one prefetch is
+    // in flight at a time and each is joined before the next is
+    // submitted, so TransferModel updates are totally ordered, and
+    // device-side allocations all stay on this thread in serial
+    // order — every stat and every DeviceMemoryModel counter is
+    // bit-identical to the serial schedule.
+    std::vector<size_t> active;
+    active.reserve(micro_batches.size());
+    for (size_t i = 0; i < micro_batches.size(); ++i)
+        if (!micro_batches[i].outputNodes().empty())
+            active.push_back(i);
+    const bool pipelined = pipeline_ &&
+                           ThreadPool::globalThreads() > 1 &&
+                           active.size() > 1;
+    auto prefetch = [&](size_t index) {
+        const MultiLayerBatch* next = &micro_batches[index];
+        return ThreadPool::global().submit([this, next] {
+            BETTY_TRACE_SPAN("train/prefetch");
+            return gatherFeatures(*next);
+        });
+    };
+
     optimizer_.zeroGrad();
     int64_t correct = 0;
-    for (const auto& batch : micro_batches) {
-        const int64_t outputs = int64_t(batch.outputNodes().size());
-        if (outputs == 0)
-            continue;
+    std::future<StagedFeatures> staged_next;
+    if (pipelined)
+        staged_next = prefetch(active.front());
+    for (size_t pos = 0; pos < active.size(); ++pos) {
+        const MultiLayerBatch& batch = micro_batches[active[pos]];
         BETTY_TRACE_SPAN("train/micro_batch");
         stats.inputNodesProcessed += int64_t(batch.inputNodes().size());
         stats.totalNodesProcessed += batchNodeCount(batch);
@@ -147,7 +205,15 @@ Trainer::trainMicroBatches(
         }
         {
             Timer timer;
-            ForwardResult fwd = forwardBatch(batch);
+            ForwardResult fwd;
+            if (pipelined) {
+                StagedFeatures staged = staged_next.get();
+                if (pos + 1 < active.size())
+                    staged_next = prefetch(active[pos + 1]);
+                fwd = forwardStaged(batch, std::move(staged));
+            } else {
+                fwd = forwardBatch(batch);
+            }
             // Weight each micro-batch's mean loss by its output share:
             // the accumulated gradient is then identical to the full
             // batch's mean-loss gradient (paper §4.2.3).

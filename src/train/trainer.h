@@ -76,6 +76,20 @@ class Trainer
             TransferModel* transfer = nullptr);
 
     /**
+     * Enable/disable transfer-compute pipelining (default enabled).
+     * When enabled AND the global ThreadPool has more than one lane,
+     * trainMicroBatches overlaps the host-side feature gather and
+     * TransferModel charge of micro-batch k+1 (on a pool worker, its
+     * own lane in the Chrome trace) with the compute of micro-batch
+     * k. Loss, accuracy, and all DeviceMemoryModel accounting are
+     * bit-identical to the serial schedule: transfer time is a
+     * commutative sum, and device allocations still happen at
+     * consumption time on the training thread, in the serial order
+     * (docs/PARALLELISM.md).
+     */
+    void setPipeline(bool on) { pipeline_ = on; }
+
+    /**
      * One gradient-accumulation step over @p micro_batches (Betty
      * micro-batch training; pass a single batch for full-batch
      * training). Empty micro-batches are skipped.
@@ -91,8 +105,29 @@ class Trainer
     double evaluate(const MultiLayerBatch& batch);
 
   private:
-    /** Gather features of the batch's input nodes into device memory,
-     * charging the transfer model. */
+    /**
+     * Host-side staging buffer for one batch's gathered feature rows.
+     * Plain host memory on purpose: it is NOT observed by the device
+     * memory model, so a prefetch running during another batch's
+     * compute cannot perturb device peak accounting — the device-side
+     * feature tensor is allocated at consumption time (upload), on
+     * the training thread, exactly where the serial schedule puts it.
+     */
+    struct StagedFeatures
+    {
+        std::vector<float> values;
+        int64_t rows = 0;
+    };
+
+    /** Gather the batch's input-node feature rows into host staging
+     * and charge the transfer model (the simulated PCIe copy). */
+    StagedFeatures gatherFeatures(const MultiLayerBatch& batch);
+
+    /** Materialize staged rows as the device-side feature tensor
+     * (charged to the device under InputFeatures). */
+    ag::NodePtr uploadFeatures(StagedFeatures staged);
+
+    /** gatherFeatures + uploadFeatures (the serial path). */
     ag::NodePtr loadFeatures(const MultiLayerBatch& batch);
 
     /** Labels of the batch's output nodes. */
@@ -111,11 +146,16 @@ class Trainer
     };
     ForwardResult forwardBatch(const MultiLayerBatch& batch);
 
+    /** forwardBatch on already-gathered features. */
+    ForwardResult forwardStaged(const MultiLayerBatch& batch,
+                                StagedFeatures staged);
+
     const Dataset& dataset_;
     GnnModel& model_;
     Optimizer& optimizer_;
     DeviceMemoryModel* device_;
     TransferModel* transfer_;
+    bool pipeline_ = true;
 };
 
 } // namespace betty

@@ -120,6 +120,26 @@ Rng::permutation(int64_t n)
     return perm;
 }
 
+uint64_t
+Rng::streamKey(uint64_t seed, uint64_t a, uint64_t b)
+{
+    // Three dependent SplitMix64 steps: each absorbs one key word, so
+    // (seed, a, b) and (seed, b, a) land in unrelated streams.
+    uint64_t x = seed;
+    uint64_t key = splitMix64(x);
+    x ^= a;
+    key ^= splitMix64(x);
+    x ^= b;
+    key ^= splitMix64(x);
+    return key;
+}
+
+Rng
+Rng::stream(uint64_t seed, uint64_t a, uint64_t b)
+{
+    return Rng(streamKey(seed, a, b));
+}
+
 std::vector<int64_t>
 Rng::sampleWithoutReplacement(int64_t n, int64_t k)
 {

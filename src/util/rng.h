@@ -69,6 +69,20 @@ class Rng
      */
     std::vector<int64_t> sampleWithoutReplacement(int64_t n, int64_t k);
 
+    /**
+     * Counter-based stream derivation: a generator keyed on
+     * (seed, a, b) via SplitMix64 mixing. Streams for distinct keys
+     * are statistically independent, and — unlike drawing from one
+     * shared generator — a stream's output depends only on its key,
+     * never on how many draws other streams made first. This is what
+     * lets the parallel sampler produce bit-identical blocks for any
+     * thread count and any iteration order (docs/PARALLELISM.md).
+     */
+    static Rng stream(uint64_t seed, uint64_t a, uint64_t b);
+
+    /** The mixed 64-bit key stream() seeds from (exposed for tests). */
+    static uint64_t streamKey(uint64_t seed, uint64_t a, uint64_t b);
+
   private:
     uint64_t state_[4];
 };

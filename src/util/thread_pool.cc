@@ -1,0 +1,244 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+/** BETTY_THREADS environment default (1 = serial when unset). */
+int32_t
+defaultGlobalThreads()
+{
+    if (const char* env = std::getenv("BETTY_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return int32_t(parsed);
+    }
+    return 1;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int32_t num_threads)
+    : num_threads_(std::max<int32_t>(1, num_threads))
+{
+    const size_t workers = size_t(num_threads_ - 1);
+    queues_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        shutdown_.store(true, std::memory_order_release);
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    if (obs::Metrics::enabled()) {
+        static obs::Counter& tasks =
+            obs::Metrics::counter("pool.tasks");
+        tasks.increment();
+    }
+    if (queues_.empty()) {
+        // No workers: run inline so threads=1 keeps serial ordering.
+        task();
+        return;
+    }
+    const size_t target =
+        size_t(next_queue_.fetch_add(1, std::memory_order_relaxed)) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(size_t index, std::function<void()>& task)
+{
+    // Own queue first (front), then steal from the back of the others.
+    {
+        WorkerQueue& own = *queues_[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    for (size_t offset = 1; offset < queues_.size(); ++offset) {
+        WorkerQueue& victim =
+            *queues_[(index + offset) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            if (obs::Metrics::enabled()) {
+                static obs::Counter& steals =
+                    obs::Metrics::counter("pool.steals");
+                steals.increment();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t index)
+{
+    while (true) {
+        std::function<void()> task;
+        if (tryPop(index, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            BETTY_TRACE_SPAN("pool/task");
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_.wait(lock, [this] {
+            return shutdown_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (shutdown_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::runChunks(const std::shared_ptr<ForState>& state)
+{
+    while (true) {
+        const int64_t chunk =
+            state->nextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= state->numChunks)
+            return;
+        if (!state->cancelled.load(std::memory_order_acquire)) {
+            const int64_t lo = state->begin + chunk * state->grain;
+            const int64_t hi =
+                std::min(lo + state->grain, state->end);
+            try {
+                BETTY_TRACE_SPAN("pool/chunk");
+                (*state->body)(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->exception)
+                    state->exception = std::current_exception();
+                state->cancelled.store(true,
+                                       std::memory_order_release);
+            }
+        }
+        const int64_t done =
+            state->doneChunks.fetch_add(1,
+                                        std::memory_order_acq_rel) +
+            1;
+        if (done == state->numChunks) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body)
+{
+    if (end <= begin)
+        return;
+    grain = std::max<int64_t>(1, grain);
+    const int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+    if (obs::Metrics::enabled()) {
+        static obs::Counter& calls =
+            obs::Metrics::counter("pool.parallel_fors");
+        static obs::Counter& chunks =
+            obs::Metrics::counter("pool.chunks");
+        calls.increment();
+        chunks.add(num_chunks);
+    }
+
+    // Chunk boundaries are identical on every path below (they depend
+    // only on begin/end/grain), so the serial fallback, the caller
+    // lane, and every worker produce the same per-chunk ranges.
+    if (queues_.empty() || num_chunks == 1) {
+        for (int64_t lo = begin; lo < end; lo += grain)
+            body(lo, std::min(lo + grain, end));
+        return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->begin = begin;
+    state->end = end;
+    state->grain = grain;
+    state->numChunks = num_chunks;
+    state->body = &body;
+
+    const int64_t helpers =
+        std::min<int64_t>(int64_t(workers_.size()), num_chunks - 1);
+    for (int64_t h = 0; h < helpers; ++h)
+        enqueue([state] { runChunks(state); });
+
+    runChunks(state); // the caller is a full participant (nesting-safe)
+
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done.wait(lock, [&state] {
+            return state->doneChunks.load(
+                       std::memory_order_acquire) ==
+                   state->numChunks;
+        });
+        if (state->exception)
+            std::rethrow_exception(state->exception);
+    }
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultGlobalThreads());
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int32_t num_threads)
+{
+    auto fresh =
+        std::make_unique<ThreadPool>(std::max<int32_t>(1, num_threads));
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool = std::move(fresh);
+}
+
+int32_t
+ThreadPool::globalThreads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    return g_pool ? g_pool->numThreads() : defaultGlobalThreads();
+}
+
+} // namespace betty

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Pipelined micro-batch execution (Trainer::setPipeline +
+ * ThreadPool > 1 lane) must be an invisible optimization: every
+ * EpochStats field, the trained parameters, the DeviceMemoryModel
+ * peak/per-category accounting, and the device.oom_events counter are
+ * bit-identical to the serial schedule — overlapping the host-side
+ * gather of micro-batch k+1 with the compute of k may only change
+ * wall-clock.
+ */
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "data/catalog.h"
+#include "memory/device_memory.h"
+#include "memory/transfer_model.h"
+#include "obs/memprof.h"
+#include "obs/metrics.h"
+#include "partition/partitioner.h"
+#include "sampling/neighbor_sampler.h"
+#include "train/trainer.h"
+#include "util/thread_pool.h"
+
+namespace betty {
+namespace {
+
+/** Everything one epoch run can be compared on, bit for bit. */
+struct RunResult
+{
+    EpochStats stats;
+    int64_t peakBytes = 0;
+    std::vector<int64_t> categoryPeaks;
+    int64_t oomEvents = 0; // device.oom_events delta of this run
+    uint64_t paramHash = 0;
+};
+
+uint64_t
+hashParameters(const GnnModel& model)
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (const auto& param : model.parameters())
+        for (int64_t i = 0; i < param->value.numel(); ++i) {
+            uint32_t bits;
+            std::memcpy(&bits, &param->value.data()[i],
+                        sizeof(bits));
+            hash = (hash ^ bits) * 1099511628211ull;
+        }
+    return hash;
+}
+
+struct Env
+{
+    Env() : dataset(loadCatalogDataset("cora_like", 0.2, 11))
+    {
+        NeighborSampler sampler(dataset.graph, {4, 6}, 12);
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 160);
+        const auto full = sampler.sample(seeds);
+        BettyPartitioner partitioner;
+        micros = extractMicroBatches(full,
+                                     partitioner.partition(full, 8));
+    }
+
+    SageConfig
+    sageConfig() const
+    {
+        SageConfig cfg;
+        cfg.inputDim = dataset.featureDim();
+        cfg.hiddenDim = 16;
+        cfg.numClasses = dataset.numClasses;
+        cfg.numLayers = 2;
+        cfg.seed = 5;
+        return cfg;
+    }
+
+    /**
+     * Train @p epochs with a given schedule. Fresh model/optimizer/
+     * device per call (seeded), so two calls differ only in how the
+     * epoch is scheduled.
+     */
+    RunResult
+    run(int32_t threads, bool pipeline, int epochs,
+        int64_t capacity_bytes = 0) const
+    {
+        ThreadPool::setGlobalThreads(threads);
+        obs::Metrics::setEnabled(true);
+        const int64_t oom_before =
+            obs::Metrics::counter("device.oom_events").value();
+
+        DeviceMemoryModel device(capacity_bytes);
+        DeviceMemoryModel::Scope scope(device);
+        GraphSage model(sageConfig());
+        Adam adam(model.parameters(), 0.01f);
+        TransferModel transfer;
+        Trainer trainer(dataset, model, adam, &device, &transfer);
+        trainer.setPipeline(pipeline);
+
+        RunResult result;
+        for (int epoch = 0; epoch < epochs; ++epoch)
+            result.stats = trainer.trainMicroBatches(micros);
+
+        result.peakBytes = device.peakBytes();
+        for (size_t c = 0; c < obs::kMemCategoryCount; ++c)
+            result.categoryPeaks.push_back(
+                device.peakBytes(obs::MemCategory(c)));
+        result.oomEvents =
+            obs::Metrics::counter("device.oom_events").value() -
+            oom_before;
+        result.paramHash = hashParameters(model);
+        ThreadPool::setGlobalThreads(1);
+        return result;
+    }
+
+    Dataset dataset;
+    std::vector<MultiLayerBatch> micros;
+};
+
+void
+expectBitIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.stats.loss, b.stats.loss);
+    EXPECT_EQ(a.stats.accuracy, b.stats.accuracy);
+    EXPECT_EQ(a.stats.transferSeconds, b.stats.transferSeconds);
+    EXPECT_EQ(a.stats.peakBytes, b.stats.peakBytes);
+    EXPECT_EQ(a.stats.oom, b.stats.oom);
+    EXPECT_EQ(a.stats.inputNodesProcessed,
+              b.stats.inputNodesProcessed);
+    EXPECT_EQ(a.stats.totalNodesProcessed,
+              b.stats.totalNodesProcessed);
+    EXPECT_EQ(a.peakBytes, b.peakBytes);
+    EXPECT_EQ(a.categoryPeaks, b.categoryPeaks);
+    EXPECT_EQ(a.oomEvents, b.oomEvents);
+    EXPECT_EQ(a.paramHash, b.paramHash);
+}
+
+TEST(Pipeline, BitIdenticalToSerialSchedule)
+{
+    Env env;
+    ASSERT_GT(env.micros.size(), 1u);
+    const RunResult serial = env.run(1, false, 3);
+    const RunResult pipelined = env.run(4, true, 3);
+    expectBitIdentical(serial, pipelined);
+    // Losses actually moved (the runs did real work).
+    EXPECT_GT(serial.stats.loss, 0.0);
+}
+
+TEST(Pipeline, ThreadCountDoesNotLeakIntoResults)
+{
+    Env env;
+    const RunResult two = env.run(2, true, 2);
+    const RunResult eight = env.run(8, true, 2);
+    expectBitIdentical(two, eight);
+}
+
+TEST(Pipeline, NoPipelineFlagMatchesPipelinedRun)
+{
+    // --no-pipeline at 4 threads == pipelined at 4 threads: the flag
+    // changes scheduling only, never results.
+    Env env;
+    const RunResult off = env.run(4, false, 2);
+    const RunResult on = env.run(4, true, 2);
+    expectBitIdentical(off, on);
+}
+
+TEST(Pipeline, OomAccountingUnchangedByOverlap)
+{
+    // Constrained device: OOM episodes must fire identically whether
+    // or not a prefetch is in flight during compute — the staging
+    // buffer is host memory and must never appear in device
+    // accounting.
+    Env env;
+    const RunResult serial = env.run(1, false, 2, 64 * 1024);
+    const RunResult pipelined = env.run(4, true, 2, 64 * 1024);
+    EXPECT_TRUE(serial.stats.oom); // capacity chosen to overflow
+    expectBitIdentical(serial, pipelined);
+    EXPECT_GT(serial.oomEvents, 0);
+}
+
+TEST(Pipeline, SingleMicroBatchFallsBackToSerial)
+{
+    // One micro-batch leaves nothing to overlap; the pipelined path
+    // must degrade to the serial one without deadlock or divergence.
+    Env env;
+    NeighborSampler sampler(env.dataset.graph, {4, 6}, 12);
+    std::vector<int64_t> seeds(env.dataset.trainNodes.begin(),
+                               env.dataset.trainNodes.begin() + 64);
+    const std::vector<MultiLayerBatch> one = {sampler.sample(seeds)};
+
+    auto runOne = [&](int32_t threads, bool pipeline) {
+        ThreadPool::setGlobalThreads(threads);
+        GraphSage model(env.sageConfig());
+        Adam adam(model.parameters(), 0.01f);
+        Trainer trainer(env.dataset, model, adam);
+        trainer.setPipeline(pipeline);
+        const auto stats = trainer.trainMicroBatches(one);
+        ThreadPool::setGlobalThreads(1);
+        return std::pair<double, uint64_t>(stats.loss,
+                                           hashParameters(model));
+    };
+    EXPECT_EQ(runOne(1, false), runOne(4, true));
+}
+
+} // namespace
+} // namespace betty

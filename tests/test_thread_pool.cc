@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the work-stealing ThreadPool (util/thread_pool.h):
+ * submit/wait semantics, parallelFor chunk coverage, exception
+ * propagation out of workers, nested submission, and clean shutdown
+ * under load (repeated as a mini stress test).
+ */
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace betty {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture)
+{
+    ThreadPool pool(4);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsInlineWithoutWorkers)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    auto future = pool.submit([&ran] { ran.store(1); return 5; });
+    // No workers: the task completed during submit().
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(future.get(), 5);
+}
+
+TEST(ThreadPool, ManySubmitsAllComplete)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 500;
+    std::atomic<int64_t> sum{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(), int64_t(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+/** parallelFor must cover every index exactly once, for any pool
+ * size and any grain (including grains that do not divide the
+ * range). */
+class PoolSweep
+    : public ::testing::TestWithParam<std::pair<int32_t, int64_t>>
+{
+};
+
+TEST_P(PoolSweep, ParallelForCoversEveryIndexOnce)
+{
+    const auto [threads, grain] = GetParam();
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int32_t>> hits(kN);
+    pool.parallelFor(0, kN, grain, [&](int64_t lo, int64_t hi) {
+        ASSERT_LE(hi - lo, grain);
+        for (int64_t i = lo; i < hi; ++i)
+            hits[size_t(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[size_t(i)].load(), 1) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsTimesGrain, PoolSweep,
+    ::testing::Values(std::pair<int32_t, int64_t>{1, 1},
+                      std::pair<int32_t, int64_t>{1, 64},
+                      std::pair<int32_t, int64_t>{2, 7},
+                      std::pair<int32_t, int64_t>{4, 1},
+                      std::pair<int32_t, int64_t>{4, 33},
+                      std::pair<int32_t, int64_t>{8, 1000},
+                      std::pair<int32_t, int64_t>{8, 5000}));
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    pool.parallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForChunkBoundariesIndependentOfThreads)
+{
+    // The chunk set is a function of (begin, end, grain) only; record
+    // it at two pool sizes and compare.
+    auto chunksOf = [](int32_t threads) {
+        ThreadPool pool(threads);
+        std::mutex mutex;
+        std::vector<std::pair<int64_t, int64_t>> chunks;
+        pool.parallelFor(3, 250, 16, [&](int64_t lo, int64_t hi) {
+            std::lock_guard<std::mutex> lock(mutex);
+            chunks.emplace_back(lo, hi);
+        });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    EXPECT_EQ(chunksOf(1), chunksOf(7));
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [](int64_t lo, int64_t) {
+                             if (lo == 50)
+                                 throw std::runtime_error("chunk 50");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    constexpr int64_t kOuter = 16, kInner = 64;
+    std::vector<std::atomic<int32_t>> hits(kOuter * kInner);
+    pool.parallelFor(0, kOuter, 1, [&](int64_t olo, int64_t ohi) {
+        for (int64_t o = olo; o < ohi; ++o)
+            pool.parallelFor(0, kInner, 8,
+                             [&, o](int64_t lo, int64_t hi) {
+                                 for (int64_t i = lo; i < hi; ++i)
+                                     hits[size_t(o * kInner + i)]
+                                         .fetch_add(1);
+                             });
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerCompletes)
+{
+    ThreadPool pool(4);
+    auto outer = pool.submit([&pool] {
+        auto inner = pool.submit([] { return 11; });
+        return inner.get() + 31;
+    });
+    EXPECT_EQ(outer.get(), 42);
+}
+
+/** Mini stress test: 200+ iterations of construct / flood with work /
+ * destroy, alternating pool sizes — shutdown must drain cleanly with
+ * tasks still queued behind the workers. */
+TEST(ThreadPoolStress, RepeatedShutdownUnderLoad)
+{
+    for (int iteration = 0; iteration < 220; ++iteration) {
+        const int32_t threads = 1 + iteration % 5;
+        ThreadPool pool(threads);
+        std::atomic<int64_t> sum{0};
+        std::vector<std::future<void>> futures;
+        for (int t = 0; t < 16; ++t)
+            futures.push_back(
+                pool.submit([&sum, t] { sum += t + 1; }));
+        pool.parallelFor(0, 64, 5, [&](int64_t lo, int64_t hi) {
+            sum += hi - lo;
+        });
+        for (auto& f : futures)
+            f.get();
+        EXPECT_EQ(sum.load(), 16 * 17 / 2 + 64);
+        // The destructor must join without losing queued work.
+    }
+}
+
+TEST(ThreadPool, GlobalPoolResizeTakesEffect)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::globalThreads(), 3);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 3);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::globalThreads(), 1);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1);
+    std::atomic<int> ran{0};
+    pool.parallelFor(0, 10, 4,
+                     [&](int64_t lo, int64_t hi) { ran += int(hi - lo); });
+    EXPECT_EQ(ran.load(), 10);
+}
+
+} // namespace
+} // namespace betty
