@@ -14,6 +14,10 @@ namespace {
 /** Destinations per parallelFor chunk (fixed; see thread_pool.h). */
 constexpr int64_t kSampleGrain = 256;
 
+/** Domain tag separating the per-call seed derivation from the
+ * per-(layer, dst) stream keys ("call" in ASCII). */
+constexpr uint64_t kCallStreamTag = 0x63616c6cULL;
+
 } // namespace
 
 NeighborSampler::NeighborSampler(const CsrGraph& graph,
@@ -33,15 +37,24 @@ NeighborSampler::sample(const std::vector<int64_t>& seeds)
     MultiLayerBatch batch;
     batch.blocks.resize(size_t(fanouts_.size()));
 
+    // Each call advances the counter so repeated epochs over the same
+    // seeds draw FRESH neighborhoods (the stochasticity neighbor
+    // sampling relies on) instead of replaying one fixed subgraph.
+    // The call seed is derived once, on this thread, before any
+    // parallel work: the k-th call is a pure function of (seed_, k),
+    // deterministic for any thread count.
+    const uint64_t call_seed =
+        Rng::streamKey(seed_, kCallStreamTag, call_index_++);
+
     // Outside in: the output layer uses the last fanout.
     std::vector<int64_t> layer_seeds = seeds;
     for (int64_t layer = int64_t(fanouts_.size()) - 1; layer >= 0;
          --layer) {
         const int64_t fanout = fanouts_[size_t(layer)];
         // Each destination samples from its own counter-based stream
-        // keyed on (seed, layer, dst): slot i's content depends only
-        // on layer_seeds[i], so the parallel loop is deterministic
-        // for any thread count and chunk schedule.
+        // keyed on (call_seed, layer, dst): slot i's content depends
+        // only on layer_seeds[i], so the parallel loop is
+        // deterministic for any thread count and chunk schedule.
         std::vector<std::vector<int64_t>> src_per_dst(
             layer_seeds.size());
         ThreadPool::global().parallelFor(
@@ -56,7 +69,8 @@ NeighborSampler::sample(const std::vector<int64_t>& seeds)
                         int64_t(nbrs.size()) <= fanout) {
                         chosen.assign(nbrs.begin(), nbrs.end());
                     } else {
-                        Rng rng = Rng::stream(seed_, uint64_t(layer),
+                        Rng rng = Rng::stream(call_seed,
+                                              uint64_t(layer),
                                               uint64_t(dst));
                         const auto picks =
                             rng.sampleWithoutReplacement(

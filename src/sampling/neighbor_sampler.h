@@ -30,13 +30,16 @@ class NeighborSampler
      * @param fanouts Per-layer in-neighbor caps, ordered from the input
      * layer (index 0) to the output layer, matching DGL. Negative
      * means "take every in-neighbor".
-     * @param seed RNG seed. Each (layer, destination) pair draws from
-     * its own counter-based stream Rng::stream(seed, layer, dst), so
-     * a destination's sample depends only on (seed, layer, dst) —
-     * never on the order destinations are visited, on earlier sample()
-     * calls, or on the thread count. Sampling is parallelized over
-     * destinations via the global ThreadPool and is bit-identical for
-     * any `--threads` value.
+     * @param seed RNG seed. The k-th sample() call derives a call
+     * seed from (seed, k), and each (layer, destination) pair draws
+     * from its own counter-based stream
+     * Rng::stream(call_seed, layer, dst). A destination's sample is a
+     * pure function of (seed, call index, layer, dst) — never of the
+     * order destinations are visited, of which other seeds share the
+     * batch, or of the thread count — so repeated epochs draw fresh
+     * neighborhoods while any `--threads` value replays the identical
+     * sequence. Sampling is parallelized over destinations via the
+     * global ThreadPool.
      */
     NeighborSampler(const CsrGraph& graph, std::vector<int64_t> fanouts,
                     uint64_t seed = 7);
@@ -51,6 +54,8 @@ class NeighborSampler
     const CsrGraph& graph_;
     std::vector<int64_t> fanouts_;
     uint64_t seed_;
+    /** Calls made so far; the only state carried between calls. */
+    uint64_t call_index_ = 0;
 };
 
 } // namespace betty

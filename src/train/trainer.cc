@@ -187,6 +187,23 @@ Trainer::trainMicroBatches(
     optimizer_.zeroGrad();
     int64_t correct = 0;
     std::future<StagedFeatures> staged_next;
+    // If the loop unwinds with a prefetch still queued or running, the
+    // pool worker would keep touching *next (in micro_batches) and
+    // transfer_ after this frame is gone — a packaged_task future's
+    // destructor does not wait. Join it before propagating.
+    struct PrefetchJoiner
+    {
+        std::future<StagedFeatures>& staged;
+        ~PrefetchJoiner()
+        {
+            if (staged.valid()) {
+                try {
+                    staged.get();
+                } catch (...) {
+                }
+            }
+        }
+    } prefetch_joiner{staged_next};
     if (pipelined)
         staged_next = prefetch(active.front());
     for (size_t pos = 0; pos < active.size(); ++pos) {

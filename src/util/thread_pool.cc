@@ -71,7 +71,15 @@ ThreadPool::enqueue(std::function<void()> task)
         std::lock_guard<std::mutex> lock(queues_[target]->mutex);
         queues_[target]->tasks.push_back(std::move(task));
     }
-    pending_.fetch_add(1, std::memory_order_release);
+    {
+        // The increment must be ordered with the workers' predicate
+        // check (which runs under wake_mutex_): bumping pending_
+        // outside the lock lets a worker read pending_ == 0, then miss
+        // the notify below while it is still entering wait() — the
+        // task would strand until the next enqueue. Mirrors ~ThreadPool.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
     wake_.notify_one();
 }
 
@@ -230,8 +238,15 @@ ThreadPool::setGlobalThreads(int32_t num_threads)
 {
     auto fresh =
         std::make_unique<ThreadPool>(std::max<int32_t>(1, num_threads));
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
-    g_pool = std::move(fresh);
+    std::unique_ptr<ThreadPool> old;
+    {
+        std::lock_guard<std::mutex> lock(g_pool_mutex);
+        old = std::move(g_pool);
+        g_pool = std::move(fresh);
+    }
+    // `old` drains and joins here, after g_pool_mutex is released: a
+    // drained task calling ThreadPool::global()/globalThreads() would
+    // otherwise self-deadlock on the mutex.
 }
 
 int32_t

@@ -101,7 +101,13 @@ class ThreadPool
      */
     static ThreadPool& global();
 
-    /** Resize the global pool (drains and joins the previous one). */
+    /**
+     * Resize the global pool (drains and joins the previous one).
+     * Call only from configuration points (CLI startup, test
+     * setup/teardown) with no pool work in flight: threads still
+     * blocked inside the old pool's parallelFor/submit would be
+     * waiting on state the swap destroys.
+     */
     static void setGlobalThreads(int32_t num_threads);
 
     /** Lane count of the global pool without forcing its creation. */

@@ -132,11 +132,13 @@ TEST(NeighborSamplerDeathTest, EmptySeedsPanics)
 }
 
 // -------------------------------------------------------------------
-// Counter-based RNG stream contract: each (layer, dst) draws from its
-// own stream Rng::stream(seed, layer, dst), so a destination's sample
-// depends only on the sampler seed — never on which other seeds are
-// in the batch, how earlier calls advanced internal state, or how the
-// work is split across ThreadPool lanes.
+// Counter-based RNG stream contract: the k-th sample() call derives a
+// call seed from (seed, k), and each (layer, dst) draws from its own
+// stream Rng::stream(call_seed, layer, dst). A destination's sample
+// is a pure function of (seed, call index, layer, dst) — never of
+// which other seeds are in the batch or how the work is split across
+// ThreadPool lanes — while repeated calls (epochs) draw fresh
+// neighborhoods instead of replaying one fixed subgraph.
 
 /** The sources sampled for one dst in one one-layer batch. */
 std::vector<int64_t>
@@ -155,56 +157,66 @@ sampledSourcesOf(const MultiLayerBatch& batch, int64_t dst_global)
     return {};
 }
 
-TEST(NeighborSamplerStreams, RepeatedCallsAreIdempotent)
+TEST(NeighborSamplerStreams, RepeatedCallsDrawFreshNeighborhoods)
 {
-    // Same sampler object, same seeds, called twice: with per-(layer,
-    // dst) streams there is no internal cursor to advance, so the
-    // second call is bit-identical to the first.
-    const auto g = testutil::toyGraph();
-    NeighborSampler sampler(g, {2, 2}, 42);
-    const auto first = sampler.sample({1, 5, 8});
-    const auto second = sampler.sample({1, 5, 8});
-    ASSERT_EQ(first.numLayers(), second.numLayers());
-    for (int64_t l = 0; l < first.numLayers(); ++l) {
-        EXPECT_EQ(first.blocks[size_t(l)].srcNodes(),
-                  second.blocks[size_t(l)].srcNodes());
-        EXPECT_EQ(first.blocks[size_t(l)].edgeOffsets(),
-                  second.blocks[size_t(l)].edgeOffsets());
-        EXPECT_EQ(first.blocks[size_t(l)].edgeSources(),
-                  second.blocks[size_t(l)].edgeSources());
-    }
+    // Each call advances the sampler's call counter, so a second
+    // epoch over the same seeds draws a fresh sampled subgraph (the
+    // stochasticity neighbor sampling relies on) — while two samplers
+    // with the same seed replay the same call sequence bit-for-bit.
+    const auto ds = loadCatalogDataset("arxiv_like", 0.05);
+    NeighborSampler a(ds.graph, {5, 10}, 42);
+    NeighborSampler b(ds.graph, {5, 10}, 42);
+    std::vector<int64_t> seeds(ds.trainNodes.begin(),
+                               ds.trainNodes.begin() + 50);
+    const auto a1 = a.sample(seeds);
+    const auto a2 = a.sample(seeds);
+    const auto b1 = b.sample(seeds);
+    const auto b2 = b.sample(seeds);
+    EXPECT_NE(a1.inputNodes(), a2.inputNodes())
+        << "second epoch replayed the first call's sampled subgraph";
+    EXPECT_EQ(a1.inputNodes(), b1.inputNodes());
+    EXPECT_EQ(a1.blocks[0].edgeSources(), b1.blocks[0].edgeSources());
+    EXPECT_EQ(a2.inputNodes(), b2.inputNodes());
+    EXPECT_EQ(a2.blocks[0].edgeSources(), b2.blocks[0].edgeSources());
 }
 
 TEST(NeighborSamplerStreams, SampleIndependentOfBatchComposition)
 {
     // Node 1's sampled neighborhood is the same whether it is sampled
     // alone, with company, or at a different position in the seed
-    // list — the stream key is (seed, layer, dst), not the iteration
-    // index.
+    // list — within one call the stream key is (call_seed, layer,
+    // dst), not the iteration index. Fresh samplers pin each call to
+    // call index 0.
     const auto g = testutil::toyGraph();
-    NeighborSampler sampler(g, {2}, 42);
-    const auto alone = sampledSourcesOf(sampler.sample({1}), 1);
+    NeighborSampler s1(g, {2}, 42);
+    NeighborSampler s2(g, {2}, 42);
+    NeighborSampler s3(g, {2}, 42);
+    const auto alone = sampledSourcesOf(s1.sample({1}), 1);
     const auto with_company =
-        sampledSourcesOf(sampler.sample({6, 1, 8}), 1);
+        sampledSourcesOf(s2.sample({6, 1, 8}), 1);
     const auto at_the_back =
-        sampledSourcesOf(sampler.sample({8, 6, 1}), 1);
+        sampledSourcesOf(s3.sample({8, 6, 1}), 1);
     EXPECT_EQ(alone, with_company);
     EXPECT_EQ(alone, at_the_back);
 }
 
-TEST(NeighborSamplerStreams, PriorCallsDoNotPerturbLaterOnes)
+TEST(NeighborSamplerStreams, OnlyTheCallIndexCarriesAcrossCalls)
 {
-    // A fresh sampler and a "warmed up" one (after unrelated sample()
-    // calls) agree: no hidden state survives a call.
+    // The only state a call leaves behind is the incremented call
+    // counter: the k-th calls of two same-seed samplers agree even
+    // when their earlier calls sampled entirely different seed sets.
     const auto g = testutil::toyGraph();
-    NeighborSampler fresh(g, {2, 2}, 7);
-    NeighborSampler warmed(g, {2, 2}, 7);
-    warmed.sample({4, 9});
-    warmed.sample({0});
-    const auto a = fresh.sample({1, 5});
-    const auto b = warmed.sample({1, 5});
-    EXPECT_EQ(a.inputNodes(), b.inputNodes());
-    EXPECT_EQ(a.blocks[0].edgeSources(), b.blocks[0].edgeSources());
+    NeighborSampler a(g, {2, 2}, 7);
+    NeighborSampler b(g, {2, 2}, 7);
+    a.sample({4, 9});
+    a.sample({0});
+    b.sample({2});
+    b.sample({3, 6, 7});
+    const auto third_a = a.sample({1, 5});
+    const auto third_b = b.sample({1, 5});
+    EXPECT_EQ(third_a.inputNodes(), third_b.inputNodes());
+    EXPECT_EQ(third_a.blocks[0].edgeSources(),
+              third_b.blocks[0].edgeSources());
 }
 
 TEST(NeighborSamplerStreams, LayersDrawFromDistinctStreams)
