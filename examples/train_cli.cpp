@@ -12,6 +12,21 @@
  *               [--threads N] [--no-pipeline]
  *               [--data-cache FILE] [--trace-out=FILE]
  *               [--metrics-out=FILE] [--memprof-out=FILE]
+ *               [--faults SPEC] [--fault-seed N]
+ *               [--checkpoint-out FILE] [--checkpoint-every N]
+ *               [--resume FILE] [--recover-on-oom]
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): single-device training runs
+ * under the ResilientTrainer — if the device capacity shrinks
+ * mid-epoch (or a fault is injected via --faults / the BETTY_FAULTS
+ * variable, grammar in util/fault.h), the epoch's gradients are
+ * rolled back, the batch is re-planned at K+1, and training retries;
+ * when recovery is exhausted the epoch is skipped with a report
+ * instead of crashing. --recover-on-oom additionally re-plans on
+ * real (non-injected) over-capacity episodes. --checkpoint-out
+ * writes a resumable checkpoint every --checkpoint-every epochs
+ * (and after the last); --resume restores one and continues
+ * bit-identically to an uninterrupted run.
  *
  * --threads N sizes the global ThreadPool used by batch preparation
  * (parallel REG construction, parallel neighbor sampling) and by the
@@ -51,9 +66,12 @@
 #include "obs/run_meta.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "robustness/checkpoint.h"
+#include "robustness/resilient_trainer.h"
 #include "sampling/neighbor_sampler.h"
 #include "train/multi_device.h"
 #include "train/trainer.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -90,6 +108,19 @@ struct Args
     std::string metrics_out;
     /** Run-report JSON destination ("" = no report; enables metrics). */
     std::string memprof_out;
+    /** Fault-injection spec (util/fault.h grammar; "" = BETTY_FAULTS
+     * or no faults). */
+    std::string faults;
+    /** Seed for the fault plan's stochastic choices. */
+    uint64_t fault_seed = 0;
+    /** Checkpoint destination ("" = no checkpoints). */
+    std::string checkpoint_out;
+    /** Write a checkpoint every N completed epochs. */
+    int checkpoint_every = 1;
+    /** Checkpoint to restore before training ("" = fresh start). */
+    std::string resume;
+    /** Re-plan on real over-capacity episodes, not just faults. */
+    bool recover_on_oom = false;
 };
 
 std::vector<int64_t>
@@ -167,6 +198,20 @@ parseArgs(int argc, char** argv)
             args.metrics_out = next();
         } else if (flag == "--memprof-out") {
             args.memprof_out = next();
+        } else if (flag == "--faults") {
+            args.faults = next();
+        } else if (flag == "--fault-seed") {
+            args.fault_seed = std::strtoull(next(), nullptr, 10);
+        } else if (flag == "--checkpoint-out") {
+            args.checkpoint_out = next();
+        } else if (flag == "--checkpoint-every") {
+            args.checkpoint_every = std::atoi(next());
+            if (args.checkpoint_every < 1)
+                fatal("--checkpoint-every must be at least 1");
+        } else if (flag == "--resume") {
+            args.resume = next();
+        } else if (flag == "--recover-on-oom") {
+            args.recover_on_oom = true;
         } else if (flag == "--help") {
             std::printf("see the file comment for usage\n");
             std::exit(0);
@@ -212,6 +257,25 @@ main(int argc, char** argv)
     obs::setRunMeta("binary", "train_cli");
     obs::setRunMeta("dataset", args.dataset);
     obs::setRunMeta("model", args.model + "/" + args.aggregator);
+
+    // Fault injection: --faults wins, BETTY_FAULTS is the fallback.
+    std::string fault_spec = args.faults;
+    if (fault_spec.empty())
+        if (const char* env = std::getenv("BETTY_FAULTS"))
+            fault_spec = env;
+    if (!fault_spec.empty()) {
+        fault::FaultPlan fault_plan;
+        std::string error;
+        if (!fault::FaultPlan::parse(fault_spec, fault_plan, &error))
+            fatal("--faults: ", error);
+        fault_plan.seed = args.fault_seed;
+        fault::Injector::install(std::move(fault_plan));
+        inform("fault injection active: ", fault_spec);
+        if (args.devices > 1)
+            warn("fault injection recovers only the single-device "
+                 "trainer; --devices ", args.devices,
+                 " runs without recovery");
+    }
 
     Dataset ds;
     if (!args.data_cache.empty() && loadDataset(ds, args.data_cache)) {
@@ -274,6 +338,24 @@ main(int argc, char** argv)
 
     Adam adam(model->parameters(), args.lr);
 
+    int start_epoch = 1;
+    int32_t last_k = 1;
+    if (!args.resume.empty()) {
+        TrainCheckpoint checkpoint;
+        IoStatus status = loadCheckpoint(checkpoint, args.resume);
+        if (!status.ok())
+            fatal("--resume: ", status.message);
+        status = restoreCheckpoint(checkpoint, *model, adam);
+        if (!status.ok())
+            fatal("--resume: ", status.message);
+        start_epoch = int(checkpoint.epochsCompleted) + 1;
+        last_k = int32_t(checkpoint.lastK);
+        inform("resumed '", args.resume, "': ",
+               checkpoint.epochsCompleted,
+               " epoch(s) already done, continuing at epoch ",
+               start_epoch, " with K=", last_k);
+    }
+
     BettyOptions popts;
     popts.warmStart = args.warm;
     BettyPartitioner betty_part(popts);
@@ -297,6 +379,13 @@ main(int argc, char** argv)
     Trainer trainer(ds, *model, adam, &device, &transfer);
     if (args.no_pipeline)
         trainer.setPipeline(false);
+    RecoveryPolicy recovery_policy;
+    recovery_policy.reactToActualOom = args.recover_on_oom;
+    ResilientTrainer resilient(trainer, model->memorySpec(),
+                               *partitioner,
+                               args.devices == 1 ? &device : nullptr,
+                               recovery_policy);
+    resilient.setFeatureSource(&ds.features);
     MultiDeviceConfig multi_config;
     multi_config.numDevices = args.devices;
     multi_config.deviceCapacityBytes = budget;
@@ -312,7 +401,7 @@ main(int argc, char** argv)
                              : "multi-device training summary "
                                "(per epoch)");
     summary.setHeader({"epoch", "K", "loss", "acc", "test",
-                       "peak MiB", "seconds", "oom"});
+                       "peak MiB", "seconds", "oom", "oomN"});
 
     obs::RunReport report;
     report.setBinary("train_cli");
@@ -330,14 +419,15 @@ main(int argc, char** argv)
     report.setConfig("partitioner", args.partitioner);
     report.setConfig("threads",
                      std::to_string(ThreadPool::globalThreads()));
+    if (!fault_spec.empty())
+        report.setConfig("faults", fault_spec);
 
     int64_t run_peak_bytes = 0;
     double total_compute_seconds = 0.0;
     double total_transfer_seconds = 0.0;
     double final_test_accuracy = 0.0;
 
-    int32_t last_k = 1;
-    for (int epoch = 1; epoch <= args.epochs; ++epoch) {
+    for (int epoch = start_epoch; epoch <= args.epochs; ++epoch) {
         BETTY_TRACE_SPAN("epoch");
         MultiLayerBatch full;
         {
@@ -346,22 +436,25 @@ main(int argc, char** argv)
                                     uint64_t(epoch));
             full = sampler.sample(ds.trainNodes);
         }
-        PlanResult plan;
-        {
-            BETTY_TRACE_SPAN("epoch/plan");
-            plan = planner.plan(full, *partitioner, last_k);
-        }
-        if (!plan.fits)
-            fatal("budget too small even at one output per batch");
-        last_k = plan.k; // warm the K search across epochs too
 
         if (args.devices == 1) {
-            const auto stats =
-                trainer.trainMicroBatches(plan.microBatches);
+            // Planning — and any mid-epoch re-planning — happens
+            // inside the resilient runtime; a budget nothing fits
+            // skips the epoch with a report instead of crashing.
+            const ResilientEpochResult result =
+                resilient.trainEpoch(full, epoch, last_k);
+            if (result.skipped) {
+                summary.addRow({std::to_string(epoch),
+                                std::to_string(result.plan.k), "-",
+                                "-", "-", "-", "-", "skip", "-"});
+                continue;
+            }
+            const EpochStats& stats = result.stats;
+            last_k = result.plan.k; // warm the K search across epochs
             const double test = trainer.evaluate(test_batch);
             obs::RunReportEpoch epoch_row;
             epoch_row.epoch = epoch;
-            epoch_row.k = plan.k;
+            epoch_row.k = result.plan.k;
             epoch_row.loss = stats.loss;
             epoch_row.accuracy = stats.accuracy;
             epoch_row.testAccuracy = test;
@@ -374,12 +467,17 @@ main(int argc, char** argv)
             total_compute_seconds += stats.computeSeconds;
             total_transfer_seconds += stats.transferSeconds;
             final_test_accuracy = test;
-            inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
-                   "  loss ", TablePrinter::num(stats.loss, 4),
-                   "  acc ", TablePrinter::num(stats.accuracy, 3),
+            inform("epoch ", epoch, "/", args.epochs,
+                   "  K=", result.plan.k, "  loss ",
+                   TablePrinter::num(stats.loss, 4), "  acc ",
+                   TablePrinter::num(stats.accuracy, 3),
+                   result.replans
+                       ? "  (re-planned x" +
+                             std::to_string(result.replans) + ")"
+                       : "",
                    stats.oom ? "  OOM!" : "");
             summary.addRow({std::to_string(epoch),
-                            std::to_string(plan.k),
+                            std::to_string(result.plan.k),
                             TablePrinter::num(stats.loss, 4),
                             TablePrinter::num(stats.accuracy, 3),
                             TablePrinter::num(test, 3),
@@ -388,8 +486,17 @@ main(int argc, char** argv)
                                 1),
                             TablePrinter::num(stats.computeSeconds,
                                               2),
-                            stats.oom ? "yes" : "no"});
+                            stats.oom ? "yes" : "no",
+                            std::to_string(stats.oomEvents)});
         } else {
+            PlanResult plan;
+            {
+                BETTY_TRACE_SPAN("epoch/plan");
+                plan = planner.plan(full, *partitioner, last_k);
+            }
+            if (!plan.fits)
+                fatal("budget too small even at one output per batch");
+            last_k = plan.k; // warm the K search across epochs too
             const auto stats =
                 multi_trainer.trainMicroBatches(plan.microBatches);
             const double test = trainer.evaluate(test_batch);
@@ -421,7 +528,21 @@ main(int argc, char** argv)
                      double(stats.maxDevicePeakBytes) / (1 << 20),
                      1),
                  TablePrinter::num(stats.epochSeconds, 2),
-                 stats.oom ? "yes" : "no"});
+                 stats.oom ? "yes" : "no", "-"});
+        }
+
+        if (!args.checkpoint_out.empty() &&
+            (epoch % args.checkpoint_every == 0 ||
+             epoch == args.epochs)) {
+            const TrainCheckpoint checkpoint = captureCheckpoint(
+                *model, adam, epoch, last_k, uint64_t(epoch), 0);
+            const IoStatus status =
+                saveCheckpoint(checkpoint, args.checkpoint_out);
+            if (status.ok())
+                inform("wrote checkpoint '", args.checkpoint_out,
+                       "' (after epoch ", epoch, ")");
+            else
+                warn("could not write checkpoint: ", status.message);
         }
     }
     summary.print();
@@ -451,6 +572,16 @@ main(int argc, char** argv)
             obs::Metrics::counter("transfer.bytes").value());
         report.setOomEvents(
             obs::Metrics::counter("device.oom_events").value());
+        const RecoveryReport& recovered = resilient.report();
+        obs::RunReportRecovery recovery;
+        recovery.replans = recovered.replans;
+        recovery.oomRetries = recovered.oomRetries;
+        recovery.transferRetries = recovered.transferRetries;
+        recovery.batchesSkipped = recovered.batchesSkipped;
+        recovery.corruptRowsRepaired = recovered.corruptRowsRepaired;
+        recovery.faultsInjected = recovered.faultsInjected;
+        recovery.faultsActive = fault::Injector::active();
+        report.setRecovery(recovery);
         if (report.writeJson(args.memprof_out))
             inform("wrote run report '", args.memprof_out,
                    "' (inspect with betty_report)");

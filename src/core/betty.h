@@ -122,6 +122,20 @@ class MemoryAwarePlanner
     }
 
     /**
+     * Retarget the planner at a new budget mid-run. The resilient
+     * runtime calls this when the device capacity changes under it
+     * (robustness/resilient_trainer.h) so re-planning fits the
+     * capacity that actually exists now, not the one configured at
+     * startup.
+     */
+    void setCapacity(int64_t capacity_bytes)
+    {
+        capacity_ = capacity_bytes;
+    }
+
+    int64_t capacity() const { return capacity_; }
+
+    /**
      * Size K and produce the micro-batches using @p partitioner.
      * @param max_k Safety bound on the search.
      */

@@ -101,8 +101,11 @@ class DeviceMemoryModel : public AllocationObserver
             // when live drops back under capacity (see onFree), not
             // when oom_ is reset — oom_ stays latched for
             // oomOccurred() until resetPeak().
-            if (!in_oom_episode_ && obs::Metrics::enabled())
-                detail::chargeDeviceOom();
+            if (!in_oom_episode_) {
+                ++oom_episodes_;
+                if (obs::Metrics::enabled())
+                    detail::chargeDeviceOom();
+            }
             in_oom_episode_ = true;
             oom_ = true;
             if (live_ - capacity_ > worst_overshoot_)
@@ -136,13 +139,47 @@ class DeviceMemoryModel : public AllocationObserver
         if (in_oom_episode_ && live_ <= capacity_)
             in_oom_episode_ = false;
         if (obs::Metrics::enabled())
-            detail::chargeDeviceFree(bytes);
+            detail::chargeDeviceFree(freed);
         maybeSample();
     }
 
     int64_t capacity() const { return capacity_; }
     int64_t liveBytes() const { return live_; }
     int64_t peakBytes() const { return peak_; }
+
+    /**
+     * Change the capacity mid-run (a co-tenant claiming or releasing
+     * device memory — the runtime condition the resilient trainer
+     * recovers from). Episode accounting follows the new limit: if
+     * current live usage violates it, that is a NEW over-capacity
+     * episode starting now; if a shrink-induced episode ends because
+     * capacity grew back, the episode closes.
+     */
+    void
+    setCapacity(int64_t capacity_bytes)
+    {
+        capacity_ = capacity_bytes;
+        const bool over = capacity_ > 0 && live_ > capacity_;
+        if (over && !in_oom_episode_) {
+            in_oom_episode_ = true;
+            oom_ = true;
+            if (live_ - capacity_ > worst_overshoot_)
+                worst_overshoot_ = live_ - capacity_;
+            ++oom_episodes_;
+            if (obs::Metrics::enabled())
+                detail::chargeDeviceOom();
+        } else if (!over) {
+            in_oom_episode_ = false;
+        }
+    }
+
+    /**
+     * Over-capacity episodes since construction: one count per
+     * contiguous stretch of live > capacity. Unlike the
+     * device.oom_events metric this counts even when metrics are
+     * disabled, so EpochStats::oomEvents is always meaningful.
+     */
+    int64_t oomEpisodeCount() const { return oom_episodes_; }
 
     /** @name Per-category (Table 3 provenance) accessors */
     /** @{ */
@@ -286,6 +323,8 @@ class DeviceMemoryModel : public AllocationObserver
     bool oom_ = false;
     /** Inside a contiguous over-capacity stretch right now. */
     bool in_oom_episode_ = false;
+    /** Lifetime count of over-capacity episodes (metrics-independent). */
+    int64_t oom_episodes_ = 0;
     std::array<int64_t, obs::kMemCategoryCount> cat_live_{};
     std::array<int64_t, obs::kMemCategoryCount> cat_peak_{};
     std::array<int64_t, obs::kMemCategoryCount> cat_window_peak_{};

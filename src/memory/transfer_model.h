@@ -49,9 +49,32 @@ class TransferModel
         }
     }
 
+    /**
+     * Charge one FAILED transfer attempt: the link latency was paid
+     * (the setup handshake happened) but no bytes moved — the retry
+     * pays the full transfer() cost again. Used by the trainer's
+     * retry loop when a transfer fault fires (util/fault.h); kept
+     * here so failed attempts price identically everywhere.
+     */
+    void
+    chargeFailedAttempt()
+    {
+        seconds_ += latency_;
+        ++failed_attempts_;
+        if (obs::Metrics::enabled()) {
+            static obs::Counter& failures =
+                obs::Metrics::counter("transfer.failed_attempts");
+            failures.increment();
+        }
+    }
+
     double seconds() const { return seconds_; }
     int64_t totalBytes() const { return total_bytes_; }
     int64_t numTransfers() const { return num_transfers_; }
+
+    /** Lifetime count of failed attempts — survives reset(), which
+     * only re-arms the per-epoch accumulators. */
+    int64_t failedAttempts() const { return failed_attempts_; }
 
     void
     reset()
@@ -67,6 +90,7 @@ class TransferModel
     double seconds_ = 0.0;
     int64_t total_bytes_ = 0;
     int64_t num_transfers_ = 0;
+    int64_t failed_attempts_ = 0;
 };
 
 } // namespace betty

@@ -1,5 +1,6 @@
 #include "nn/optim.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/memprof.h"
@@ -30,6 +31,29 @@ Adam::Adam(std::vector<ag::NodePtr> params, float lr, float beta1,
         m_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
         v_.push_back(Tensor::zeros(p->value.rows(), p->value.cols()));
     }
+}
+
+bool
+Adam::restoreState(int64_t step_count, std::vector<Tensor> m,
+                   std::vector<Tensor> v)
+{
+    if (step_count < 0 || m.size() != params_.size() ||
+        v.size() != params_.size())
+        return false;
+    for (size_t i = 0; i < params_.size(); ++i)
+        if (!m[i].sameShape(params_[i]->value) ||
+            !v[i].sameShape(params_[i]->value))
+            return false;
+    // Copy element-wise into the existing (device-charged) moment
+    // tensors instead of adopting the incoming ones, so the device
+    // accounting of the optimizer states stays exactly as the
+    // constructor charged it.
+    for (size_t i = 0; i < params_.size(); ++i) {
+        std::copy_n(m[i].data(), m[i].numel(), m_[i].data());
+        std::copy_n(v[i].data(), v[i].numel(), v_[i].data());
+    }
+    t_ = step_count;
+    return true;
 }
 
 void

@@ -36,6 +36,12 @@ class Optimizer
                 p->grad.setZero();
     }
 
+    /** The parameter list this optimizer updates. */
+    const std::vector<ag::NodePtr>& parameters() const
+    {
+        return params_;
+    }
+
   protected:
     std::vector<ag::NodePtr> params_;
 };
@@ -71,6 +77,23 @@ class Adam : public Optimizer
          float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
 
     void step() override;
+
+    /** @name Checkpoint/resume state access (robustness/checkpoint.h)
+     * Adam's update depends on the step count and both moment
+     * tensors; a bit-identical resume must restore all three. */
+    /** @{ */
+    int64_t stepCount() const { return t_; }
+    const std::vector<Tensor>& firstMoments() const { return m_; }
+    const std::vector<Tensor>& secondMoments() const { return v_; }
+
+    /**
+     * Restore serialized state. Moment shapes must match this
+     * optimizer's parameters; returns false (leaving the optimizer
+     * untouched) on any mismatch.
+     */
+    bool restoreState(int64_t step_count, std::vector<Tensor> m,
+                      std::vector<Tensor> v);
+    /** @} */
 
   private:
     float lr_, beta1_, beta2_, eps_;

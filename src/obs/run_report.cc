@@ -133,6 +133,24 @@ RunReport::toJson() const
     out += ", \"oom_events\": " + std::to_string(oomEvents_);
     out += "},\n";
 
+    if (hasRecovery_) {
+        out += "  \"recovery\": {";
+        out += "\"faults_active\": ";
+        out += recovery_.faultsActive ? "true" : "false";
+        out += ", \"replans\": " + std::to_string(recovery_.replans);
+        out += ", \"oom_retries\": " +
+               std::to_string(recovery_.oomRetries);
+        out += ", \"transfer_retries\": " +
+               std::to_string(recovery_.transferRetries);
+        out += ", \"batches_skipped\": " +
+               std::to_string(recovery_.batchesSkipped);
+        out += ", \"corrupt_rows_repaired\": " +
+               std::to_string(recovery_.corruptRowsRepaired);
+        out += ", \"faults_injected\": " +
+               std::to_string(recovery_.faultsInjected);
+        out += "},\n";
+    }
+
     out += "  \"memory_profile\": " + memProfiler().toJson() + ",\n";
     out += "  \"estimator_residuals\": " + residuals().toJson() + ",\n";
 

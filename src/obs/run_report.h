@@ -39,6 +39,26 @@ struct RunReportEpoch
 };
 
 /**
+ * The run's recovery activity (robustness/resilient_trainer.h).
+ * Serialized as an OPTIONAL, additive "recovery" section — older
+ * reports without it still parse, so the schema version stays put.
+ */
+struct RunReportRecovery
+{
+    int64_t replans = 0;
+    int64_t oomRetries = 0;
+    int64_t transferRetries = 0;
+    int64_t batchesSkipped = 0;
+    int64_t corruptRowsRepaired = 0;
+    int64_t faultsInjected = 0;
+
+    /** True when a fault plan was installed for this run. When false,
+     * betty_report's check mode requires every counter above to be
+     * zero (fault-free runs must not silently recover). */
+    bool faultsActive = false;
+};
+
+/**
  * Collects one run's facts and serializes them as the run-report
  * JSON. The memory_profile and estimator_residuals sections are
  * pulled from the process-wide collectors at toJson() time.
@@ -85,6 +105,14 @@ class RunReport
     }
     /** @} */
 
+    /** Attach the recovery section (emitted only when set). */
+    void
+    setRecovery(const RunReportRecovery& recovery)
+    {
+        recovery_ = recovery;
+        hasRecovery_ = true;
+    }
+
     /** The complete report as a JSON document. */
     std::string toJson() const;
 
@@ -108,6 +136,8 @@ class RunReport
     double finalTestAccuracy_ = 0.0;
     double totalComputeSeconds_ = 0.0;
     double totalTransferSeconds_ = 0.0;
+    RunReportRecovery recovery_;
+    bool hasRecovery_ = false;
 };
 
 } // namespace betty::obs

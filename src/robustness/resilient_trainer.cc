@@ -1,0 +1,295 @@
+#include "robustness/resilient_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/memprof.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace betty {
+
+namespace {
+
+/** Bump a recover.* counter (only when metrics collection is on). */
+void
+chargeRecover(const char* name, int64_t delta = 1)
+{
+    if (!obs::Metrics::enabled())
+        return;
+    obs::Metrics::counter(name).add(delta);
+}
+
+/** Extra bytes an AllocScale fault makes the micro-batch allocate
+ * beyond its estimate. */
+int64_t
+ballastBytes(double scale, int64_t estimated_peak)
+{
+    if (scale <= 1.0 || estimated_peak <= 0)
+        return 0;
+    return int64_t((scale - 1.0) * double(estimated_peak));
+}
+
+} // namespace
+
+/**
+ * The admission/review hook installed around every micro-batch of a
+ * resilient accumulation step. It advances the fault clock, applies
+ * micro-batch-scoped faults, and decides abort-vs-continue:
+ *
+ *   admit:  capacity drops apply first; then the micro-batch is
+ *           refused if its estimated peak no longer fits the (possibly
+ *           just shrunken) capacity, or an OOM is injected for it.
+ *           An alloc-scale fault allocates ballast — real observed
+ *           bytes — so under-prediction shows up in the device model
+ *           exactly like a mis-estimated tensor would.
+ *   review: the ballast is freed; if it pushed live usage over
+ *           capacity the step aborts (the "actual OOM" the estimator
+ *           failed to predict), as does any new over-capacity episode
+ *           when the policy says to react to real OOMs.
+ */
+class RecoveryArbiter : public MicroBatchArbiter
+{
+  public:
+    RecoveryArbiter(ResilientTrainer& owner, DeviceMemoryModel* device,
+                    const RecoveryPolicy& policy,
+                    const std::vector<MemoryEstimate>& estimates)
+        : owner_(owner), device_(device), policy_(policy),
+          estimates_(estimates)
+    {
+    }
+
+    bool
+    admit(size_t index, const MultiLayerBatch&) override
+    {
+        fault::Injector::beginMicroBatch(int64_t(index));
+        episodes_at_admit_ = device_ ? device_->oomEpisodeCount() : 0;
+        ballast_overshoot_ = false;
+
+        double factor = 0.0;
+        while (fault::Injector::takeCapacityDrop(&factor))
+            owner_.applyCapacityDrop(factor);
+
+        // Proactive admission check: the planner promised every
+        // micro-batch's estimated peak fits the capacity it planned
+        // against; if the capacity has shrunk since, refuse BEFORE
+        // charging anything — that is the whole point of planning
+        // analytically instead of trying on-device.
+        if (device_ && device_->capacity() > 0 &&
+            index < estimates_.size() &&
+            estimates_[index].peak > device_->capacity())
+            return false;
+
+        if (fault::Injector::takeInjectedOom())
+            return false;
+
+        double scale = 0.0;
+        if (fault::Injector::takeAllocScale(&scale) && device_ &&
+            index < estimates_.size()) {
+            const int64_t bytes =
+                ballastBytes(scale, estimates_[index].peak);
+            if (bytes > 0) {
+                obs::MemCategoryScope cat(
+                    obs::MemCategory::Uncategorized);
+                ballast_ = Tensor(
+                    (bytes + int64_t(sizeof(float)) - 1) /
+                        int64_t(sizeof(float)),
+                    1);
+                if (device_->capacity() > 0 &&
+                    device_->liveBytes() > device_->capacity())
+                    ballast_overshoot_ = true;
+            }
+        }
+        return true;
+    }
+
+    bool
+    review(size_t, const MultiLayerBatch&) override
+    {
+        ballast_ = Tensor();
+        if (ballast_overshoot_) {
+            ballast_overshoot_ = false;
+            return false;
+        }
+        if (policy_.reactToActualOom && device_ &&
+            device_->oomEpisodeCount() > episodes_at_admit_)
+            return false;
+        return true;
+    }
+
+  private:
+    ResilientTrainer& owner_;
+    DeviceMemoryModel* device_;
+    const RecoveryPolicy& policy_;
+    const std::vector<MemoryEstimate>& estimates_;
+    Tensor ballast_;
+    bool ballast_overshoot_ = false;
+    int64_t episodes_at_admit_ = 0;
+};
+
+ResilientTrainer::ResilientTrainer(Trainer& trainer, GnnSpec spec,
+                                   OutputPartitioner& partitioner,
+                                   DeviceMemoryModel* device,
+                                   RecoveryPolicy policy)
+    : trainer_(trainer), partitioner_(partitioner), device_(device),
+      planner_(std::move(spec), device ? device->capacity() : 0),
+      policy_(policy)
+{
+}
+
+void
+ResilientTrainer::applyCapacityDrop(double factor)
+{
+    if (!device_)
+        return;
+    if (device_->capacity() <= 0) {
+        BETTY_WARN_ONCE("ResilientTrainer: capacity-drop fault "
+                        "ignored — device capacity is unlimited");
+        return;
+    }
+    const int64_t next = std::max<int64_t>(
+        1, int64_t(double(device_->capacity()) * factor));
+    warn("ResilientTrainer: device capacity dropped from ",
+         device_->capacity(), " to ", next, " bytes");
+    device_->setCapacity(next);
+}
+
+void
+ResilientTrainer::corruptFeatureRows(const MultiLayerBatch& full,
+                                     double fraction)
+{
+    if (!features_ || features_->rows() == 0 || features_->cols() == 0)
+        return;
+    const auto& inputs = full.inputNodes();
+    if (inputs.empty())
+        return;
+    const auto rows =
+        fault::Injector::corruptRowPlan(int64_t(inputs.size()),
+                                        fraction);
+    const float garbage = std::numeric_limits<float>::quiet_NaN();
+    const int64_t cols = features_->cols();
+    for (int64_t idx : rows) {
+        const int64_t node = inputs[size_t(idx)];
+        if (node < 0 || node >= features_->rows())
+            continue;
+        std::fill_n(features_->data() + node * cols, size_t(cols),
+                    garbage);
+    }
+}
+
+int64_t
+ResilientTrainer::repairFeatureRows(const MultiLayerBatch& full)
+{
+    if (!features_ || features_->rows() == 0 || features_->cols() == 0)
+        return 0;
+    const int64_t cols = features_->cols();
+    int64_t repaired = 0;
+    for (int64_t node : full.inputNodes()) {
+        if (node < 0 || node >= features_->rows())
+            continue;
+        float* row = features_->data() + node * cols;
+        bool bad = false;
+        for (int64_t c = 0; c < cols; ++c) {
+            if (!std::isfinite(row[c])) {
+                row[c] = 0.0f;
+                bad = true;
+            }
+        }
+        if (bad)
+            ++repaired;
+    }
+    return repaired;
+}
+
+ResilientEpochResult
+ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
+                             int64_t epoch, int32_t initial_k)
+{
+    fault::Injector::beginEpoch(epoch);
+
+    // Epoch-scoped faults fire before any planning so the first plan
+    // already sees the world as it is now.
+    double factor = 0.0;
+    while (fault::Injector::takeCapacityDrop(&factor))
+        applyCapacityDrop(factor);
+
+    double fraction = 0.0;
+    if (fault::Injector::takeCorruptFeatures(&fraction))
+        corruptFeatureRows(full, fraction);
+    if (policy_.repairCorruptFeatures && features_) {
+        const int64_t repaired = repairFeatureRows(full);
+        if (repaired > 0) {
+            report_.corruptRowsRepaired += repaired;
+            chargeRecover("recover.corrupt_rows_repaired", repaired);
+            warn("ResilientTrainer: repaired ", repaired,
+                 " corrupt feature row(s) in epoch ", epoch);
+        }
+    }
+
+    auto snapshotInjector = [this] {
+        report_.transferRetries = fault::Injector::faultsInjected(
+            fault::FaultKind::TransferFail);
+        report_.faultsInjected = fault::Injector::faultsInjected();
+    };
+
+    ResilientEpochResult result;
+    const int64_t num_outputs = int64_t(full.outputNodes().size());
+    int32_t k = std::max<int32_t>(1, initial_k);
+    int32_t attempts_left = policy_.maxReplanAttempts;
+    for (;;) {
+        planner_.setCapacity(device_ ? device_->capacity() : 0);
+        {
+            BETTY_TRACE_SPAN("epoch/plan");
+            result.plan =
+                planner_.plan(full, partitioner_, k, policy_.maxK);
+        }
+        std::string give_up;
+        if (!result.plan.fits) {
+            give_up = "no K up to " + std::to_string(policy_.maxK) +
+                      " fits the device capacity";
+        } else {
+            RecoveryArbiter arbiter(*this, device_, policy_,
+                                    result.plan.estimates);
+            trainer_.setArbiter(&arbiter);
+            result.stats =
+                trainer_.trainMicroBatches(result.plan.microBatches);
+            trainer_.setArbiter(nullptr);
+            if (!result.stats.aborted) {
+                snapshotInjector();
+                return result;
+            }
+            ++report_.oomRetries;
+            chargeRecover("recover.oom_retries");
+            if (attempts_left <= 0)
+                give_up = "re-plan budget (" +
+                          std::to_string(policy_.maxReplanAttempts) +
+                          " attempts) exhausted";
+            else if (result.plan.k >= policy_.maxK ||
+                     int64_t(result.plan.k) >= num_outputs)
+                give_up = "cannot partition finer than K=" +
+                          std::to_string(result.plan.k);
+        }
+        if (!give_up.empty()) {
+            ++report_.batchesSkipped;
+            chargeRecover("recover.batches_skipped");
+            result.skipped = true;
+            warn("ResilientTrainer: skipping epoch ", epoch, " — ",
+                 give_up, " (parameters unchanged; run continues)");
+            snapshotInjector();
+            return result;
+        }
+        --attempts_left;
+        k = result.plan.k + 1;
+        ++report_.replans;
+        ++result.replans;
+        chargeRecover("recover.replans");
+        warn("ResilientTrainer: epoch ", epoch,
+             " aborted at micro-batch ",
+             result.stats.abortedMicroBatch, " of K=",
+             result.plan.k, "; re-planning at K=", k);
+    }
+}
+
+} // namespace betty

@@ -8,6 +8,7 @@
 #include "obs/residual.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -83,10 +84,25 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
         std::copy_n(dataset_.features.data() + node * dim, dim,
                     staged.values.data() + int64_t(i) * dim);
     }
-    if (transfer_)
+    if (transfer_) {
+        // Injected transfer failures (util/fault.h): each failed
+        // attempt pays the link latency, then the copy is retried —
+        // bounded by the fault plan's retries count, so this always
+        // terminates. Under pipelining this runs on a pool worker;
+        // the injector is thread-safe and attempts are consumed in
+        // charge order.
+        while (fault::Injector::takeTransferFailure()) {
+            transfer_->chargeFailedAttempt();
+            if (obs::Metrics::enabled()) {
+                static obs::Counter& retries = obs::Metrics::counter(
+                    "recover.transfer_retries");
+                retries.increment();
+            }
+        }
         transfer_->transfer(int64_t(staged.values.size()) *
                                 int64_t(sizeof(float)) +
                             blockBytes(batch));
+    }
     return staged;
 }
 
@@ -153,6 +169,8 @@ Trainer::trainMicroBatches(
     EpochStats stats;
     if (device_)
         device_->resetPeak();
+    const int64_t oom_episodes_before =
+        device_ ? device_->oomEpisodeCount() : 0;
 
     int64_t total_outputs = 0;
     for (const auto& batch : micro_batches)
@@ -207,8 +225,17 @@ Trainer::trainMicroBatches(
     if (pipelined)
         staged_next = prefetch(active.front());
     for (size_t pos = 0; pos < active.size(); ++pos) {
-        const MultiLayerBatch& batch = micro_batches[active[pos]];
+        const size_t index = active[pos];
+        const MultiLayerBatch& batch = micro_batches[index];
         BETTY_TRACE_SPAN("train/micro_batch");
+        // Admission: the resilient runtime vetoes a micro-batch that
+        // no longer fits the (possibly shrunken) budget BEFORE any
+        // device charge, turning a would-be OOM into a clean abort.
+        if (arbiter_ && !arbiter_->admit(index, batch)) {
+            stats.aborted = true;
+            stats.abortedMicroBatch = int64_t(index);
+            break;
+        }
         stats.inputNodesProcessed += int64_t(batch.inputNodes().size());
         stats.totalNodesProcessed += batchNodeCount(batch);
 
@@ -279,9 +306,25 @@ Trainer::trainMicroBatches(
                 obs::memProfiler().record(record);
             }
         }
+        // Review: the resilient runtime inspects what the micro-batch
+        // actually did (window peak vs. the new budget) and may still
+        // abort the step after the fact.
+        if (arbiter_ && !arbiter_->review(index, batch)) {
+            stats.aborted = true;
+            stats.abortedMicroBatch = int64_t(index);
+            break;
+        }
     }
 
-    {
+    if (stats.aborted) {
+        // Deterministic rollback: all K micro-batches accumulate into
+        // the SAME parameter gradients and nothing else mutates until
+        // the final step() (paper §4.2.3), so zeroing the gradients
+        // restores the exact pre-call training state — parameters,
+        // Adam moments, and step count are untouched. The caller can
+        // re-plan and retry as if this attempt never happened.
+        optimizer_.zeroGrad();
+    } else {
         BETTY_TRACE_SPAN("train/step");
         Timer timer;
         optimizer_.step();
@@ -296,6 +339,8 @@ Trainer::trainMicroBatches(
     if (device_) {
         stats.peakBytes = device_->peakBytes();
         stats.oom = device_->oomOccurred();
+        stats.oomEvents =
+            device_->oomEpisodeCount() - oom_episodes_before;
         if (stats.oom)
             warnOnce("device budget exceeded during micro-batch "
                      "training (worst overshoot ",
@@ -313,6 +358,8 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
     EpochStats stats;
     if (device_)
         device_->resetPeak();
+    const int64_t oom_episodes_before =
+        device_ ? device_->oomEpisodeCount() : 0;
 
     int64_t total_outputs = 0;
     int64_t correct = 0;
@@ -370,6 +417,8 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
     if (device_) {
         stats.peakBytes = device_->peakBytes();
         stats.oom = device_->oomOccurred();
+        stats.oomEvents =
+            device_->oomEpisodeCount() - oom_episodes_before;
     }
     return stats;
 }

@@ -52,11 +52,66 @@ struct EpochStats
     /** True if the device capacity was exceeded at any point. */
     bool oom = false;
 
+    /**
+     * Over-capacity EPISODES during the epoch (contiguous stretches
+     * of live > capacity, from DeviceMemoryModel::oomEpisodeCount).
+     * The latched `oom` bool cannot distinguish "one transient
+     * overshoot" from "every micro-batch overflowed"; recovery-vs-
+     * failure runs need the count.
+     */
+    int64_t oomEvents = 0;
+
     /** Total first-layer input nodes processed (Table 6 metric). */
     int64_t inputNodesProcessed = 0;
 
     /** Total nodes across all blocks of all batches (Fig 15 metric). */
     int64_t totalNodesProcessed = 0;
+
+    /**
+     * True if the accumulation step was aborted by the arbiter before
+     * the optimizer step: gradients were rolled back (zeroGrad) and
+     * the parameters are EXACTLY as before the call — the caller can
+     * re-plan and retry deterministically.
+     */
+    bool aborted = false;
+
+    /** Index (into the micro-batch vector) where the abort fired;
+     * -1 when not aborted. */
+    int64_t abortedMicroBatch = -1;
+};
+
+/**
+ * Admission/review hook the resilient runtime installs around every
+ * micro-batch of a gradient-accumulation step (robustness/
+ * resilient_trainer.h). Returning false from either hook aborts the
+ * step: the trainer zeroes the accumulated gradients (a complete
+ * rollback — parameters and optimizer state are untouched until the
+ * final step()) and returns with EpochStats::aborted set.
+ */
+class MicroBatchArbiter
+{
+  public:
+    virtual ~MicroBatchArbiter() = default;
+
+    /** Before micro-batch @p index is charged/computed. Return false
+     * to abort the accumulation step. */
+    virtual bool
+    admit(size_t index, const MultiLayerBatch& batch)
+    {
+        (void)index;
+        (void)batch;
+        return true;
+    }
+
+    /** After micro-batch @p index completed (device frees done).
+     * Return false to abort the accumulation step. */
+    virtual bool
+    review(size_t index, const MultiLayerBatch& batch)
+    {
+        (void)index;
+        (void)batch;
+        return true;
+    }
 };
 
 /** Drives one model over batches built from one dataset. */
@@ -88,6 +143,13 @@ class Trainer
      * (docs/PARALLELISM.md).
      */
     void setPipeline(bool on) { pipeline_ = on; }
+
+    /**
+     * Install (or with nullptr remove) the micro-batch arbiter
+     * consulted by trainMicroBatches. Not owned; must outlive the
+     * trainer or be removed first.
+     */
+    void setArbiter(MicroBatchArbiter* arbiter) { arbiter_ = arbiter; }
 
     /**
      * One gradient-accumulation step over @p micro_batches (Betty
@@ -155,6 +217,7 @@ class Trainer
     Optimizer& optimizer_;
     DeviceMemoryModel* device_;
     TransferModel* transfer_;
+    MicroBatchArbiter* arbiter_ = nullptr;
     bool pipeline_ = true;
 };
 

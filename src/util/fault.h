@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic fault injection for the fault-tolerant training
+ * runtime (docs/ROBUSTNESS.md).
+ *
+ * A FaultPlan is a schedule of failure events parsed from a compact
+ * spec string (the train_cli --faults flag / BETTY_FAULTS variable):
+ *
+ *   spec  := event (';' event)*
+ *   event := kind ['=' value] '@epoch' N ['.mb' M]
+ *            (':' key '=' value)*
+ *   kind  := oom | capacity-drop | transfer-fail | alloc-scale
+ *            | corrupt-features
+ *
+ * Examples:
+ *   oom@epoch2.mb1                 injected OOM in epoch 2's second
+ *                                  micro-batch
+ *   capacity-drop=0.5@epoch3       device capacity halves at the
+ *                                  start of epoch 3 (a co-tenant
+ *                                  grabbing memory)
+ *   transfer-fail@epoch1:retries=2 the next two transfer attempts in
+ *                                  epoch 1 fail (each retry still
+ *                                  pays the link latency)
+ *   alloc-scale=1.5@epoch2.mb0     the estimator under-predicted:
+ *                                  micro-batch 0 of epoch 2 actually
+ *                                  allocates 1.5x its estimate
+ *   corrupt-features=0.01@epoch1   1% of epoch 1's gathered feature
+ *                                  rows arrive as NaN garbage
+ *
+ * Every event fires exactly once (transfer-fail fires `retries`
+ * attempts), at a position fixed by the schedule, and the corrupt-row
+ * selection is a pure function of (plan seed, epoch) — so a test can
+ * assert the exact recovery behaviour and replay it bit-for-bit.
+ *
+ * The process-global Injector follows the obs::Metrics pattern: when
+ * no plan is installed every query is a cheap early-out, so fault-
+ * free runs pay one predictable branch per site and nothing else.
+ */
+#ifndef BETTY_UTIL_FAULT_H
+#define BETTY_UTIL_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace betty::fault {
+
+/** The failure modes the runtime can rehearse. */
+enum class FaultKind
+{
+    /** Report an OOM for one micro-batch regardless of real usage. */
+    InjectOom,
+
+    /** Shrink the device capacity by a factor (epoch- or mb-scoped). */
+    CapacityDrop,
+
+    /** Fail the next transfer attempt(s); each costs link latency. */
+    TransferFail,
+
+    /** Scale one micro-batch's actual allocations past the estimate
+     * (simulated estimator under-prediction). */
+    AllocScale,
+
+    /** Deliver a fraction of gathered feature rows as NaN garbage. */
+    CorruptFeatures,
+};
+
+/** Printable kind name (the spec keyword). */
+const char* faultKindName(FaultKind kind);
+
+/** One scheduled failure. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::InjectOom;
+
+    /** Epoch the event fires in (1-based, matching train_cli). */
+    int64_t epoch = 1;
+
+    /** Micro-batch within the epoch; -1 = epoch-scoped (fires before
+     * the first micro-batch). */
+    int64_t microBatch = -1;
+
+    /** Kind-dependent magnitude: capacity factor, allocation scale,
+     * or corrupt-row fraction. */
+    double value = 0.0;
+
+    /** TransferFail: how many consecutive attempts fail. */
+    int64_t retries = 1;
+};
+
+/** A parsed schedule plus the seed all stochastic choices key on. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+    uint64_t seed = 0;
+
+    /**
+     * Parse @p spec (grammar above) into @p plan. Returns false and
+     * fills @p error (if non-null) on malformed input; @p plan is
+     * left untouched on failure. An empty spec parses to an empty
+     * plan.
+     */
+    static bool parse(const std::string& spec, FaultPlan& plan,
+                      std::string* error = nullptr);
+};
+
+/**
+ * Process-global fault clock + event queue. The trainer advances the
+ * clock (beginEpoch/beginMicroBatch); injection sites issue one-shot
+ * consuming queries that fire when an unconsumed event matches the
+ * clock position. All entry points are thread-safe: transfer faults
+ * are consumed from pool workers under pipelining.
+ */
+class Injector
+{
+  public:
+    /** Install @p plan and reset the clock and all counters. */
+    static void install(FaultPlan plan);
+
+    /** Remove any installed plan (queries become no-ops). */
+    static void clear();
+
+    /** True when a non-empty plan is installed. */
+    static bool active();
+
+    /** @name Clock */
+    /** @{ */
+
+    /** Enter @p epoch (1-based); micro-batch position resets to -1
+     * (the epoch-scoped slot). */
+    static void beginEpoch(int64_t epoch);
+
+    /** Enter micro-batch @p index (0-based) of the current epoch. */
+    static void beginMicroBatch(int64_t index);
+
+    /** @} */
+
+    /** @name One-shot consuming queries */
+    /** @{ */
+
+    /** True if an InjectOom event fires at the clock position. */
+    static bool takeInjectedOom();
+
+    /** True (with the factor) if a CapacityDrop fires here. */
+    static bool takeCapacityDrop(double* factor);
+
+    /** True (with the scale) if an AllocScale fires here. */
+    static bool takeAllocScale(double* scale);
+
+    /** True while a TransferFail event has failed attempts left for
+     * the current epoch; call once per attempt. */
+    static bool takeTransferFailure();
+
+    /** True (with the row fraction) if a CorruptFeatures event fires
+     * at the current epoch's epoch-scoped slot. */
+    static bool takeCorruptFeatures(double* fraction);
+
+    /** @} */
+
+    /**
+     * The rows of an @p num_rows-row feature gather to corrupt for a
+     * @p fraction-sized corruption event: a sorted, duplicate-free
+     * index list, at least one row when fraction > 0. A pure function
+     * of (plan seed, current epoch, num_rows) — never of call order —
+     * via Rng::stream, so repair tests can recompute the exact set.
+     */
+    static std::vector<int64_t> corruptRowPlan(int64_t num_rows,
+                                               double fraction);
+
+    /** Total events consumed since install() (retries count each). */
+    static int64_t faultsInjected();
+
+    /** Consumed events of one kind (TransferFail counts attempts). */
+    static int64_t faultsInjected(FaultKind kind);
+};
+
+} // namespace betty::fault
+
+#endif // BETTY_UTIL_FAULT_H

@@ -172,6 +172,64 @@ TEST(DeviceMemory, CategoryScopeRoutesTensorAllocations)
     EXPECT_EQ(device.liveBytes(), 0);
 }
 
+TEST(DeviceMemory, UnmatchedFreeChargesOnlyFreedBytesToMetrics)
+{
+    // Regression: onFree used to charge the REQUESTED bytes to the
+    // device.free_bytes metric even when the live clamp meant fewer
+    // bytes were actually released, so cumulative free_bytes could
+    // exceed cumulative alloc_bytes.
+    MetricsEnabledScope metrics;
+    const int64_t freed_before =
+        obs::Metrics::counter("device.free_bytes").value();
+    DeviceMemoryModel device;
+    device.onAlloc(40);
+    device.onFree(100); // clamped: only 40 live bytes existed
+    EXPECT_EQ(obs::Metrics::counter("device.free_bytes").value() -
+                  freed_before,
+              40);
+    EXPECT_EQ(device.liveBytes(), 0);
+}
+
+TEST(DeviceMemory, SetCapacityTransitionsOomEpisodes)
+{
+    MetricsEnabledScope metrics;
+    const int64_t before = oomEventCount();
+    DeviceMemoryModel device(1000);
+    device.onAlloc(500);
+    EXPECT_EQ(device.oomEpisodeCount(), 0);
+
+    // A shrink below live usage is a NEW episode starting now.
+    device.setCapacity(300);
+    EXPECT_EQ(device.oomEpisodeCount(), 1);
+    EXPECT_EQ(oomEventCount() - before, 1);
+    EXPECT_TRUE(device.oomOccurred());
+    EXPECT_EQ(device.worstOvershoot(), 200);
+
+    // Growing back above live closes the episode...
+    device.setCapacity(800);
+    device.onAlloc(100); // 600 live, under 800: same non-episode
+    EXPECT_EQ(device.oomEpisodeCount(), 1);
+
+    // ...and a second shrink is a second episode, not a continuation.
+    device.setCapacity(300);
+    EXPECT_EQ(device.oomEpisodeCount(), 2);
+    EXPECT_EQ(oomEventCount() - before, 2);
+}
+
+TEST(DeviceMemory, OomEpisodeCountWorksWithMetricsDisabled)
+{
+    // EpochStats::oomEvents relies on the episode counter even when
+    // the metrics registry is off.
+    const bool was = obs::Metrics::enabled();
+    obs::Metrics::setEnabled(false);
+    DeviceMemoryModel device(100);
+    device.onAlloc(150);
+    device.onFree(150);
+    device.onAlloc(150);
+    EXPECT_EQ(device.oomEpisodeCount(), 2);
+    obs::Metrics::setEnabled(was);
+}
+
 TEST(DeviceMemory, OomEpisodesCountedPerEpisode)
 {
     MetricsEnabledScope metrics;

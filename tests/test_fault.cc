@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The deterministic fault-injection layer (util/fault.h): spec
+ * grammar, typed parse failures, the epoch/micro-batch clock,
+ * one-shot consumption semantics, and the pure-function corrupt-row
+ * plan.
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.h"
+
+namespace betty::fault {
+namespace {
+
+/** Every test leaves the process-global injector clean. */
+struct InjectorScope
+{
+    ~InjectorScope() { Injector::clear(); }
+};
+
+TEST(FaultPlanParse, FullGrammar)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+        "oom@epoch2.mb1;capacity-drop=0.5@epoch3;"
+        "transfer-fail@epoch1:retries=2;alloc-scale=1.5@epoch2.mb0;"
+        "corrupt-features=0.01@epoch1",
+        plan, &error))
+        << error;
+    ASSERT_EQ(plan.events.size(), 5u);
+
+    EXPECT_EQ(plan.events[0].kind, FaultKind::InjectOom);
+    EXPECT_EQ(plan.events[0].epoch, 2);
+    EXPECT_EQ(plan.events[0].microBatch, 1);
+
+    EXPECT_EQ(plan.events[1].kind, FaultKind::CapacityDrop);
+    EXPECT_EQ(plan.events[1].epoch, 3);
+    EXPECT_EQ(plan.events[1].microBatch, -1); // epoch-scoped
+    EXPECT_DOUBLE_EQ(plan.events[1].value, 0.5);
+
+    EXPECT_EQ(plan.events[2].kind, FaultKind::TransferFail);
+    EXPECT_EQ(plan.events[2].retries, 2);
+
+    EXPECT_EQ(plan.events[3].kind, FaultKind::AllocScale);
+    EXPECT_DOUBLE_EQ(plan.events[3].value, 1.5);
+    EXPECT_EQ(plan.events[3].microBatch, 0);
+
+    EXPECT_EQ(plan.events[4].kind, FaultKind::CorruptFeatures);
+    EXPECT_DOUBLE_EQ(plan.events[4].value, 0.01);
+}
+
+TEST(FaultPlanParse, EmptySpecIsEmptyPlan)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(FaultPlan::parse("", plan, nullptr));
+    EXPECT_TRUE(plan.events.empty());
+}
+
+TEST(FaultPlanParse, PlanUntouchedOnFailure)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("oom@epoch1", plan, nullptr));
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_FALSE(FaultPlan::parse("garbage", plan, nullptr));
+    EXPECT_EQ(plan.events.size(), 1u); // still the old plan
+}
+
+TEST(FaultPlanParse, TypedErrors)
+{
+    FaultPlan plan;
+    std::string error;
+
+    EXPECT_FALSE(FaultPlan::parse("oom", plan, &error));
+    EXPECT_NE(error.find("missing '@epochN'"), std::string::npos);
+
+    EXPECT_FALSE(FaultPlan::parse("explode@epoch1", plan, &error));
+    EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+
+    EXPECT_FALSE(FaultPlan::parse("oom@e1", plan, &error));
+    EXPECT_NE(error.find("must start with 'epoch'"),
+              std::string::npos);
+
+    EXPECT_FALSE(FaultPlan::parse("oom@epoch0", plan, &error));
+    EXPECT_NE(error.find("bad epoch number"), std::string::npos);
+
+    EXPECT_FALSE(FaultPlan::parse("oom@epoch1.mb-2", plan, &error));
+    EXPECT_NE(error.find("bad micro-batch index"), std::string::npos);
+
+    // Kind-specific value validation.
+    EXPECT_FALSE(
+        FaultPlan::parse("capacity-drop=1.5@epoch1", plan, &error));
+    EXPECT_NE(error.find("factor in (0, 1)"), std::string::npos);
+    EXPECT_FALSE(
+        FaultPlan::parse("capacity-drop@epoch1", plan, &error));
+    EXPECT_FALSE(
+        FaultPlan::parse("alloc-scale=0.9@epoch1", plan, &error));
+    EXPECT_NE(error.find("scale > 1"), std::string::npos);
+    EXPECT_FALSE(
+        FaultPlan::parse("corrupt-features=0@epoch1", plan, &error));
+    EXPECT_FALSE(FaultPlan::parse("oom=3@epoch1", plan, &error));
+    EXPECT_NE(error.find("takes no '=value'"), std::string::npos);
+
+    EXPECT_FALSE(FaultPlan::parse("transfer-fail@epoch1:retries=0",
+                                  plan, &error));
+    EXPECT_NE(error.find("bad retries"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::parse("transfer-fail@epoch1:bogus=2",
+                                  plan, &error));
+    EXPECT_NE(error.find("unknown modifier"), std::string::npos);
+}
+
+TEST(Injector, InactiveQueriesAreNoops)
+{
+    InjectorScope cleanup;
+    Injector::clear();
+    EXPECT_FALSE(Injector::active());
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0);
+    double value = 0.0;
+    EXPECT_FALSE(Injector::takeInjectedOom());
+    EXPECT_FALSE(Injector::takeCapacityDrop(&value));
+    EXPECT_FALSE(Injector::takeAllocScale(&value));
+    EXPECT_FALSE(Injector::takeTransferFailure());
+    EXPECT_FALSE(Injector::takeCorruptFeatures(&value));
+    EXPECT_EQ(Injector::faultsInjected(), 0);
+}
+
+TEST(Injector, FiresExactlyAtTheClockPosition)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("oom@epoch2.mb1", plan, nullptr));
+    Injector::install(plan);
+    ASSERT_TRUE(Injector::active());
+
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(1);
+    EXPECT_FALSE(Injector::takeInjectedOom()); // wrong epoch
+
+    Injector::beginEpoch(2);
+    EXPECT_FALSE(Injector::takeInjectedOom()); // epoch-scoped slot
+    Injector::beginMicroBatch(0);
+    EXPECT_FALSE(Injector::takeInjectedOom()); // wrong micro-batch
+    Injector::beginMicroBatch(1);
+    EXPECT_TRUE(Injector::takeInjectedOom()); // fires
+    EXPECT_FALSE(Injector::takeInjectedOom()); // one-shot: consumed
+    EXPECT_EQ(Injector::faultsInjected(), 1);
+    EXPECT_EQ(Injector::faultsInjected(FaultKind::InjectOom), 1);
+    EXPECT_EQ(Injector::faultsInjected(FaultKind::CapacityDrop), 0);
+}
+
+TEST(Injector, EpochScopedEventFiresBeforeMicroBatches)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse("capacity-drop=0.25@epoch1", plan, nullptr));
+    Injector::install(plan);
+
+    Injector::beginEpoch(1);
+    double factor = 0.0;
+    ASSERT_TRUE(Injector::takeCapacityDrop(&factor));
+    EXPECT_DOUBLE_EQ(factor, 0.25);
+    // Not again at a micro-batch position.
+    Injector::beginMicroBatch(0);
+    EXPECT_FALSE(Injector::takeCapacityDrop(&factor));
+}
+
+TEST(Injector, TransferFailConsumesPerAttempt)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("transfer-fail@epoch1:retries=2",
+                                 plan, nullptr));
+    Injector::install(plan);
+
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0);
+    EXPECT_TRUE(Injector::takeTransferFailure());
+    Injector::beginMicroBatch(1); // any micro-batch of the epoch
+    EXPECT_TRUE(Injector::takeTransferFailure());
+    EXPECT_FALSE(Injector::takeTransferFailure()); // retries spent
+    EXPECT_EQ(Injector::faultsInjected(FaultKind::TransferFail), 2);
+}
+
+TEST(Injector, ReinstallResetsConsumption)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("oom@epoch1.mb0", plan, nullptr));
+    Injector::install(plan);
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0);
+    ASSERT_TRUE(Injector::takeInjectedOom());
+
+    Injector::install(plan); // fresh clock, fresh queue
+    EXPECT_EQ(Injector::faultsInjected(), 0);
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0);
+    EXPECT_TRUE(Injector::takeInjectedOom());
+}
+
+TEST(Injector, CorruptRowPlanIsDeterministicPerEpoch)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse("corrupt-features=0.1@epoch1", plan, nullptr));
+    plan.seed = 77;
+    Injector::install(plan);
+
+    Injector::beginEpoch(1);
+    const auto first = Injector::corruptRowPlan(100, 0.1);
+    // Same position, same answer — independent of consumption state
+    // or how many times it is asked.
+    const auto again = Injector::corruptRowPlan(100, 0.1);
+    EXPECT_EQ(first, again);
+    ASSERT_EQ(first.size(), 10u);
+    // Sorted and duplicate-free, all in range.
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_GE(first[i], 0);
+        EXPECT_LT(first[i], 100);
+        if (i) {
+            EXPECT_LT(first[i - 1], first[i]);
+        }
+    }
+
+    // A different epoch corrupts a different (in general) set.
+    Injector::beginEpoch(2);
+    const auto other = Injector::corruptRowPlan(100, 0.1);
+    EXPECT_NE(first, other);
+
+    // At least one row even for a tiny fraction; empty for no rows.
+    Injector::beginEpoch(1);
+    EXPECT_EQ(Injector::corruptRowPlan(100, 0.0001).size(), 1u);
+    EXPECT_TRUE(Injector::corruptRowPlan(0, 0.5).empty());
+}
+
+} // namespace
+} // namespace betty::fault

@@ -4,6 +4,7 @@
  * of sampled full batches, artifact appendix A.4).
  */
 #include <cstdio>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +75,146 @@ TEST(DatasetIoDeathTest, WrongMagicIsFatal)
     EXPECT_EXIT(loadDataset(ds, path),
                 ::testing::ExitedWithCode(1), "not a Betty dataset");
     std::remove(path.c_str());
+}
+
+/** The corrupt-file corpus: every malformed input must come back as
+ * the right typed IoError from loadDatasetChecked, with the output
+ * dataset untouched — never UB, never a silent partial load. */
+class DatasetCorruption : public ::testing::Test
+{
+  protected:
+    static const Dataset&
+    pristine()
+    {
+        static Dataset ds = loadCatalogDataset("cora_like", 0.05, 11);
+        return ds;
+    }
+
+    /** Save a mutated copy of the pristine dataset and load it back
+     * checked, asserting the load fails with @p expected and leaves
+     * the destination dataset untouched. */
+    template <typename Mutate>
+    void
+    expectError(const std::string& name, Mutate mutate,
+                IoError expected)
+    {
+        Dataset broken = loadCatalogDataset("cora_like", 0.05, 11);
+        mutate(broken);
+        const std::string path = tmpPath(name);
+        ASSERT_TRUE(saveDataset(broken, path));
+
+        Dataset out = loadCatalogDataset("cora_like", 0.02, 3);
+        const int64_t nodes_before = out.numNodes();
+        const std::string name_before = out.name;
+        const IoStatus status = loadDatasetChecked(out, path);
+        std::remove(path.c_str());
+        EXPECT_EQ(status.error, expected)
+            << name << ": " << status.message;
+        EXPECT_FALSE(status.message.empty());
+        // Failed loads must not leave a partial object behind.
+        EXPECT_EQ(out.numNodes(), nodes_before) << name;
+        EXPECT_EQ(out.name, name_before) << name;
+    }
+};
+
+TEST_F(DatasetCorruption, NanFeatureIsCorruptValues)
+{
+    expectError(
+        "nan_feature.bin",
+        [](Dataset& ds) {
+            ds.features.data()[ds.features.numel() / 2] =
+                std::numeric_limits<float>::quiet_NaN();
+        },
+        IoError::CorruptValues);
+}
+
+TEST_F(DatasetCorruption, InfFeatureIsCorruptValues)
+{
+    expectError(
+        "inf_feature.bin",
+        [](Dataset& ds) {
+            ds.features.data()[0] =
+                std::numeric_limits<float>::infinity();
+        },
+        IoError::CorruptValues);
+}
+
+TEST_F(DatasetCorruption, LabelPastNumClassesIsOutOfRange)
+{
+    expectError(
+        "bad_label.bin",
+        [](Dataset& ds) { ds.labels[0] = ds.numClasses + 5; },
+        IoError::OutOfRange);
+}
+
+TEST_F(DatasetCorruption, NegativeLabelIsOutOfRange)
+{
+    expectError(
+        "negative_label.bin",
+        [](Dataset& ds) { ds.labels[ds.labels.size() / 2] = -2; },
+        IoError::OutOfRange);
+}
+
+TEST_F(DatasetCorruption, SplitNodePastGraphIsOutOfRange)
+{
+    expectError(
+        "bad_split.bin",
+        [](Dataset& ds) { ds.trainNodes[0] = ds.numNodes() + 3; },
+        IoError::OutOfRange);
+}
+
+TEST_F(DatasetCorruption, TruncatedFilesAtEveryQuarter)
+{
+    // A valid file cut at 1/4, 1/2, and 3/4 must always surface as a
+    // typed error (Truncated, or CorruptValues when the cut lands
+    // inside a validated structure), never as a crash or partial load.
+    const std::string path = tmpPath("full.bin");
+    ASSERT_TRUE(saveDataset(pristine(), path));
+    std::string bytes;
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buffer[1 << 12];
+        size_t got;
+        while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+            bytes.append(buffer, got);
+        std::fclose(f);
+    }
+    std::remove(path.c_str());
+    ASSERT_GT(bytes.size(), 16u);
+
+    for (int quarter = 1; quarter <= 3; ++quarter) {
+        const std::string cut_path =
+            tmpPath("cut" + std::to_string(quarter) + ".bin");
+        {
+            std::FILE* f = std::fopen(cut_path.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            const size_t keep = bytes.size() * size_t(quarter) / 4;
+            std::fwrite(bytes.data(), 1, keep, f);
+            std::fclose(f);
+        }
+        Dataset out;
+        const IoStatus status = loadDatasetChecked(out, cut_path);
+        std::remove(cut_path.c_str());
+        EXPECT_FALSE(status.ok()) << "cut at quarter " << quarter;
+        EXPECT_TRUE(status.error == IoError::Truncated ||
+                    status.error == IoError::CorruptValues)
+            << "cut at quarter " << quarter << ": "
+            << ioErrorName(status.error);
+        EXPECT_EQ(out.numNodes(), 0) << "partial load leaked through";
+    }
+}
+
+TEST_F(DatasetCorruption, CheckedLoaderAcceptsThePristineFile)
+{
+    const std::string path = tmpPath("pristine.bin");
+    ASSERT_TRUE(saveDataset(pristine(), path));
+    Dataset out;
+    const IoStatus status = loadDatasetChecked(out, path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(status.ok()) << status.message;
+    EXPECT_EQ(out.numNodes(), pristine().numNodes());
+    EXPECT_EQ(out.labels, pristine().labels);
 }
 
 TEST(BatchIo, RoundTripPreservesBlocks)

@@ -196,6 +196,134 @@ TEST(PlannerGeometric, ImpossibleBudgetReportsNoFit)
     EXPECT_FALSE(plan.fits);
 }
 
+/** A partitioner with a deliberately pathological K: for one chosen
+ * K it dumps almost every output into group 0 (worst micro-batch ≈
+ * the whole batch), everywhere else it splits round-robin. Worst-case
+ * memory is therefore NON-monotone in K, which is the regime the
+ * planner's searches must survive. */
+class SpitefulPartitioner : public OutputPartitioner
+{
+  public:
+    explicit SpitefulPartitioner(int32_t bad_k) : bad_k_(bad_k) {}
+
+    std::vector<std::vector<int64_t>>
+    partition(const MultiLayerBatch& batch, int32_t k) override
+    {
+        const auto outputs = batch.outputNodes();
+        std::vector<std::vector<int64_t>> groups;
+        groups.resize(size_t(k));
+        if (k == bad_k_) {
+            // One token output per minor group, the rest in group 0.
+            for (size_t i = 0; i < outputs.size(); ++i) {
+                const size_t g = i < size_t(k) - 1 ? i + 1 : 0;
+                groups[g].push_back(outputs[i]);
+            }
+        } else {
+            for (size_t i = 0; i < outputs.size(); ++i)
+                groups[i % size_t(k)].push_back(outputs[i]);
+        }
+        return groups;
+    }
+
+    std::string name() const override { return "spiteful"; }
+
+  private:
+    int32_t bad_k_;
+};
+
+TEST(Planner, ExhaustionAtMaxKIsReportedNotFatal)
+{
+    Env env;
+    // Parameters alone exceed this budget: no K can ever fit. The
+    // caller (the resilient trainer's skip-with-report path) relies
+    // on getting a well-formed "no" back rather than a crash.
+    MemoryAwarePlanner planner(env.spec, 1000);
+    BettyPartitioner part;
+    const auto plan = planner.plan(env.full, part, 1, 8);
+    EXPECT_FALSE(plan.fits);
+    EXPECT_EQ(plan.k, 8) << "stops exactly at max_k";
+    EXPECT_GE(plan.attempts, 8);
+    ASSERT_EQ(plan.microBatches.size(), 8u)
+        << "the last attempted plan is still returned";
+    EXPECT_EQ(plan.estimates.size(), plan.microBatches.size());
+    for (const auto& est : plan.estimates)
+        EXPECT_GT(est.peak, 1000) << "every piece really is too big";
+}
+
+TEST(Planner, SetCapacityRetargetsTheSearch)
+{
+    Env env;
+    const auto full_est = estimateBatchMemory(env.full, env.spec);
+    MemoryAwarePlanner planner(env.spec, full_est.peak + 1);
+    BettyPartitioner part;
+    EXPECT_EQ(planner.plan(env.full, part).k, 1);
+
+    // The resilient trainer calls this after a capacity-drop fault:
+    // the same planner must now split.
+    planner.setCapacity(full_est.peak / 2);
+    EXPECT_EQ(planner.capacity(), full_est.peak / 2);
+    const auto tight = planner.plan(env.full, part);
+    ASSERT_TRUE(tight.fits);
+    EXPECT_GT(tight.k, 1);
+    EXPECT_LE(tight.maxEstimatedPeak, full_est.peak / 2);
+
+    planner.setCapacity(0);
+    EXPECT_EQ(planner.plan(env.full, part).k, 1)
+        << "back to unlimited";
+}
+
+TEST(Planner, LinearSearchSurvivesNonMonotoneWorstCase)
+{
+    Env env;
+    constexpr int32_t kBadK = 4;
+    SpitefulPartitioner part(kBadK);
+
+    // Probe the worst-case estimate at a few fixed K (capacity 0
+    // accepts the initial K, so plan(k, 0) is "partition at exactly
+    // k and estimate").
+    MemoryAwarePlanner probe(env.spec, 0);
+    const int64_t worst_at_3 =
+        probe.plan(env.full, part, 3).maxEstimatedPeak;
+    const int64_t worst_at_4 =
+        probe.plan(env.full, part, kBadK).maxEstimatedPeak;
+    ASSERT_GT(worst_at_4, worst_at_3)
+        << "the stub must make worst-case memory non-monotone";
+
+    // Fits at K=3 but NOT at K=4: a search that assumed monotonicity
+    // and stopped at the first non-fitting K above a fitting one (or
+    // started above it) would fail here.
+    MemoryAwarePlanner planner(env.spec, worst_at_3);
+    const auto from_low = planner.plan(env.full, part);
+    ASSERT_TRUE(from_low.fits);
+    EXPECT_LE(from_low.k, 3);
+    EXPECT_NE(from_low.k, kBadK);
+
+    // Starting the search AT the pathological K (exactly what a
+    // re-plan at K+1 can do) must step over it, not give up.
+    const auto from_bad = planner.plan(env.full, part, kBadK);
+    ASSERT_TRUE(from_bad.fits);
+    EXPECT_GT(from_bad.k, kBadK);
+    EXPECT_LE(from_bad.maxEstimatedPeak, worst_at_3);
+}
+
+TEST(PlannerGeometric, NonMonotoneWorstCaseStillFindsAFit)
+{
+    Env env;
+    constexpr int32_t kBadK = 4;
+    SpitefulPartitioner part(kBadK);
+    MemoryAwarePlanner probe(env.spec, 0);
+    const int64_t worst_at_3 =
+        probe.plan(env.full, part, 3).maxEstimatedPeak;
+
+    // The geometric search may probe the pathological K and settle
+    // above the strict minimum, but whatever it returns must fit.
+    MemoryAwarePlanner planner(env.spec, worst_at_3);
+    const auto fast = planner.planGeometric(env.full, part);
+    ASSERT_TRUE(fast.fits);
+    EXPECT_LE(fast.maxEstimatedPeak, worst_at_3);
+    EXPECT_GE(fast.k, 2);
+}
+
 TEST(BettyFacade, PlanFastFitsBudget)
 {
     Env env;

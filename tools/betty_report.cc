@@ -15,8 +15,10 @@
  * `print` renders the report's epochs and per-category Table 3
  * breakdown as aligned tables. `check` validates the report's
  * internal consistency (schema version, category sums vs. totals,
- * residual arithmetic) — the acceptance contract of the memory
- * profiler. `diff` compares two reports and exits non-zero when the
+ * residual arithmetic, and — when a recovery section is present —
+ * that fault-free runs performed zero recovery actions) — the
+ * acceptance contract of the memory profiler and the fault-tolerant
+ * runtime. `diff` compares two reports and exits non-zero when the
  * candidate regresses past any threshold, refusing to compare
  * artifacts with mismatched schema versions.
  *
@@ -207,6 +209,35 @@ printReport(const std::string& path, const JsonValue& doc)
         {"OOM events", TablePrinter::count((long long)summaryNumber(
                            doc, "oom_events", 0))});
     summary.print();
+
+    // Optional recovery section (fault-tolerant runtime runs).
+    if (const JsonValue* recovery = doc.find("recovery")) {
+        auto field = [&](const char* key) -> long long {
+            const JsonValue* value = recovery->find(key);
+            return value && value->isNumber()
+                       ? (long long)value->asInt()
+                       : 0;
+        };
+        const JsonValue* active = recovery->find("faults_active");
+        TablePrinter table("recovery");
+        table.setHeader({"metric", "value"});
+        table.addRow({"faults active",
+                      active && active->boolean ? "yes" : "no"});
+        table.addRow({"faults injected",
+                      TablePrinter::count(field("faults_injected"))});
+        table.addRow(
+            {"re-plans", TablePrinter::count(field("replans"))});
+        table.addRow(
+            {"OOM retries", TablePrinter::count(field("oom_retries"))});
+        table.addRow({"transfer retries",
+                      TablePrinter::count(field("transfer_retries"))});
+        table.addRow({"batches skipped",
+                      TablePrinter::count(field("batches_skipped"))});
+        table.addRow({"corrupt rows repaired",
+                      TablePrinter::count(
+                          field("corrupt_rows_repaired"))});
+        table.print();
+    }
     return 0;
 }
 
@@ -325,6 +356,29 @@ checkReport(const JsonValue& doc)
         residuals ? residuals->find("entries") : nullptr;
     if (!entries || !entries->isArray() || entries->array.empty())
         violation("estimator_residuals.entries is missing or empty");
+
+    // A fault-free run must not have recovered from anything:
+    // non-zero recovery counters without an installed fault plan mean
+    // the runtime silently re-planned or retried — behaviour that is
+    // supposed to be bit-identical to the plain trainer.
+    if (const JsonValue* recovery = doc.find("recovery")) {
+        const JsonValue* active = recovery->find("faults_active");
+        if (!active || !active->isBool()) {
+            violation("recovery.faults_active is missing");
+        } else if (!active->boolean) {
+            static const char* const counters[] = {
+                "replans",          "oom_retries",
+                "transfer_retries", "batches_skipped",
+                "corrupt_rows_repaired", "faults_injected"};
+            for (const char* key : counters) {
+                const JsonValue* value = recovery->find(key);
+                if (value && value->asInt() != 0)
+                    violation("recovery." + std::string(key) + " = " +
+                              std::to_string(value->asInt()) +
+                              " in a fault-free run");
+            }
+        }
+    }
 
     if (check_failures) {
         std::fprintf(stderr, "betty_report: %d check failure(s)\n",
