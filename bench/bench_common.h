@@ -18,6 +18,12 @@
  *                      preparation (default 1 = serial). Results are
  *                      bit-identical for any value; only wall-clock
  *                      changes. Benches also accept --threads=N.
+ *   BETTY_CACHE_GIB    feature-cache reservation for the cache-aware
+ *                      sweeps (default 0.05 GiB; docs/CACHING.md).
+ *                      Benches also accept --cache-gib=X.
+ *   BETTY_CACHE_POLICY feature-cache replacement policy ("lru",
+ *                      "lru-pinned"; default lru). Also
+ *                      --cache-policy=NAME.
  */
 #ifndef BETTY_BENCH_BENCH_COMMON_H
 #define BETTY_BENCH_BENCH_COMMON_H
@@ -30,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/feature_cache.h"
 #include "core/betty.h"
 #include "data/catalog.h"
 #include "memory/device_memory.h"
@@ -65,6 +72,28 @@ deviceCapacityBytes()
     if (const char* env = std::getenv("BETTY_DEVICE_GIB"))
         gib_value = std::atof(env);
     return gib(gib_value);
+}
+
+/** BETTY_CACHE_GIB as bytes (default 0.05 GiB): the feature-cache
+ * reservation the cache-aware sweeps carve out of the device. */
+inline int64_t
+cacheCapacityBytes()
+{
+    double gib_value = 0.05;
+    if (const char* env = std::getenv("BETTY_CACHE_GIB"))
+        gib_value = std::atof(env);
+    return gib(gib_value);
+}
+
+/** BETTY_CACHE_POLICY (default pure LRU). */
+inline CachePolicy
+cachePolicy()
+{
+    CachePolicy policy = CachePolicy::Lru;
+    if (const char* env = std::getenv("BETTY_CACHE_POLICY"))
+        if (!parseCachePolicy(env, &policy))
+            fatal("unknown BETTY_CACHE_POLICY '", env, "'");
+    return policy;
 }
 
 /** Load a catalog dataset at bench scale (base further scalable). */
@@ -119,6 +148,9 @@ toMiB(int64_t bytes)
  *   --trace-out=FILE / BETTY_TRACE_OUT=FILE    Chrome trace JSON
  *   --metrics-out=FILE / BETTY_METRICS_OUT=FILE  metrics snapshot
  *   --threads=N / BETTY_THREADS=N   global ThreadPool lanes
+ *   --cache-gib=X / --cache-policy=NAME  feature-cache knobs
+ *     (forwarded to the BETTY_CACHE_* variables read by
+ *     cacheCapacityBytes()/cachePolicy())
  *
  * Recognized flags are removed from argc/argv so they never reach
  * google-benchmark's (strict) flag parser. With neither flag nor
@@ -171,6 +203,10 @@ class ObsSession
                 metrics_out_ = arg + 14;
             else if (std::strncmp(arg, "--threads=", 10) == 0)
                 threads_ = std::atoi(arg + 10);
+            else if (std::strncmp(arg, "--cache-gib=", 12) == 0)
+                setenv("BETTY_CACHE_GIB", arg + 12, 1);
+            else if (std::strncmp(arg, "--cache-policy=", 15) == 0)
+                setenv("BETTY_CACHE_POLICY", arg + 15, 1);
             else
                 argv[kept++] = argv[i];
         }

@@ -113,11 +113,66 @@ main(int argc, char** argv)
         table.print();
     }
 
+    // Transfer-seconds saved as a function of cache size and K: the
+    // same trained epochs with a FeatureCache between the gather and
+    // the TransferModel (betty partitioning, 2 epochs so the second
+    // epoch hits rows the first inserted). Numerics are bit-identical
+    // to the uncached rows above; only bytes moved change.
+    {
+        const int64_t row_bytes =
+            ds.featureDim() * int64_t(sizeof(float));
+        TablePrinter table("transfer seconds vs cache size "
+                           "(betty partitioner, 2 epochs)");
+        table.setHeader({"K", "cache_gib", "transfer_s", "saved_mib",
+                         "hit_rate_%"});
+        for (int32_t k : {4, 16}) {
+            auto part = makePartitioner("betty", ds.graph);
+            const auto micros =
+                extractMicroBatches(full, part->partition(full, k));
+            for (double cache_gib : {0.0, 0.01, 0.05}) {
+                GraphSage model(cfg);
+                Adam adam(model.parameters(), 0.01f);
+                TransferModel transfer;
+                DeviceMemoryModel device(deviceCapacityBytes());
+                Trainer trainer(ds, model, adam, &device, &transfer);
+                std::unique_ptr<FeatureCache> cache;
+                if (cache_gib > 0.0) {
+                    cache = std::make_unique<FeatureCache>(
+                        &device, gib(cache_gib), row_bytes,
+                        cachePolicy());
+                    trainer.setFeatureCache(cache.get());
+                }
+                double transfer_s = 0.0;
+                for (int epoch = 0; epoch < 2; ++epoch)
+                    transfer_s +=
+                        trainer.trainMicroBatches(micros)
+                            .transferSeconds;
+                const FeatureCacheStats stats =
+                    cache ? cache->stats() : FeatureCacheStats{};
+                const int64_t rows = stats.hits + stats.misses;
+                table.addRow(
+                    {std::to_string(k), TablePrinter::num(cache_gib, 3),
+                     TablePrinter::num(transfer_s, 4),
+                     TablePrinter::num(toMiB(stats.bytesSaved), 2),
+                     TablePrinter::num(
+                         rows ? 100.0 * double(stats.hits) /
+                                    double(rows)
+                              : 0.0,
+                         1)});
+            }
+        }
+        table.print();
+    }
+
     std::printf("\nShape targets: time grows with K for every "
                 "partitioner (redundancy + lower efficiency); betty "
                 "is the fastest column at every K (paper: 20.6-22.9%% "
                 "better compute efficiency). With >= 2 cores the "
                 "pipelined sweep overlaps the feature gather with "
-                "compute, shrinking wall-clock at identical stats.\n");
+                "compute, shrinking wall-clock at identical stats. "
+                "In the cache sweep transfer_s falls as cache_gib "
+                "grows (never rises: LRU stack inclusion), with the "
+                "epoch-2 re-reads fully absorbed once the working set "
+                "fits.\n");
     return 0;
 }

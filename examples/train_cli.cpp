@@ -10,6 +10,7 @@
  *               [--lr F] [--budget-mib N] [--devices N]
  *               [--partitioner betty|metis|random|range] [--warm]
  *               [--threads N] [--no-pipeline]
+ *               [--cache-gib F] [--cache-policy lru|lru-pinned]
  *               [--data-cache FILE] [--trace-out=FILE]
  *               [--metrics-out=FILE] [--memprof-out=FILE]
  *               [--faults SPEC] [--fault-seed N]
@@ -27,6 +28,16 @@
  * writes a resumable checkpoint every --checkpoint-every epochs
  * (and after the last); --resume restores one and continues
  * bit-identically to an uninterrupted run.
+ *
+ * --cache-gib F reserves F GiB of the device as a feature cache
+ * (docs/CACHING.md): input rows already resident are not re-charged
+ * to the transfer model, so duplicated/hot nodes cross the simulated
+ * PCIe link once instead of once per micro-batch. Numerics are
+ * bit-identical with and without the cache; only transfer
+ * bytes/seconds change. --cache-policy picks pure LRU or LRU with a
+ * pinned hot set of top-out-degree nodes. The reservation is real:
+ * the planner and the OOM recovery loop treat it as unavailable to
+ * training tensors, and recovery releases it before skipping work.
  *
  * --threads N sizes the global ThreadPool used by batch preparation
  * (parallel REG construction, parallel neighbor sampling) and by the
@@ -58,6 +69,7 @@
 #include <cstring>
 #include <string>
 
+#include "cache/feature_cache.h"
 #include "core/betty.h"
 #include "data/catalog.h"
 #include "data/io.h"
@@ -99,6 +111,10 @@ struct Args
     int32_t threads = 0;
     /** Disable transfer-compute pipelining in the trainer. */
     bool no_pipeline = false;
+    /** Feature-cache reservation in GiB (0 = no cache). */
+    double cache_gib = 0.0;
+    /** Feature-cache replacement policy. */
+    std::string cache_policy = "lru";
     /** Cache file for the generated dataset (gen_data.sh analog):
      * loaded if it exists, otherwise written after generation. */
     std::string data_cache;
@@ -190,6 +206,12 @@ parseArgs(int argc, char** argv)
             args.threads = std::atoi(next());
         } else if (flag == "--no-pipeline") {
             args.no_pipeline = true;
+        } else if (flag == "--cache-gib") {
+            args.cache_gib = std::atof(next());
+            if (args.cache_gib < 0.0)
+                fatal("--cache-gib must be non-negative");
+        } else if (flag == "--cache-policy") {
+            args.cache_policy = next();
         } else if (flag == "--data-cache") {
             args.data_cache = next();
         } else if (flag == "--trace-out") {
@@ -379,6 +401,55 @@ main(int argc, char** argv)
     Trainer trainer(ds, *model, adam, &device, &transfer);
     if (args.no_pipeline)
         trainer.setPipeline(false);
+
+    // Feature cache: a reservation carved out of the device budget
+    // that keeps hot/duplicated input rows from re-crossing the link
+    // every micro-batch. Single-device only — the multi-device
+    // trainer has per-device memory models this cache knows nothing
+    // about.
+    CachePolicy cache_policy = CachePolicy::Lru;
+    if (!parseCachePolicy(args.cache_policy, &cache_policy))
+        fatal("unknown --cache-policy '", args.cache_policy, "'");
+    std::unique_ptr<FeatureCache> cache;
+    if (args.cache_gib > 0.0) {
+        if (args.devices > 1) {
+            warn("--cache-gib applies only to single-device "
+                 "training; --devices ", args.devices,
+                 " runs uncached");
+        } else {
+            cache = std::make_unique<FeatureCache>(
+                &device, gib(args.cache_gib),
+                ds.featureDim() * int64_t(sizeof(float)),
+                cache_policy);
+            if (cache_policy == CachePolicy::LruPinned) {
+                // Pin the highest-out-degree nodes: they feed the
+                // most destinations, so they recur in the most
+                // micro-batches. Deterministic order: degree
+                // descending, node id ascending.
+                std::vector<int64_t> hot(size_t(ds.numNodes()));
+                for (int64_t n = 0; n < ds.numNodes(); ++n)
+                    hot[size_t(n)] = n;
+                std::stable_sort(
+                    hot.begin(), hot.end(),
+                    [&](int64_t a, int64_t b) {
+                        return ds.graph.outDegree(a) >
+                               ds.graph.outDegree(b);
+                    });
+                // Pin at most half the capacity so the LRU side keeps
+                // room for the current micro-batch's working set.
+                const int64_t pin_rows = cache->capacityRows() / 2;
+                hot.resize(size_t(
+                    std::min<int64_t>(pin_rows, ds.numNodes())));
+                cache->pin(hot);
+            }
+            trainer.setFeatureCache(cache.get());
+            inform("feature cache: ", cache->capacityRows(),
+                   " rows (", TablePrinter::num(args.cache_gib, 3),
+                   " GiB, policy ", cachePolicyName(cache_policy),
+                   ", ", cache->pinnedRows(), " pinned)");
+        }
+    }
+
     RecoveryPolicy recovery_policy;
     recovery_policy.reactToActualOom = args.recover_on_oom;
     ResilientTrainer resilient(trainer, model->memorySpec(),
@@ -386,6 +457,7 @@ main(int argc, char** argv)
                                args.devices == 1 ? &device : nullptr,
                                recovery_policy);
     resilient.setFeatureSource(&ds.features);
+    resilient.setFeatureCache(cache.get());
     MultiDeviceConfig multi_config;
     multi_config.numDevices = args.devices;
     multi_config.deviceCapacityBytes = budget;
@@ -419,6 +491,10 @@ main(int argc, char** argv)
     report.setConfig("partitioner", args.partitioner);
     report.setConfig("threads",
                      std::to_string(ThreadPool::globalThreads()));
+    report.setConfig("cache_gib", std::to_string(args.cache_gib));
+    report.setConfig("cache_policy",
+                     cache ? cachePolicyName(cache->policy())
+                           : "none");
     if (!fault_spec.empty())
         report.setConfig("faults", fault_spec);
 
@@ -572,6 +648,21 @@ main(int argc, char** argv)
             obs::Metrics::counter("transfer.bytes").value());
         report.setOomEvents(
             obs::Metrics::counter("device.oom_events").value());
+        obs::RunReportCache cache_section;
+        if (cache) {
+            const FeatureCacheStats cache_stats = cache->stats();
+            cache_section.enabled = true;
+            cache_section.policy = cachePolicyName(cache->policy());
+            cache_section.capacityBytes = gib(args.cache_gib);
+            cache_section.reservedBytes = cache->reservedBytes();
+            cache_section.hits = cache_stats.hits;
+            cache_section.misses = cache_stats.misses;
+            cache_section.bytesSaved = cache_stats.bytesSaved;
+            cache_section.evictions = cache_stats.evictions;
+            cache_section.releases = cache_stats.releases;
+            cache_section.releasedBytes = cache_stats.releasedBytes;
+        }
+        report.setCache(cache_section);
         const RecoveryReport& recovered = resilient.report();
         obs::RunReportRecovery recovery;
         recovery.replans = recovered.replans;

@@ -110,7 +110,9 @@ MemoryAwarePlanner::evaluateK(const MultiLayerBatch& full,
         worst = std::max(worst, result.estimates.back().peak);
     }
     result.maxEstimatedPeak = worst;
-    result.fits = capacity_ <= 0 || worst <= capacity_;
+    // Standing reservations (the feature cache) shrink the memory a
+    // micro-batch may actually use below the nameplate capacity.
+    result.fits = capacity_ <= 0 || worst + reserved_ <= capacity_;
     return result;
 }
 

@@ -136,6 +136,21 @@ class MemoryAwarePlanner
     int64_t capacity() const { return capacity_; }
 
     /**
+     * Bytes carved out of the device by standing reservations — the
+     * feature cache (cache/feature_cache.h) — that training tensors
+     * can never use. The fit check becomes
+     * `worst_peak + reserved <= capacity`, so planning with a cache
+     * installed picks a K whose micro-batches fit the memory that is
+     * actually available, not the nameplate capacity.
+     */
+    void setReservedBytes(int64_t reserved_bytes)
+    {
+        reserved_ = reserved_bytes;
+    }
+
+    int64_t reservedBytes() const { return reserved_; }
+
+    /**
      * Size K and produce the micro-batches using @p partitioner.
      * @param max_k Safety bound on the search.
      */
@@ -164,6 +179,7 @@ class MemoryAwarePlanner
 
     GnnSpec spec_;
     int64_t capacity_;
+    int64_t reserved_ = 0;
 };
 
 /** Top-level configuration of the Betty facade. */

@@ -232,6 +232,10 @@ componentBytes(const MemoryEstimate& estimate, obs::MemCategory category)
         return estimate.gradients + estimate.backwardBuffers;
       case obs::MemCategory::OptimizerState:
         return estimate.optimizerStates;
+      case obs::MemCategory::FeatureCache:
+        // The cache reservation is a fixed carve-out charged at cache
+        // construction, not a per-micro-batch working-set component.
+        return 0;
       case obs::MemCategory::Uncategorized:
         return 0;
     }

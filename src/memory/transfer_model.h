@@ -68,6 +68,18 @@ class TransferModel
         }
     }
 
+    /**
+     * Record @p bytes that a transfer did NOT have to move because
+     * the feature cache already held the rows. Pure bookkeeping — no
+     * time is charged — kept here so every consumer (run report,
+     * benches, tests) prices savings identically.
+     */
+    void
+    noteSavedBytes(int64_t bytes)
+    {
+        saved_bytes_ += bytes;
+    }
+
     double seconds() const { return seconds_; }
     int64_t totalBytes() const { return total_bytes_; }
     int64_t numTransfers() const { return num_transfers_; }
@@ -75,6 +87,11 @@ class TransferModel
     /** Lifetime count of failed attempts — survives reset(), which
      * only re-arms the per-epoch accumulators. */
     int64_t failedAttempts() const { return failed_attempts_; }
+
+    /** Lifetime bytes the feature cache kept off the link — like
+     * failedAttempts(), survives reset() so run-report deltas are
+     * not skewed by the per-epoch re-arm. */
+    int64_t savedBytes() const { return saved_bytes_; }
 
     void
     reset()
@@ -91,6 +108,7 @@ class TransferModel
     int64_t total_bytes_ = 0;
     int64_t num_transfers_ = 0;
     int64_t failed_attempts_ = 0;
+    int64_t saved_bytes_ = 0;
 };
 
 } // namespace betty

@@ -24,7 +24,8 @@ thread_local CategoryStack tls_stack;
 const char* const kCategoryNames[kMemCategoryCount] = {
     "parameters",    "input_features", "labels",
     "blocks",        "hidden",         "aggregator",
-    "gradients",     "optimizer_state", "uncategorized",
+    "gradients",     "optimizer_state", "feature_cache",
+    "uncategorized",
 };
 
 } // namespace

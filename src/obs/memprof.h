@@ -42,11 +42,12 @@ enum class MemCategory : uint8_t {
     Aggregator = 5,    ///< (6) aggregator intermediates (Eq. 5)
     Gradients = 6,     ///< (7) gradients + backward buffers
     OptimizerState = 7,///< (8) optimizer state (Adam m/v)
-    Uncategorized = 8, ///< allocations outside any scope
+    FeatureCache = 8,  ///< device-resident feature-cache reservation
+    Uncategorized = 9, ///< allocations outside any scope
 };
 
 /** Number of categories, including Uncategorized. */
-constexpr size_t kMemCategoryCount = 9;
+constexpr size_t kMemCategoryCount = 10;
 
 /** Snake_case category name used in JSON exports and trace args. */
 const char* memCategoryName(MemCategory category);

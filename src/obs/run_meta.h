@@ -25,9 +25,11 @@ namespace betty::obs {
  *
  * History: 1 = PR 1 trace/metrics layout (implicit, no version
  * field); 2 = adds schema_version + meta everywhere, memory_profile
- * in the metrics snapshot, counter events in the trace.
+ * in the metrics snapshot, counter events in the trace; 3 = adds the
+ * feature_cache memory category (renumbering uncategorized) and the
+ * "cache" run-report section.
  */
-constexpr int64_t kObsSchemaVersion = 2;
+constexpr int64_t kObsSchemaVersion = 3;
 
 /** Register one run-metadata key (e.g. "dataset", "config.k").
  * Later writes to the same key overwrite. */

@@ -151,6 +151,24 @@ RunReport::toJson() const
         out += "},\n";
     }
 
+    out += "  \"cache\": {";
+    out += "\"enabled\": ";
+    out += cache_.enabled ? "true" : "false";
+    out += ", \"policy\": \"";
+    appendJsonEscaped(out, cache_.policy);
+    out += "\", \"capacity_bytes\": " +
+           std::to_string(cache_.capacityBytes);
+    out += ", \"reserved_bytes\": " +
+           std::to_string(cache_.reservedBytes);
+    out += ", \"hits\": " + std::to_string(cache_.hits);
+    out += ", \"misses\": " + std::to_string(cache_.misses);
+    out += ", \"bytes_saved\": " + std::to_string(cache_.bytesSaved);
+    out += ", \"evictions\": " + std::to_string(cache_.evictions);
+    out += ", \"releases\": " + std::to_string(cache_.releases);
+    out += ", \"released_bytes\": " +
+           std::to_string(cache_.releasedBytes);
+    out += "},\n";
+
     out += "  \"memory_profile\": " + memProfiler().toJson() + ",\n";
     out += "  \"estimator_residuals\": " + residuals().toJson() + ",\n";
 

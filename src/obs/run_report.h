@@ -59,6 +59,32 @@ struct RunReportRecovery
 };
 
 /**
+ * The run's feature-cache activity (cache/feature_cache.h).
+ * ALWAYS serialized (schema v3): an uncached run carries the section
+ * with enabled=false and all counters zero, which betty_report's
+ * check mode enforces — a cache must never move bytes it was not
+ * configured to have.
+ */
+struct RunReportCache
+{
+    /** True when --cache-gib > 0 configured a cache for the run. */
+    bool enabled = false;
+
+    /** Replacement policy name ("lru", "lru-pinned"; "none" when
+     * disabled). */
+    std::string policy = "none";
+
+    int64_t capacityBytes = 0; ///< configured reservation
+    int64_t reservedBytes = 0; ///< reservation still held at exit
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t bytesSaved = 0;
+    int64_t evictions = 0;
+    int64_t releases = 0;      ///< shrink/release events (OOM replan)
+    int64_t releasedBytes = 0;
+};
+
+/**
  * Collects one run's facts and serializes them as the run-report
  * JSON. The memory_profile and estimator_residuals sections are
  * pulled from the process-wide collectors at toJson() time.
@@ -113,6 +139,9 @@ class RunReport
         hasRecovery_ = true;
     }
 
+    /** Fill the (always-emitted) cache section. */
+    void setCache(const RunReportCache& cache) { cache_ = cache; }
+
     /** The complete report as a JSON document. */
     std::string toJson() const;
 
@@ -138,6 +167,7 @@ class RunReport
     double totalTransferSeconds_ = 0.0;
     RunReportRecovery recovery_;
     bool hasRecovery_ = false;
+    RunReportCache cache_;
 };
 
 } // namespace betty::obs

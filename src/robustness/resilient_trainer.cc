@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "cache/feature_cache.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -76,10 +77,13 @@ class RecoveryArbiter : public MicroBatchArbiter
         // micro-batch's estimated peak fits the capacity it planned
         // against; if the capacity has shrunk since, refuse BEFORE
         // charging anything — that is the whole point of planning
-        // analytically instead of trying on-device.
+        // analytically instead of trying on-device. The feature
+        // cache's standing reservation is unavailable to training
+        // tensors, so it tightens the check by exactly its size.
         if (device_ && device_->capacity() > 0 &&
             index < estimates_.size() &&
-            estimates_[index].peak > device_->capacity())
+            estimates_[index].peak + owner_.cacheReservedBytes() >
+                device_->capacity())
             return false;
 
         if (fault::Injector::takeInjectedOom())
@@ -137,6 +141,12 @@ ResilientTrainer::ResilientTrainer(Trainer& trainer, GnnSpec spec,
       planner_(std::move(spec), device ? device->capacity() : 0),
       policy_(policy)
 {
+}
+
+int64_t
+ResilientTrainer::cacheReservedBytes() const
+{
+    return cache_ ? cache_->reservedBytes() : 0;
 }
 
 void
@@ -240,6 +250,7 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
     int32_t attempts_left = policy_.maxReplanAttempts;
     for (;;) {
         planner_.setCapacity(device_ ? device_->capacity() : 0);
+        planner_.setReservedBytes(cacheReservedBytes());
         {
             BETTY_TRACE_SPAN("epoch/plan");
             result.plan =
@@ -270,6 +281,20 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
                      int64_t(result.plan.k) >= num_outputs)
                 give_up = "cannot partition finer than K=" +
                           std::to_string(result.plan.k);
+        }
+        if (!give_up.empty() && cache_ && cache_->reservedBytes() > 0) {
+            // Last lever before skipping: caching is a luxury,
+            // training tensors are not. Give the reservation back and
+            // retry the SAME plan point — the freed bytes may make it
+            // fit. Guarded by reservedBytes() > 0, so this fires at
+            // most once per cache and cannot loop.
+            const int64_t released = cache_->reservedBytes();
+            cache_->releaseAll();
+            warn("ResilientTrainer: ", give_up,
+                 "; released feature-cache reservation (", released,
+                 " bytes) and retrying before refusing any training "
+                 "tensor");
+            continue;
         }
         if (!give_up.empty()) {
             ++report_.batchesSkipped;

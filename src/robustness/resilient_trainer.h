@@ -42,6 +42,8 @@
 
 namespace betty {
 
+class FeatureCache;
+
 /** Bounds and switches of the recovery loop. */
 struct RecoveryPolicy
 {
@@ -118,6 +120,17 @@ class ResilientTrainer
     void setFeatureSource(Tensor* features) { features_ = features; }
 
     /**
+     * Feature cache whose device reservation the recovery loop
+     * manages (cache/feature_cache.h). Planning accounts for the
+     * reservation, admission checks estimated peaks against the
+     * capacity MINUS the reservation, and when even that does not fit
+     * the reservation is released — caching is a luxury; training
+     * tensors are not — BEFORE the epoch is skipped. Borrowed, may be
+     * null.
+     */
+    void setFeatureCache(FeatureCache* cache) { cache_ = cache; }
+
+    /**
      * One resilient epoch over @p full: advance the fault clock to
      * @p epoch (1-based), apply epoch-scoped faults, then
      * plan/train/re-plan per the policy starting from @p initial_k.
@@ -130,6 +143,11 @@ class ResilientTrainer
 
   private:
     friend class RecoveryArbiter;
+
+    /** Bytes the feature cache currently reserves on the device
+     * (0 without a cache). Re-read per admission: a release mid-run
+     * must loosen later checks immediately. */
+    int64_t cacheReservedBytes() const;
 
     /** Shrink the device capacity by @p factor (CapacityDrop). */
     void applyCapacityDrop(double factor);
@@ -149,6 +167,7 @@ class ResilientTrainer
     MemoryAwarePlanner planner_;
     RecoveryPolicy policy_;
     Tensor* features_ = nullptr;
+    FeatureCache* cache_ = nullptr;
     RecoveryReport report_;
 };
 

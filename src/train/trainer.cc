@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "cache/feature_cache.h"
 #include "memory/estimator.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
@@ -84,6 +85,22 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
         std::copy_n(dataset_.features.data() + node * dim, dim,
                     staged.values.data() + int64_t(i) * dim);
     }
+    // Feature-cache consult: rows already resident on the device do
+    // not cross the link again. The gather above still read EVERY row
+    // from the host dataset, so feature values — and with them all
+    // numerics — are identical with or without a cache; only the
+    // transfer charge shrinks. Under pipelining this runs on a pool
+    // worker, but the single-in-flight prefetch keeps gathers totally
+    // ordered, so the cache's hit/miss/eviction sequence is the same
+    // for every thread count.
+    int64_t feature_bytes =
+        int64_t(staged.values.size()) * int64_t(sizeof(float));
+    if (cache_) {
+        const FeatureCache::AccessResult cached = cache_->access(inputs);
+        feature_bytes = cached.misses * dim * int64_t(sizeof(float));
+        if (transfer_)
+            transfer_->noteSavedBytes(cached.bytesSaved);
+    }
     if (transfer_) {
         // Injected transfer failures (util/fault.h): each failed
         // attempt pays the link latency, then the copy is retried —
@@ -99,9 +116,7 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
                 retries.increment();
             }
         }
-        transfer_->transfer(int64_t(staged.values.size()) *
-                                int64_t(sizeof(float)) +
-                            blockBytes(batch));
+        transfer_->transfer(feature_bytes + blockBytes(batch));
     }
     return staged;
 }

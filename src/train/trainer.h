@@ -31,6 +31,8 @@
 
 namespace betty {
 
+class FeatureCache;
+
 /** Measurements of one training epoch (or one evaluation pass). */
 struct EpochStats
 {
@@ -152,6 +154,18 @@ class Trainer
     void setArbiter(MicroBatchArbiter* arbiter) { arbiter_ = arbiter; }
 
     /**
+     * Install (or with nullptr remove) a device-resident feature
+     * cache (cache/feature_cache.h). When set, gatherFeatures only
+     * charges the TransferModel for input rows the cache misses; the
+     * host-side gather itself is unchanged, so numerics are
+     * bit-identical with or without a cache. Not owned; must outlive
+     * the trainer or be removed first. Safe under pipelining: the
+     * cache serializes internally, and the single-in-flight prefetch
+     * keeps the access order identical to the serial schedule.
+     */
+    void setFeatureCache(FeatureCache* cache) { cache_ = cache; }
+
+    /**
      * One gradient-accumulation step over @p micro_batches (Betty
      * micro-batch training; pass a single batch for full-batch
      * training). Empty micro-batches are skipped.
@@ -218,6 +232,7 @@ class Trainer
     DeviceMemoryModel* device_;
     TransferModel* transfer_;
     MicroBatchArbiter* arbiter_ = nullptr;
+    FeatureCache* cache_ = nullptr;
     bool pipeline_ = true;
 };
 

@@ -210,6 +210,39 @@ printReport(const std::string& path, const JsonValue& doc)
                            doc, "oom_events", 0))});
     summary.print();
 
+    // Feature-cache section (always present from schema v3 on).
+    if (const JsonValue* cache = doc.find("cache")) {
+        auto field = [&](const char* key) -> long long {
+            const JsonValue* value = cache->find(key);
+            return value && value->isNumber()
+                       ? (long long)value->asInt()
+                       : 0;
+        };
+        const JsonValue* enabled = cache->find("enabled");
+        const JsonValue* policy = cache->find("policy");
+        TablePrinter table("cache");
+        table.setHeader({"metric", "value"});
+        table.addRow({"enabled",
+                      enabled && enabled->boolean ? "yes" : "no"});
+        table.addRow({"policy",
+                      policy ? policy->string.c_str() : "?"});
+        table.addRow(
+            {"capacity MiB",
+             TablePrinter::num(double(field("capacity_bytes")) / kMiB,
+                               1)});
+        table.addRow({"hits", TablePrinter::count(field("hits"))});
+        table.addRow({"misses", TablePrinter::count(field("misses"))});
+        table.addRow(
+            {"bytes saved MiB",
+             TablePrinter::num(double(field("bytes_saved")) / kMiB,
+                               1)});
+        table.addRow(
+            {"evictions", TablePrinter::count(field("evictions"))});
+        table.addRow(
+            {"releases", TablePrinter::count(field("releases"))});
+        table.print();
+    }
+
     // Optional recovery section (fault-tolerant runtime runs).
     if (const JsonValue* recovery = doc.find("recovery")) {
         auto field = [&](const char* key) -> long long {
@@ -378,6 +411,52 @@ checkReport(const JsonValue& doc)
                               " in a fault-free run");
             }
         }
+    }
+
+    // The cache section is mandatory from schema v3 on, and the cache
+    // contract mirrors the recovery one: a run configured WITHOUT a
+    // cache must not have moved, saved, or evicted anything — cache
+    // counters in an uncached run mean the trainer consulted a cache
+    // the user never asked for.
+    const JsonValue* cache = doc.find("cache");
+    if (!cache || !cache->isObject()) {
+        violation("cache section is missing");
+    } else {
+        const JsonValue* enabled = cache->find("enabled");
+        const JsonValue* policy = cache->find("policy");
+        if (!enabled || !enabled->isBool())
+            violation("cache.enabled is missing");
+        if (!policy || !policy->isString())
+            violation("cache.policy is missing");
+        static const char* const counters[] = {
+            "capacity_bytes", "reserved_bytes", "hits",
+            "misses",         "bytes_saved",    "evictions",
+            "releases",       "released_bytes"};
+        for (const char* key : counters) {
+            const JsonValue* value = cache->find(key);
+            if (!value || !value->isNumber()) {
+                violation("cache." + std::string(key) + " is missing");
+                continue;
+            }
+            if (value->asInt() < 0)
+                violation("cache." + std::string(key) +
+                          " is negative");
+            if (enabled && enabled->isBool() && !enabled->boolean &&
+                value->asInt() != 0)
+                violation("cache." + std::string(key) + " = " +
+                          std::to_string(value->asInt()) +
+                          " in a run with the cache disabled");
+        }
+        const JsonValue* capacity = cache->find("capacity_bytes");
+        const JsonValue* reserved = cache->find("reserved_bytes");
+        if (capacity && reserved &&
+            reserved->asInt() > capacity->asInt())
+            violation("cache.reserved_bytes exceeds "
+                      "cache.capacity_bytes");
+        const JsonValue* hits = cache->find("hits");
+        const JsonValue* saved = cache->find("bytes_saved");
+        if (hits && saved && hits->asInt() == 0 && saved->asInt() != 0)
+            violation("cache.bytes_saved is non-zero with zero hits");
     }
 
     if (check_failures) {
