@@ -48,6 +48,7 @@
 #include "partition/partitioner.h"
 #include "sampling/neighbor_sampler.h"
 #include "train/trainer.h"
+#include "util/env_config.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -55,23 +56,18 @@
 
 namespace betty::benchutil {
 
-/** BETTY_BENCH_SCALE (default 1.0). */
+/** BETTY_BENCH_SCALE (default 1.0). Validation: util/env_config. */
 inline double
 envScale()
 {
-    if (const char* env = std::getenv("BETTY_BENCH_SCALE"))
-        return std::atof(env);
-    return 1.0;
+    return envcfg::benchScale();
 }
 
 /** BETTY_DEVICE_GIB as bytes (default 0.25 GiB). */
 inline int64_t
 deviceCapacityBytes()
 {
-    double gib_value = 0.25;
-    if (const char* env = std::getenv("BETTY_DEVICE_GIB"))
-        gib_value = std::atof(env);
-    return gib(gib_value);
+    return envcfg::deviceCapacityBytes();
 }
 
 /** BETTY_CACHE_GIB as bytes (default 0.05 GiB): the feature-cache
@@ -79,20 +75,17 @@ deviceCapacityBytes()
 inline int64_t
 cacheCapacityBytes()
 {
-    double gib_value = 0.05;
-    if (const char* env = std::getenv("BETTY_CACHE_GIB"))
-        gib_value = std::atof(env);
-    return gib(gib_value);
+    return envcfg::cacheCapacityBytes();
 }
 
 /** BETTY_CACHE_POLICY (default pure LRU). */
 inline CachePolicy
 cachePolicy()
 {
+    const std::string name = envcfg::cachePolicyName();
     CachePolicy policy = CachePolicy::Lru;
-    if (const char* env = std::getenv("BETTY_CACHE_POLICY"))
-        if (!parseCachePolicy(env, &policy))
-            fatal("unknown BETTY_CACHE_POLICY '", env, "'");
+    if (!parseCachePolicy(name, &policy))
+        fatal("unknown BETTY_CACHE_POLICY '", name, "'");
     return policy;
 }
 
@@ -147,6 +140,9 @@ toMiB(int64_t bytes)
  *
  *   --trace-out=FILE / BETTY_TRACE_OUT=FILE    Chrome trace JSON
  *   --metrics-out=FILE / BETTY_METRICS_OUT=FILE  metrics snapshot
+ *   --json=FILE / BETTY_BENCH_JSON=FILE   machine-readable results:
+ *     key figures the bench records via result(), plus the full
+ *     metrics snapshot (writeBenchJson below)
  *   --threads=N / BETTY_THREADS=N   global ThreadPool lanes
  *   --cache-gib=X / --cache-policy=NAME  feature-cache knobs
  *     (forwarded to the BETTY_CACHE_* variables read by
@@ -156,10 +152,17 @@ toMiB(int64_t bytes)
  * google-benchmark's (strict) flag parser. With neither flag nor
  * env set, the collectors stay disabled: one branch per site.
  */
+inline bool
+writeBenchJson(const std::string& path, const std::string& bench_name,
+               const std::vector<std::pair<std::string, double>>&
+                   results);
+
 class ObsSession
 {
   public:
-    ObsSession(int* argc = nullptr, char** argv = nullptr)
+    ObsSession(const std::string& bench_name = "", int* argc = nullptr,
+               char** argv = nullptr)
+        : bench_name_(bench_name)
     {
         if (argc && argv)
             stripFlags(argc, argv);
@@ -169,12 +172,24 @@ class ObsSession
         if (metrics_out_.empty())
             if (const char* env = std::getenv("BETTY_METRICS_OUT"))
                 metrics_out_ = env;
+        if (json_out_.empty())
+            if (const char* env = std::getenv("BETTY_BENCH_JSON"))
+                json_out_ = env;
         if (!trace_out_.empty())
             obs::Trace::setEnabled(true);
-        if (!metrics_out_.empty())
+        // --json embeds the metrics snapshot, so it implies
+        // collection even without --metrics-out.
+        if (!metrics_out_.empty() || !json_out_.empty())
             obs::Metrics::setEnabled(true);
         if (threads_ > 0)
             ThreadPool::setGlobalThreads(threads_);
+    }
+
+    /** Record one key figure for the --json export ("k16.total_s"). */
+    void
+    result(const std::string& name, double value)
+    {
+        results_.emplace_back(name, value);
     }
 
     ~ObsSession()
@@ -185,6 +200,9 @@ class ObsSession
         if (!metrics_out_.empty() &&
             !obs::Metrics::writeJson(metrics_out_))
             warn("could not write metrics '", metrics_out_, "'");
+        if (!json_out_.empty() &&
+            !writeBenchJson(json_out_, bench_name_, results_))
+            warn("could not write bench json '", json_out_, "'");
     }
 
     ObsSession(const ObsSession&) = delete;
@@ -201,8 +219,16 @@ class ObsSession
                 trace_out_ = arg + 12;
             else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
                 metrics_out_ = arg + 14;
-            else if (std::strncmp(arg, "--threads=", 10) == 0)
-                threads_ = std::atoi(arg + 10);
+            else if (std::strncmp(arg, "--json=", 7) == 0)
+                json_out_ = arg + 7;
+            else if (std::strncmp(arg, "--threads=", 10) == 0) {
+                int64_t parsed = 0;
+                if (!envcfg::parseInt(arg + 10, &parsed) ||
+                    parsed < 1)
+                    fatal("malformed --threads='", arg + 10,
+                          "': expected an integer >= 1");
+                threads_ = int32_t(parsed);
+            }
             else if (std::strncmp(arg, "--cache-gib=", 12) == 0)
                 setenv("BETTY_CACHE_GIB", arg + 12, 1);
             else if (std::strncmp(arg, "--cache-policy=", 15) == 0)
@@ -213,8 +239,11 @@ class ObsSession
         *argc = kept;
     }
 
+    std::string bench_name_;
     std::string trace_out_;
     std::string metrics_out_;
+    std::string json_out_;
+    std::vector<std::pair<std::string, double>> results_;
     int32_t threads_ = 0;
 };
 

@@ -185,7 +185,8 @@ main(int argc, char** argv)
 {
     // Strips --trace-out/--metrics-out before google-benchmark sees
     // them; writes the exports when main returns.
-    betty::benchutil::ObsSession obs_session(&argc, argv);
+    betty::benchutil::ObsSession obs_session("bench_micro_kernels",
+                                             &argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

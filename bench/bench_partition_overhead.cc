@@ -18,7 +18,7 @@ main(int argc, char** argv)
 {
     using namespace betty;
     using namespace betty::benchutil;
-    ObsSession obs(&argc, argv);
+    ObsSession obs("bench_partition_overhead", &argc, argv);
 
     std::printf("Partitioning overhead and warm-start speedup, "
                 "products_like\n");
@@ -55,6 +55,10 @@ main(int argc, char** argv)
                           TablePrinter::num(reg_ms, 2),
                           TablePrinter::num(kway_ms, 2),
                           TablePrinter::num(extract_ms, 2)});
+            obs.result("cold.k" + std::to_string(k) + ".reg_ms",
+                       reg_ms);
+            obs.result("cold.k" + std::to_string(k) + ".kway_ms",
+                       kway_ms);
         }
         table.print();
     }
@@ -90,6 +94,9 @@ main(int argc, char** argv)
                 batch, extractMicroBatches(batch, cold_groups));
             const int64_t warm_red = inputNodeRedundancy(
                 batch, extractMicroBatches(batch, warm_groups));
+            if (epoch == epochs)
+                obs.result("warm.final_speedup",
+                           cold_ms / warm_ms);
             table.addRow({std::to_string(epoch),
                           TablePrinter::num(cold_ms, 2),
                           TablePrinter::num(warm_ms, 2),

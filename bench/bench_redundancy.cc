@@ -16,7 +16,7 @@ main(int argc, char** argv)
 {
     using namespace betty;
     using namespace betty::benchutil;
-    ObsSession obs(&argc, argv);
+    ObsSession obs("bench_redundancy", &argc, argv);
 
     std::printf("Figure 16: input-node redundancy vs #batches, "
                 "3-layer SAGE, products_like\n");
@@ -47,6 +47,9 @@ main(int argc, char** argv)
                 betty_red = red;
             else if (best_other < 0 || red < best_other)
                 best_other = red;
+            obs.result(pname + ".k" + std::to_string(k) +
+                           ".redundant_nodes",
+                       double(red));
         }
         row.push_back(TablePrinter::num(
             100.0 * (1.0 - double(betty_red) / double(best_other)),

@@ -17,7 +17,7 @@ main(int argc, char** argv)
 {
     using namespace betty;
     using namespace betty::benchutil;
-    ObsSession obs(&argc, argv);
+    ObsSession obs("bench_training_time", &argc, argv);
 
     std::printf("Figure 14: train + transfer time vs #batches, "
                 "3-layer SAGE + Mean, products_like\n");
@@ -67,6 +67,10 @@ main(int argc, char** argv)
                                        stats.transferSeconds,
                                    3),
                  TablePrinter::count(stats.inputNodesProcessed)});
+            obs.result(pname + ".k" + std::to_string(k) +
+                           ".total_s",
+                       stats.computeSeconds +
+                           stats.transferSeconds);
         }
     }
     table.print();
@@ -101,6 +105,9 @@ main(int argc, char** argv)
             }
             if (threads == 1)
                 serial_wall = best_wall;
+            obs.result("pipeline.threads" +
+                           std::to_string(threads) + ".wall_s",
+                       best_wall);
             table.addRow({std::to_string(threads),
                           TablePrinter::num(best_wall, 3),
                           TablePrinter::num(stats.computeSeconds, 3),

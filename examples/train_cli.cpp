@@ -16,6 +16,17 @@
  *               [--faults SPEC] [--fault-seed N]
  *               [--checkpoint-out FILE] [--checkpoint-every N]
  *               [--resume FILE] [--recover-on-oom]
+ *               [--flight-recorder-out FILE]
+ *
+ * --flight-recorder-out FILE dumps the always-on flight recorder
+ * (obs/perf/flight_recorder.h) — the last N structured events: epoch
+ * markers, injected faults, every recovery decision, cache
+ * evictions, checkpoints — as JSON at the end of the run, and
+ * registers FILE as the automatic post-mortem destination so a
+ * fatal() mid-run still leaves the event trail behind.
+ *
+ * Numeric flags are parsed strictly (util/env_config.h): partial or
+ * non-numeric values are startup errors, not silent zeros.
  *
  * Fault tolerance (docs/ROBUSTNESS.md): single-device training runs
  * under the ResilientTrainer — if the device capacity shrinks
@@ -81,8 +92,10 @@
 #include "robustness/checkpoint.h"
 #include "robustness/resilient_trainer.h"
 #include "sampling/neighbor_sampler.h"
+#include "obs/perf/flight_recorder.h"
 #include "train/multi_device.h"
 #include "train/trainer.h"
+#include "util/env_config.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -111,10 +124,13 @@ struct Args
     int32_t threads = 0;
     /** Disable transfer-compute pipelining in the trainer. */
     bool no_pipeline = false;
-    /** Feature-cache reservation in GiB (0 = no cache). */
+    /** Feature-cache reservation in GiB (0 = no cache). The cache
+     * stays opt-in here: BETTY_CACHE_GIB scales the bench sweeps,
+     * not a user's training run. */
     double cache_gib = 0.0;
-    /** Feature-cache replacement policy. */
-    std::string cache_policy = "lru";
+    /** Feature-cache replacement policy (flag > BETTY_CACHE_POLICY
+     * > "lru"; resolved in parseArgs). */
+    std::string cache_policy;
     /** Cache file for the generated dataset (gen_data.sh analog):
      * loaded if it exists, otherwise written after generation. */
     std::string data_cache;
@@ -137,7 +153,30 @@ struct Args
     std::string resume;
     /** Re-plan on real over-capacity episodes, not just faults. */
     bool recover_on_oom = false;
+    /** Flight-recorder dump destination ("" = no dump file; the
+     * ring still records either way). */
+    std::string flight_recorder_out;
 };
+
+int64_t
+intFlag(const std::string& flag, const char* text)
+{
+    int64_t value = 0;
+    if (!envcfg::parseInt(text, &value))
+        fatal("malformed ", flag, "='", text,
+              "': expected an integer");
+    return value;
+}
+
+double
+doubleFlag(const std::string& flag, const char* text)
+{
+    double value = 0.0;
+    if (!envcfg::parseDouble(text, &value))
+        fatal("malformed ", flag, "='", text,
+              "': expected a finite number");
+    return value;
+}
 
 std::vector<int64_t>
 parseFanouts(const char* arg)
@@ -179,35 +218,35 @@ parseArgs(int argc, char** argv)
         if (flag == "--dataset") {
             args.dataset = next();
         } else if (flag == "--scale") {
-            args.scale = std::atof(next());
+            args.scale = doubleFlag(flag, next());
         } else if (flag == "--model") {
             args.model = next();
         } else if (flag == "--aggregator") {
             args.aggregator = next();
         } else if (flag == "--layers") {
-            args.layers = std::atol(next());
+            args.layers = intFlag(flag, next());
         } else if (flag == "--hidden") {
-            args.hidden = std::atol(next());
+            args.hidden = intFlag(flag, next());
         } else if (flag == "--fanout") {
             args.fanouts = parseFanouts(next());
         } else if (flag == "--epochs") {
-            args.epochs = std::atoi(next());
+            args.epochs = int(intFlag(flag, next()));
         } else if (flag == "--lr") {
-            args.lr = float(std::atof(next()));
+            args.lr = float(doubleFlag(flag, next()));
         } else if (flag == "--budget-mib") {
-            args.budget_mib = std::atof(next());
+            args.budget_mib = doubleFlag(flag, next());
         } else if (flag == "--devices") {
-            args.devices = std::atoi(next());
+            args.devices = int32_t(intFlag(flag, next()));
         } else if (flag == "--partitioner") {
             args.partitioner = next();
         } else if (flag == "--warm") {
             args.warm = true;
         } else if (flag == "--threads") {
-            args.threads = std::atoi(next());
+            args.threads = int32_t(intFlag(flag, next()));
         } else if (flag == "--no-pipeline") {
             args.no_pipeline = true;
         } else if (flag == "--cache-gib") {
-            args.cache_gib = std::atof(next());
+            args.cache_gib = doubleFlag(flag, next());
             if (args.cache_gib < 0.0)
                 fatal("--cache-gib must be non-negative");
         } else if (flag == "--cache-policy") {
@@ -223,17 +262,19 @@ parseArgs(int argc, char** argv)
         } else if (flag == "--faults") {
             args.faults = next();
         } else if (flag == "--fault-seed") {
-            args.fault_seed = std::strtoull(next(), nullptr, 10);
+            args.fault_seed = uint64_t(intFlag(flag, next()));
         } else if (flag == "--checkpoint-out") {
             args.checkpoint_out = next();
         } else if (flag == "--checkpoint-every") {
-            args.checkpoint_every = std::atoi(next());
+            args.checkpoint_every = int(intFlag(flag, next()));
             if (args.checkpoint_every < 1)
                 fatal("--checkpoint-every must be at least 1");
         } else if (flag == "--resume") {
             args.resume = next();
         } else if (flag == "--recover-on-oom") {
             args.recover_on_oom = true;
+        } else if (flag == "--flight-recorder-out") {
+            args.flight_recorder_out = next();
         } else if (flag == "--help") {
             std::printf("see the file comment for usage\n");
             std::exit(0);
@@ -243,6 +284,10 @@ parseArgs(int argc, char** argv)
     }
     if (int64_t(args.fanouts.size()) != args.layers)
         fatal("--fanout must list exactly --layers values");
+    // flag > BETTY_CACHE_POLICY > "lru" (shared with the benches).
+    args.cache_policy =
+        envcfg::resolveString(args.cache_policy,
+                              "BETTY_CACHE_POLICY", "lru");
     return args;
 }
 
@@ -266,6 +311,11 @@ int
 main(int argc, char** argv)
 {
     const Args args = parseArgs(argc, argv);
+    // Register the post-mortem destination first so even setup
+    // failures leave an event trail behind.
+    if (!args.flight_recorder_out.empty())
+        obs::FlightRecorder::setFatalDumpPath(
+            args.flight_recorder_out);
     if (args.threads > 0)
         ThreadPool::setGlobalThreads(args.threads);
     if (!args.trace_out.empty())
@@ -372,6 +422,9 @@ main(int argc, char** argv)
             fatal("--resume: ", status.message);
         start_epoch = int(checkpoint.epochsCompleted) + 1;
         last_k = int32_t(checkpoint.lastK);
+        obs::FlightRecorder::record(obs::FrCategory::Checkpoint,
+                                    "checkpoint/restore",
+                                    start_epoch, last_k);
         inform("resumed '", args.resume, "': ",
                checkpoint.epochsCompleted,
                " epoch(s) already done, continuing at epoch ",
@@ -614,11 +667,15 @@ main(int argc, char** argv)
                 *model, adam, epoch, last_k, uint64_t(epoch), 0);
             const IoStatus status =
                 saveCheckpoint(checkpoint, args.checkpoint_out);
-            if (status.ok())
+            if (status.ok()) {
+                obs::FlightRecorder::record(
+                    obs::FrCategory::Checkpoint, "checkpoint/write",
+                    epoch, last_k);
                 inform("wrote checkpoint '", args.checkpoint_out,
                        "' (after epoch ", epoch, ")");
-            else
+            } else {
                 warn("could not write checkpoint: ", status.message);
+            }
         }
     }
     summary.print();
@@ -679,6 +736,18 @@ main(int argc, char** argv)
         else
             warn("could not write run report '", args.memprof_out,
                  "'");
+    }
+    if (!args.flight_recorder_out.empty()) {
+        if (obs::FlightRecorder::writeJson(args.flight_recorder_out))
+            inform("wrote flight recorder '",
+                   args.flight_recorder_out, "' (",
+                   obs::FlightRecorder::recordedEvents(),
+                   " events, ",
+                   obs::FlightRecorder::droppedEvents(),
+                   " dropped)");
+        else
+            warn("could not write flight recorder '",
+                 args.flight_recorder_out, "'");
     }
     return 0;
 }

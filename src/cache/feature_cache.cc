@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -82,6 +83,7 @@ FeatureCache::access(const std::vector<int64_t>& rows)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     AccessResult result;
+    const int64_t evictions_before = stats_.evictions;
     for (const int64_t row : rows) {
         auto found = resident_.find(row);
         if (found != resident_.end()) {
@@ -104,6 +106,13 @@ FeatureCache::access(const std::vector<int64_t>& rows)
     if (obs::Metrics::enabled())
         chargeAccessMetrics(result.hits, result.misses,
                             result.bytesSaved, 0);
+    // One flight event per access batch, never per row: an eviction
+    // wave is a state change worth a timestamp, row churn is not.
+    const int64_t evicted = stats_.evictions - evictions_before;
+    if (evicted > 0)
+        obs::FlightRecorder::record(obs::FrCategory::Cache,
+                                    "cache/evict-batch", evicted,
+                                    int64_t(resident_.size()));
     return result;
 }
 
@@ -164,6 +173,8 @@ FeatureCache::shrinkTo(int64_t new_capacity_bytes)
         device_->onFree(freed, obs::MemCategory::FeatureCache);
     ++stats_.releases;
     stats_.releasedBytes += freed;
+    obs::FlightRecorder::record(obs::FrCategory::Cache,
+                                "cache/shrink", freed, target);
     if (obs::Metrics::enabled()) {
         static obs::Counter& releases =
             obs::Metrics::counter("cache.releases");

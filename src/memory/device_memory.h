@@ -24,6 +24,7 @@
 
 #include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
 #include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
@@ -105,6 +106,9 @@ class DeviceMemoryModel : public AllocationObserver
                 ++oom_episodes_;
                 if (obs::Metrics::enabled())
                     detail::chargeDeviceOom();
+                obs::FlightRecorder::record(obs::FrCategory::Oom,
+                                            "oom/episode", live_,
+                                            capacity_);
             }
             in_oom_episode_ = true;
             oom_ = true;
@@ -168,6 +172,9 @@ class DeviceMemoryModel : public AllocationObserver
             ++oom_episodes_;
             if (obs::Metrics::enabled())
                 detail::chargeDeviceOom();
+            obs::FlightRecorder::record(obs::FrCategory::Oom,
+                                        "oom/episode", live_,
+                                        capacity_);
         } else if (!over) {
             in_oom_episode_ = false;
         }

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace betty::obs {
@@ -153,9 +154,14 @@ struct Parser
             out.boolean = false;
             return literal("false", 5);
         }
-        if (c == 'n') {
-            out.kind = JsonValue::Kind::Null;
-            return literal("null", 4);
+        if (c == 'n' || c == 'N' || c == 'i' || c == 'I') {
+            // 'n' is ambiguous: null, or strtod's "nan" spelling.
+            if (text.compare(pos, 4, "null") == 0) {
+                out.kind = JsonValue::Kind::Null;
+                pos += 4;
+                return true;
+            }
+            return parseNumber(out);
         }
         return parseNumber(out);
     }
@@ -168,11 +174,15 @@ struct Parser
         out.number = std::strtod(start, &end);
         if (end == start)
             return fail("expected a value");
-        // strtod accepts some non-JSON spellings (hex, inf, nan);
-        // reject anything whose first character JSON disallows.
+        // Besides JSON numbers, accept strtod's non-finite spellings
+        // ("nan", "inf", "-inf", ...): the exporters print doubles
+        // with %.17g, which emits exactly those for non-finite values,
+        // and the readers (betty_report) must be able to see them to
+        // reject them with a typed error instead of a parse crash.
         const char first = *start;
         if (first != '-' &&
-            !std::isdigit(static_cast<unsigned char>(first)))
+            !std::isdigit(static_cast<unsigned char>(first)) &&
+            std::isfinite(out.number))
             return fail("expected a value");
         out.kind = JsonValue::Kind::Number;
         pos += size_t(end - start);

@@ -7,8 +7,10 @@
  * the check_obs_output ctest helper — without an external JSON
  * dependency. Supports the full JSON value grammar the exporters
  * emit: objects, arrays, strings with the common escapes, numbers,
- * booleans and null. Not a streaming parser; intended for test-sized
- * documents.
+ * booleans and null — plus the non-finite number spellings ("nan",
+ * "inf", "-inf") that %.17g produces, so readers can reject them with
+ * a typed error instead of a parse failure. Not a streaming parser;
+ * intended for test-sized documents.
  */
 #ifndef BETTY_OBS_JSON_H
 #define BETTY_OBS_JSON_H

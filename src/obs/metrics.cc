@@ -94,6 +94,47 @@ Histogram::sum() const
     return sum_.load(std::memory_order_relaxed);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    const int64_t total = count();
+    if (total <= 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // The (fractional) rank the quantile lands on, 1-based so a
+    // bucket holding observations [c_before+1, c_before+n] covers
+    // ranks in that closed interval.
+    const double rank = q * double(total - 1) + 1.0;
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+        const int64_t in_bucket = bucketCount(i);
+        if (in_bucket <= 0)
+            continue;
+        if (double(cumulative + in_bucket) >= rank) {
+            // Linear interpolation across the bucket's value span.
+            const double lower =
+                i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+            const double upper = bounds_[i];
+            const double into =
+                (rank - double(cumulative)) / double(in_bucket);
+            return lower + (upper - lower) * std::min(1.0, into);
+        }
+        cumulative += in_bucket;
+    }
+    // Rank lands in the overflow bucket: no upper edge to
+    // interpolate toward, so report the last finite bound.
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+bool
+Histogram::bucketsConsistent() const
+{
+    int64_t bucket_total = 0;
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        bucket_total += bucketCount(i);
+    return bucket_total == count();
+}
+
 void
 Histogram::reset()
 {
@@ -144,6 +185,18 @@ Metrics::histogram(const std::string& name,
         slot = std::make_unique<Histogram>(std::move(bounds));
     }
     return *slot;
+}
+
+std::vector<std::string>
+Metrics::histogramNames()
+{
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<std::string> names;
+    names.reserve(reg.histograms.size());
+    for (const auto& [name, histogram] : reg.histograms)
+        names.push_back(name);
+    return names;
 }
 
 void
@@ -211,6 +264,14 @@ Metrics::snapshotJson()
         out += "], \"count\": " + std::to_string(histogram->count());
         out += ", \"sum\": ";
         appendNumber(out, histogram->sum());
+        out += ", \"p50\": ";
+        appendNumber(out, histogram->percentile(0.50));
+        out += ", \"p95\": ";
+        appendNumber(out, histogram->percentile(0.95));
+        out += ", \"p99\": ";
+        appendNumber(out, histogram->percentile(0.99));
+        out += ", \"count_consistent\": ";
+        out += histogram->bucketsConsistent() ? "true" : "false";
         out += "}";
     }
     out += first ? "},\n" : "\n  },\n";

@@ -94,6 +94,22 @@ class Histogram
     /** Sum of observed values. */
     double sum() const;
 
+    /**
+     * The @p q quantile (q in [0, 1]) estimated from the bucket
+     * counts by linear interpolation within the target bucket. The
+     * first bucket interpolates from min(0, bounds[0]); ranks landing
+     * in the overflow bucket return the last bound (no upper edge to
+     * interpolate toward). 0 with no observations.
+     */
+    double percentile(double q) const;
+
+    /**
+     * True when the per-bucket counts sum to count() — the export
+     * consistency check. Only meaningful while no thread is
+     * observing (mid-update the two are transiently decoupled).
+     */
+    bool bucketsConsistent() const;
+
     void reset();
 
   private:
@@ -136,6 +152,9 @@ class Metrics
      */
     static Histogram& histogram(const std::string& name,
                                 std::vector<double> bounds = {});
+
+    /** Names of every registered histogram, sorted. */
+    static std::vector<std::string> histogramNames();
 
     /** Reset every registered metric's value (registrations stay). */
     static void reset();

@@ -1,0 +1,280 @@
+#include "obs/perf/bench_harness.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_meta.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+#ifndef BETTY_BUILD_TYPE
+#define BETTY_BUILD_TYPE "unknown"
+#endif
+#ifndef BETTY_BUILD_FLAGS
+#define BETTY_BUILD_FLAGS ""
+#endif
+
+namespace betty::obs {
+
+namespace {
+
+void
+appendNumber(std::string& out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+}
+
+/** The metric registry's counters as name -> value. */
+std::map<std::string, int64_t>
+counterValues()
+{
+    std::map<std::string, int64_t> values;
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(Metrics::snapshotJson(), doc, &error)) {
+        warn("bench harness: metrics snapshot unparseable: ", error);
+        return values;
+    }
+    if (const JsonValue* counters = doc.find("counters"))
+        for (const auto& [name, value] : counters->object)
+            values[name] = value.asInt();
+    return values;
+}
+
+/** The metric registry's gauges as name -> value. */
+std::map<std::string, int64_t>
+gaugeValues()
+{
+    std::map<std::string, int64_t> values;
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(Metrics::snapshotJson(), doc, &error))
+        return values;
+    if (const JsonValue* gauges = doc.find("gauges"))
+        for (const auto& [name, value] : gauges->object)
+            values[name] = value.asInt();
+    return values;
+}
+
+/** Histogram summaries (count/sum/percentiles) for the scenario. */
+std::string
+histogramSummariesJson()
+{
+    std::string out = "{";
+    bool first = true;
+    for (const std::string& name : Metrics::histogramNames()) {
+        const Histogram& histogram = Metrics::histogram(name);
+        if (histogram.count() <= 0)
+            continue;
+        out += first ? "\n        " : ",\n        ";
+        first = false;
+        out += "\"" + name + "\": {\"count\": " +
+               std::to_string(histogram.count()) + ", \"sum\": ";
+        appendNumber(out, histogram.sum());
+        out += ", \"p50\": ";
+        appendNumber(out, histogram.percentile(0.50));
+        out += ", \"p95\": ";
+        appendNumber(out, histogram.percentile(0.95));
+        out += ", \"p99\": ";
+        appendNumber(out, histogram.percentile(0.99));
+        out += ", \"count_consistent\": ";
+        out += histogram.bucketsConsistent() ? "true" : "false";
+        out += "}";
+    }
+    out += first ? "}" : "\n      }";
+    return out;
+}
+
+std::string
+fingerprintJson()
+{
+    std::string out = "{\n    \"cores\": ";
+    out += std::to_string(std::thread::hardware_concurrency());
+    out += ",\n    \"compiler\": \"";
+#if defined(__VERSION__)
+    appendEscaped(out, __VERSION__);
+#else
+    out += "unknown";
+#endif
+    out += "\",\n    \"build_type\": \"";
+    appendEscaped(out, BETTY_BUILD_TYPE);
+    out += "\",\n    \"flags\": \"";
+    appendEscaped(out, BETTY_BUILD_FLAGS);
+    out += "\",\n    \"pointer_bits\": ";
+    out += std::to_string(sizeof(void*) * 8);
+    out += "\n  }";
+    return out;
+}
+
+} // namespace
+
+BenchRunner::BenchRunner(BenchConfig config) : config_(config)
+{
+    BETTY_ASSERT(config_.repeats >= 1, "repeats must be >= 1");
+    BETTY_ASSERT(config_.warmup >= 0, "warmup must be >= 0");
+}
+
+void
+BenchRunner::setConfigNote(const std::string& key,
+                           const std::string& value)
+{
+    for (auto& [existing_key, existing_value] : config_notes_)
+        if (existing_key == key) {
+            existing_value = value;
+            return;
+        }
+    config_notes_.emplace_back(key, value);
+}
+
+void
+BenchRunner::run(const BenchScenario& scenario)
+{
+    BETTY_ASSERT(scenario.run != nullptr,
+                 "scenario '", scenario.name, "' has no run()");
+    ScenarioRecord record;
+    record.name = scenario.name;
+    record.description = scenario.description;
+
+    const bool metrics_were_enabled = Metrics::enabled();
+    Metrics::setEnabled(true);
+    Metrics::reset(); // scenario-scoped counters/histograms
+
+    if (scenario.setup)
+        scenario.setup();
+
+    PhaseTimer phase_timer;
+    const int32_t total_repeats = config_.warmup + config_.repeats;
+    for (int32_t repeat = 0; repeat < total_repeats; ++repeat) {
+        const bool warmup = repeat < config_.warmup;
+        const auto counters_before = counterValues();
+        phase_timer.beginRepeat();
+        Timer wall;
+        scenario.run();
+        const double wall_seconds = wall.seconds();
+        phase_timer.endRepeat(warmup);
+        if (warmup)
+            continue;
+        record.wallSeconds.add(wall_seconds);
+        for (const auto& [name, after] : counterValues()) {
+            const auto before = counters_before.find(name);
+            const int64_t delta =
+                after -
+                (before == counters_before.end() ? 0
+                                                 : before->second);
+            BenchStats& stats = record.counterDeltas[name];
+            // Align sample counts for counters that appear late.
+            while (int64_t(stats.count()) + 1 <
+                   int64_t(record.wallSeconds.count()))
+                stats.add(0.0);
+            stats.add(double(delta));
+        }
+    }
+    record.phases = phase_timer.phases();
+    record.gauges = gaugeValues();
+    record.histogramsJson = histogramSummariesJson();
+
+    if (scenario.teardown)
+        scenario.teardown();
+    Metrics::setEnabled(metrics_were_enabled);
+    scenarios_.push_back(std::move(record));
+}
+
+std::string
+BenchRunner::reportJson() const
+{
+    std::string out = "{\n  \"bench_schema_version\": " +
+                      std::to_string(kBenchSchemaVersion) + ",\n";
+    out += "  \"schema_version\": " +
+           std::to_string(kObsSchemaVersion) + ",\n";
+    out += "  \"meta\": " + runMetaJson() + ",\n";
+    out += "  \"fingerprint\": " + fingerprintJson() + ",\n";
+
+    out += "  \"config\": {";
+    out += "\n    \"repeats\": \"" +
+           std::to_string(config_.repeats) + "\",";
+    out += "\n    \"warmup\": \"" + std::to_string(config_.warmup) +
+           "\"";
+    for (const auto& [key, value] : config_notes_) {
+        out += ",\n    \"";
+        appendEscaped(out, key);
+        out += "\": \"";
+        appendEscaped(out, value);
+        out += "\"";
+    }
+    out += "\n  },\n";
+
+    out += "  \"scenarios\": {";
+    for (size_t i = 0; i < scenarios_.size(); ++i) {
+        const ScenarioRecord& record = scenarios_[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "\"";
+        appendEscaped(out, record.name);
+        out += "\": {\n      \"description\": \"";
+        appendEscaped(out, record.description);
+        out += "\",\n      \"wall_seconds\": " +
+               record.wallSeconds.toJson() + ",\n";
+        out += "      \"phases\": {";
+        bool first = true;
+        for (const auto& [name, stats] : record.phases) {
+            out += first ? "\n        " : ",\n        ";
+            first = false;
+            out += "\"" + name + "\": " + stats.toJson();
+        }
+        out += first ? "},\n" : "\n      },\n";
+        out += "      \"counters\": {";
+        first = true;
+        for (const auto& [name, stats] : record.counterDeltas) {
+            out += first ? "\n        " : ",\n        ";
+            first = false;
+            out += "\"" + name + "\": " + stats.toJson();
+        }
+        out += first ? "},\n" : "\n      },\n";
+        out += "      \"gauges\": {";
+        first = true;
+        for (const auto& [name, value] : record.gauges) {
+            out += first ? "\n        " : ",\n        ";
+            first = false;
+            out += "\"" + name + "\": " + std::to_string(value);
+        }
+        out += first ? "},\n" : "\n      },\n";
+        out += "      \"histograms\": " + record.histogramsJson;
+        out += "\n    }";
+    }
+    out += scenarios_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+BenchRunner::writeJson(const std::string& path) const
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::string json = reportJson();
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    return written == json.size();
+}
+
+} // namespace betty::obs

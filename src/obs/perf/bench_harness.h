@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Scenario runner behind `tools/betty_bench`: warmup + repeated
+ * measurement of registered workloads, per-phase wall-clock
+ * aggregation (PhaseTimer over the existing trace spans), counter
+ * deltas and histogram percentiles from the metric registry, and a
+ * schema-versioned JSON report with a hardware/build fingerprint —
+ * the artifact `betty_report bench-diff` gates wall-clock regressions
+ * against.
+ *
+ * Report layout (BENCH_report.json):
+ *
+ *   {
+ *     "bench_schema_version": 1,
+ *     "schema_version": <obs schema>, "meta": {...},
+ *     "fingerprint": {"cores": N, "compiler": "...",
+ *                     "build_type": "...", "flags": "..."},
+ *     "config": {"repeats": "5", "warmup": "1", ...},
+ *     "scenarios": {
+ *       "<name>": {
+ *         "description": "...",
+ *         "wall_seconds": {<BenchStats JSON>},
+ *         "phases": {"train/forward": {<BenchStats JSON>}, ...},
+ *         "counters": {"transfer.bytes": {<BenchStats JSON of
+ *                      per-repeat deltas>}, ...},
+ *         "gauges": {"device.peak_bytes": <final value>, ...},
+ *         "histograms": {"trainer.microbatch_seconds":
+ *             {"count": N, "sum": S, "p50": ..., "p95": ...,
+ *              "p99": ..., "count_consistent": true}}
+ *       }
+ *     }
+ *   }
+ *
+ * Warmup repeats run the full workload but contribute nothing to any
+ * statistic. Metrics and tracing are force-enabled while a scenario
+ * runs and restored afterwards; the metric registry is reset at each
+ * scenario start so counters/histograms are scenario-scoped.
+ */
+#ifndef BETTY_OBS_PERF_BENCH_HARNESS_H
+#define BETTY_OBS_PERF_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/perf/phase_stats.h"
+
+namespace betty::obs {
+
+/**
+ * Version of the BENCH_report.json layout. Bump when a field is
+ * renamed, removed, or changes meaning; bench-diff refuses to
+ * compare reports whose versions differ.
+ */
+constexpr int64_t kBenchSchemaVersion = 1;
+
+/** Repeat discipline every scenario runs under. */
+struct BenchConfig
+{
+    /** Measured repeats per scenario (>= 1). */
+    int32_t repeats = 5;
+
+    /** Warmup repeats, run and discarded (>= 0). */
+    int32_t warmup = 1;
+};
+
+/** One registered bench workload. */
+struct BenchScenario
+{
+    /** Stable identifier (report key; bench-diff matches on it). */
+    std::string name;
+
+    std::string description;
+
+    /** Untimed preparation, run once before any repeat. Optional. */
+    std::function<void()> setup;
+
+    /** One timed repeat of the workload. Required. */
+    std::function<void()> run;
+
+    /** Untimed cleanup, run once after the last repeat. Optional. */
+    std::function<void()> teardown;
+};
+
+/** Runs scenarios and accumulates the report (file comment). */
+class BenchRunner
+{
+  public:
+    explicit BenchRunner(BenchConfig config);
+
+    /** Echo @p key = @p value in the report's config section. */
+    void setConfigNote(const std::string& key,
+                       const std::string& value);
+
+    /** Run @p scenario (warmup + repeats) and record its stats. */
+    void run(const BenchScenario& scenario);
+
+    /** Scenarios run so far. */
+    int64_t scenarioCount() const { return int64_t(scenarios_.size()); }
+
+    /** The accumulated report as a JSON document. */
+    std::string reportJson() const;
+
+    /** Write reportJson() to @p path; returns success. */
+    bool writeJson(const std::string& path) const;
+
+  private:
+    struct ScenarioRecord
+    {
+        std::string name;
+        std::string description;
+        BenchStats wallSeconds;
+        std::map<std::string, BenchStats> phases;
+        std::map<std::string, BenchStats> counterDeltas;
+        std::map<std::string, int64_t> gauges;
+        /** name -> (count, sum, p50, p95, p99, consistent). */
+        std::string histogramsJson;
+    };
+
+    BenchConfig config_;
+    std::vector<std::pair<std::string, std::string>> config_notes_;
+    std::vector<ScenarioRecord> scenarios_;
+};
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_PERF_BENCH_HARNESS_H

@@ -1,0 +1,152 @@
+#include "obs/perf/phase_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace betty::obs {
+
+namespace {
+
+void
+appendNumber(std::string& out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+} // namespace
+
+double
+BenchStats::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+BenchStats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+BenchStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double sample : samples_)
+        sum += sample;
+    return sum / double(samples_.size());
+}
+
+double
+BenchStats::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double mu = mean();
+    double sum_sq = 0.0;
+    for (double sample : samples_)
+        sum_sq += (sample - mu) * (sample - mu);
+    return std::sqrt(sum_sq / double(samples_.size()));
+}
+
+double
+BenchStats::percentile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * double(sorted.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string
+BenchStats::toJson() const
+{
+    std::string out = "{\"samples\": [";
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        if (i)
+            out += ", ";
+        appendNumber(out, samples_[i]);
+    }
+    out += "], \"min\": ";
+    appendNumber(out, min());
+    out += ", \"max\": ";
+    appendNumber(out, max());
+    out += ", \"mean\": ";
+    appendNumber(out, mean());
+    out += ", \"median\": ";
+    appendNumber(out, median());
+    out += ", \"stddev\": ";
+    appendNumber(out, stddev());
+    out += ", \"p50\": ";
+    appendNumber(out, percentile(0.50));
+    out += ", \"p95\": ";
+    appendNumber(out, percentile(0.95));
+    out += ", \"p99\": ";
+    appendNumber(out, percentile(0.99));
+    out += "}";
+    return out;
+}
+
+void
+PhaseTimer::beginRepeat()
+{
+    BETTY_ASSERT(!in_repeat_,
+                 "PhaseTimer::beginRepeat without endRepeat");
+    if (measured_repeats_ == 0 && phases_.empty())
+        saved_trace_enabled_ = Trace::enabled();
+    Trace::setEnabled(false);
+    Trace::clear();
+    Trace::setEnabled(true);
+    in_repeat_ = true;
+}
+
+void
+PhaseTimer::endRepeat(bool discard)
+{
+    BETTY_ASSERT(in_repeat_,
+                 "PhaseTimer::endRepeat without beginRepeat");
+    in_repeat_ = false;
+    Trace::setEnabled(saved_trace_enabled_);
+    if (discard)
+        return;
+
+    std::map<std::string, double> totals;
+    for (const TraceEvent& event : Trace::snapshot())
+        totals[event.name] += double(event.durUs) * 1e-6;
+
+    // Keep every phase series aligned: one sample per measured
+    // repeat, 0 when the phase did not occur. A phase first seen now
+    // is backfilled with zeros for the repeats it missed.
+    for (auto& [name, stats] : phases_) {
+        const auto it = totals.find(name);
+        stats.add(it == totals.end() ? 0.0 : it->second);
+        if (it != totals.end())
+            totals.erase(it);
+    }
+    for (const auto& [name, seconds] : totals) {
+        BenchStats& stats = phases_[name];
+        for (int64_t i = 0; i < measured_repeats_; ++i)
+            stats.add(0.0);
+        stats.add(seconds);
+    }
+    ++measured_repeats_;
+}
+
+} // namespace betty::obs

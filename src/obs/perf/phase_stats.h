@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Repeat statistics over wall-clock samples, and per-span-category
+ * time aggregation across bench repeats.
+ *
+ * BenchStats is the unit every BENCH_report.json figure is stated in:
+ * N repeat samples summarized as min/max/mean/median/stddev plus
+ * interpolated percentiles. PhaseTimer turns the existing trace spans
+ * (obs/trace.h) into per-phase wall-clock totals per repeat — enable
+ * tracing, run the workload, and every `area/phase` span category
+ * becomes one BenchStats series with one sample per measured repeat.
+ * Warmup repeats are measured and discarded by the caller
+ * (bench_harness.h), never mixed into the statistics.
+ */
+#ifndef BETTY_OBS_PERF_PHASE_STATS_H
+#define BETTY_OBS_PERF_PHASE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace betty::obs {
+
+/** Summary statistics over repeat samples (seconds in practice). */
+class BenchStats
+{
+  public:
+    /** Append one sample. */
+    void add(double value) { samples_.push_back(value); }
+
+    size_t count() const { return samples_.size(); }
+    const std::vector<double>& samples() const { return samples_; }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /** Sample median (percentile(0.5)). */
+    double median() const { return percentile(0.5); }
+
+    /** Population standard deviation (0 for < 2 samples). */
+    double stddev() const;
+
+    /**
+     * The @p q quantile (q in [0, 1]) of the samples, linearly
+     * interpolated between the two nearest order statistics. 0 with
+     * no samples.
+     */
+    double percentile(double q) const;
+
+    /**
+     * The stats as one JSON object: {"samples": [...], "min": ...,
+     * "max": ..., "mean": ..., "median": ..., "stddev": ...,
+     * "p50": ..., "p95": ..., "p99": ...}.
+     */
+    std::string toJson() const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Aggregates trace spans into per-phase seconds, one sample per
+ * measured repeat. Usage per repeat:
+ *
+ *   timer.beginRepeat();   // clears the trace ring, enables tracing
+ *   scenario();            // spans record as usual
+ *   timer.endRepeat(discard);  // discard=true for warmup repeats
+ *
+ * Spans are grouped by their full `area/phase` name; nested spans
+ * each contribute their own duration (phase categories overlap by
+ * design — `epoch` contains `train/forward`). A phase absent from a
+ * repeat contributes a 0-second sample, so every phase series has
+ * exactly one sample per measured repeat.
+ */
+class PhaseTimer
+{
+  public:
+    /** Clear the trace ring and enable span collection. Must not run
+     * concurrently with other trace writers (quiesce between
+     * repeats). */
+    void beginRepeat();
+
+    /**
+     * Aggregate the spans recorded since beginRepeat(). With
+     * @p discard (warmup) the spans are dropped instead of becoming
+     * samples. Restores the trace-enabled state found at the first
+     * beginRepeat().
+     */
+    void endRepeat(bool discard = false);
+
+    /** Measured (non-discarded) repeats so far. */
+    int64_t measuredRepeats() const { return measured_repeats_; }
+
+    /** Per-phase seconds series, keyed by span name. */
+    const std::map<std::string, BenchStats>& phases() const
+    {
+        return phases_;
+    }
+
+  private:
+    std::map<std::string, BenchStats> phases_;
+    int64_t measured_repeats_ = 0;
+    bool in_repeat_ = false;
+    bool saved_trace_enabled_ = false;
+};
+
+} // namespace betty::obs
+
+#endif // BETTY_OBS_PERF_PHASE_STATS_H

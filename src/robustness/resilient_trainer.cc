@@ -7,6 +7,7 @@
 #include "cache/feature_cache.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -163,6 +164,9 @@ ResilientTrainer::applyCapacityDrop(double factor)
         1, int64_t(double(device_->capacity()) * factor));
     warn("ResilientTrainer: device capacity dropped from ",
          device_->capacity(), " to ", next, " bytes");
+    obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                "recover/capacity-drop",
+                                device_->capacity(), next);
     device_->setCapacity(next);
 }
 
@@ -217,6 +221,8 @@ ResilientEpochResult
 ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
                              int64_t epoch, int32_t initial_k)
 {
+    obs::FlightRecorder::recordBegin("epoch/train", epoch,
+                                     initial_k);
     fault::Injector::beginEpoch(epoch);
 
     // Epoch-scoped faults fire before any planning so the first plan
@@ -233,6 +239,9 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
         if (repaired > 0) {
             report_.corruptRowsRepaired += repaired;
             chargeRecover("recover.corrupt_rows_repaired", repaired);
+            obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                        "recover/repair-rows", epoch,
+                                        repaired);
             warn("ResilientTrainer: repaired ", repaired,
                  " corrupt feature row(s) in epoch ", epoch);
         }
@@ -269,10 +278,15 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
             trainer_.setArbiter(nullptr);
             if (!result.stats.aborted) {
                 snapshotInjector();
+                obs::FlightRecorder::recordEnd("epoch/train", epoch,
+                                               result.plan.k);
                 return result;
             }
             ++report_.oomRetries;
             chargeRecover("recover.oom_retries");
+            obs::FlightRecorder::record(
+                obs::FrCategory::Oom, "oom/epoch-abort", epoch,
+                result.stats.abortedMicroBatch);
             if (attempts_left <= 0)
                 give_up = "re-plan budget (" +
                           std::to_string(policy_.maxReplanAttempts) +
@@ -290,6 +304,9 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
             // most once per cache and cannot loop.
             const int64_t released = cache_->reservedBytes();
             cache_->releaseAll();
+            obs::FlightRecorder::record(obs::FrCategory::Cache,
+                                        "cache/release-reservation",
+                                        epoch, released);
             warn("ResilientTrainer: ", give_up,
                  "; released feature-cache reservation (", released,
                  " bytes) and retrying before refusing any training "
@@ -303,6 +320,11 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
             warn("ResilientTrainer: skipping epoch ", epoch, " — ",
                  give_up, " (parameters unchanged; run continues)");
             snapshotInjector();
+            obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                        "recover/skip-epoch", epoch,
+                                        result.plan.k);
+            obs::FlightRecorder::recordEnd("epoch/train", epoch,
+                                           result.plan.k);
             return result;
         }
         --attempts_left;
@@ -310,6 +332,9 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
         ++report_.replans;
         ++result.replans;
         chargeRecover("recover.replans");
+        obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                    "recover/replan", result.plan.k,
+                                    k);
         warn("ResilientTrainer: epoch ", epoch,
              " aborted at micro-batch ",
              result.stats.abortedMicroBatch, " of K=",

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
 #include "util/rng.h"
 
 namespace betty::fault {
@@ -45,7 +46,7 @@ matches(const FaultEvent& event, int64_t epoch, int64_t mb)
 }
 
 void
-chargeInjected(InjectorState& s)
+chargeInjected(InjectorState& s, FaultKind kind)
 {
     ++s.injected;
     if (obs::Metrics::enabled()) {
@@ -53,6 +54,11 @@ chargeInjected(InjectorState& s)
             obs::Metrics::counter("recover.faults_injected");
         counter.increment();
     }
+    // The consumed fault is exactly the kind of state change the
+    // flight recorder exists for: it names the black-box story.
+    obs::FlightRecorder::record(obs::FrCategory::Fault,
+                                faultKindName(kind), s.epoch,
+                                s.microBatch);
 }
 
 /** Consume the first matching unconsumed event of @p kind; returns
@@ -69,7 +75,7 @@ takeOneShot(InjectorState& s, FaultKind kind)
         if (!matches(event, s.epoch, s.microBatch))
             continue;
         s.remaining[i] = 0;
-        chargeInjected(s);
+        chargeInjected(s, kind);
         return int64_t(i);
     }
     return -1;
@@ -369,7 +375,7 @@ Injector::takeTransferFailure()
         if (!matches(event, s.epoch, s.microBatch))
             continue;
         --s.remaining[i];
-        chargeInjected(s);
+        chargeInjected(s, FaultKind::TransferFail);
         return true;
     }
     return false;

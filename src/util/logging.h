@@ -86,7 +86,42 @@ firstSighting(const std::string& message)
     return seen.insert(message).second;
 }
 
+/** Callback fatal()/panic() invoke before dying (see setFatalHook). */
+using FatalHook = void (*)();
+
+inline std::atomic<FatalHook>&
+fatalHookStorage()
+{
+    static std::atomic<FatalHook> hook{nullptr};
+    return hook;
+}
+
+/** Run the registered fatal hook, at most once per process so a
+ * hook that itself dies fatally cannot recurse. */
+inline void
+runFatalHook()
+{
+    static std::atomic<bool> ran{false};
+    if (ran.exchange(true, std::memory_order_relaxed))
+        return;
+    if (FatalHook hook =
+            fatalHookStorage().load(std::memory_order_acquire))
+        hook();
+}
+
 } // namespace detail
+
+/**
+ * Register @p hook to run just before fatal() exits or panic()
+ * aborts — the post-mortem seam the flight recorder
+ * (obs/perf/flight_recorder.h) uses to dump its ring on the way
+ * down. One hook slot; nullptr unregisters.
+ */
+inline void
+setFatalHook(detail::FatalHook hook)
+{
+    detail::fatalHookStorage().store(hook, std::memory_order_release);
+}
 
 /** Active verbosity (BETTY_LOG_LEVEL, unless setLogLevel() ran). */
 inline LogLevel
@@ -118,6 +153,7 @@ fatal(Args&&... args)
 {
     std::fprintf(stderr, "fatal: %s\n",
                  detail::concatMessage(std::forward<Args>(args)...).c_str());
+    detail::runFatalHook();
     std::exit(1);
 }
 
@@ -128,6 +164,7 @@ panic(Args&&... args)
 {
     std::fprintf(stderr, "panic: %s\n",
                  detail::concatMessage(std::forward<Args>(args)...).c_str());
+    detail::runFatalHook();
     std::abort();
 }
 

@@ -1,10 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
 #include "obs/trace.h"
+#include "util/env_config.h"
 #include "util/logging.h"
 
 namespace betty {
@@ -15,12 +16,7 @@ namespace {
 int32_t
 defaultGlobalThreads()
 {
-    if (const char* env = std::getenv("BETTY_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed >= 1)
-            return int32_t(parsed);
-    }
-    return 1;
+    return envcfg::threads();
 }
 
 std::mutex g_pool_mutex;
@@ -125,11 +121,26 @@ ThreadPool::workerLoop(size_t index)
             task();
             continue;
         }
+        if (obs::Metrics::enabled()) {
+            static obs::Counter& stalls =
+                obs::Metrics::counter("pool.stalls");
+            stalls.increment();
+        }
+        const int64_t idle_from = obs::Trace::nowUs();
         std::unique_lock<std::mutex> lock(wake_mutex_);
         wake_.wait(lock, [this] {
             return shutdown_.load(std::memory_order_acquire) ||
                    pending_.load(std::memory_order_acquire) > 0;
         });
+        // Flight-record only waits long enough to matter (>= 10ms):
+        // per-wave wake/sleep churn would flood the ring, a worker
+        // starved between phases is the story the black box wants.
+        const int64_t idle_us = obs::Trace::nowUs() - idle_from;
+        if (idle_us >= 10000 &&
+            !shutdown_.load(std::memory_order_acquire))
+            obs::FlightRecorder::record(obs::FrCategory::Pool,
+                                        "pool/stall",
+                                        int64_t(index), idle_us);
         if (shutdown_.load(std::memory_order_acquire) &&
             pending_.load(std::memory_order_acquire) == 0)
             return;

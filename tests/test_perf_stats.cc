@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Repeat statistics, phase aggregation, and the bench harness
+ * (obs/perf/phase_stats.h, obs/perf/bench_harness.h) plus the
+ * histogram percentile export they surface.
+ *
+ * Contracts under test: BenchStats matches hand-computed values on
+ * known samples (including the linear interpolation between order
+ * statistics), PhaseTimer turns trace spans into one sample per
+ * measured repeat with warmup discarded and absent phases
+ * zero-filled, histogram percentiles interpolate within buckets and
+ * the count/sum consistency check holds, and BenchRunner produces a
+ * parseable schema-versioned report with exactly `repeats` wall
+ * samples per scenario.
+ */
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/perf/bench_harness.h"
+#include "obs/perf/phase_stats.h"
+#include "obs/trace.h"
+
+namespace betty::obs {
+namespace {
+
+TEST(BenchStats, KnownSamples)
+{
+    BenchStats stats;
+    for (double v : {4.0, 1.0, 3.0, 2.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 4u);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(stats.median(), 2.5);
+    // Population stddev of {1,2,3,4}: sqrt(5/4).
+    EXPECT_NEAR(stats.stddev(), 1.1180339887498949, 1e-12);
+    // Interpolated percentiles over sorted {1,2,3,4}: rank
+    // q*(n-1) = 2.85 for p95 -> 3 + 0.85.
+    EXPECT_NEAR(stats.percentile(0.95), 3.85, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(1.0), 4.0);
+}
+
+TEST(BenchStats, DegenerateCases)
+{
+    BenchStats empty;
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+
+    BenchStats one;
+    one.add(7.0);
+    EXPECT_DOUBLE_EQ(one.median(), 7.0);
+    EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+}
+
+TEST(BenchStats, JsonRoundTrips)
+{
+    BenchStats stats;
+    stats.add(0.25);
+    stats.add(0.75);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(stats.toJson(), doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.find("median")->number, 0.5);
+    EXPECT_DOUBLE_EQ(doc.find("min")->number, 0.25);
+    ASSERT_TRUE(doc.find("samples")->isArray());
+    EXPECT_EQ(doc.find("samples")->array.size(), 2u);
+}
+
+TEST(HistogramPercentile, InterpolatesWithinBuckets)
+{
+    Metrics::setEnabled(true);
+    Histogram hist({1.0, 2.0, 4.0});
+    // 10 observations in [1, 2), none elsewhere: every mid quantile
+    // interpolates inside that bucket.
+    for (int i = 0; i < 10; ++i)
+        hist.observe(1.5);
+    EXPECT_EQ(hist.count(), 10);
+    EXPECT_DOUBLE_EQ(hist.sum(), 15.0);
+    EXPECT_TRUE(hist.bucketsConsistent());
+    const double p50 = hist.percentile(0.5);
+    EXPECT_GT(p50, 1.0);
+    EXPECT_LE(p50, 2.0);
+    const double p95 = hist.percentile(0.95);
+    EXPECT_GE(p95, p50);
+    EXPECT_LE(p95, 2.0);
+    Metrics::setEnabled(false);
+}
+
+TEST(HistogramPercentile, OverflowBucketClampsToLastBound)
+{
+    Metrics::setEnabled(true);
+    Histogram hist({1.0, 2.0});
+    hist.observe(100.0); // lands in the overflow bucket
+    EXPECT_DOUBLE_EQ(hist.percentile(0.99), 2.0);
+    Metrics::setEnabled(false);
+}
+
+TEST(PhaseTimer, OneSamplePerMeasuredRepeatWithZeroFill)
+{
+    const bool was_tracing = Trace::enabled();
+    PhaseTimer timer;
+
+    // Warmup repeat: records a span, must leave no samples.
+    timer.beginRepeat();
+    {
+        BETTY_TRACE_SPAN("perftest/warm");
+    }
+    timer.endRepeat(true);
+    EXPECT_EQ(timer.measuredRepeats(), 0);
+    EXPECT_TRUE(timer.phases().empty());
+
+    // Repeat 1 runs phase a only; repeat 2 runs a and b. Phase b
+    // must be zero-backfilled so both series have 2 samples.
+    timer.beginRepeat();
+    {
+        BETTY_TRACE_SPAN("perftest/a");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    timer.endRepeat();
+    timer.beginRepeat();
+    {
+        BETTY_TRACE_SPAN("perftest/a");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        BETTY_TRACE_SPAN("perftest/b");
+    }
+    timer.endRepeat();
+
+    EXPECT_EQ(timer.measuredRepeats(), 2);
+    const auto& phases = timer.phases();
+    ASSERT_TRUE(phases.count("perftest/a"));
+    ASSERT_TRUE(phases.count("perftest/b"));
+    const BenchStats& a = phases.at("perftest/a");
+    const BenchStats& b = phases.at("perftest/b");
+    ASSERT_EQ(a.count(), 2u);
+    ASSERT_EQ(b.count(), 2u);
+    EXPECT_GT(a.samples()[0], 0.0);
+    EXPECT_GT(a.samples()[1], 0.0);
+    EXPECT_DOUBLE_EQ(b.samples()[0], 0.0); // absent in repeat 1
+    EXPECT_EQ(Trace::enabled(), was_tracing); // state restored
+}
+
+TEST(BenchRunner, TrivialScenarioProducesAValidReport)
+{
+    BenchConfig config;
+    config.repeats = 3;
+    config.warmup = 1;
+    BenchRunner runner(config);
+    runner.setConfigNote("note", "value");
+
+    int setups = 0, runs = 0, teardowns = 0;
+    BenchScenario scenario;
+    scenario.name = "trivial";
+    scenario.description = "counts invocations";
+    scenario.setup = [&] { ++setups; };
+    scenario.run = [&] {
+        ++runs;
+        BETTY_TRACE_SPAN("perftest/body");
+        if (Metrics::enabled())
+            Metrics::counter("perftest.count").increment();
+    };
+    scenario.teardown = [&] { ++teardowns; };
+    runner.run(scenario);
+
+    EXPECT_EQ(setups, 1);
+    EXPECT_EQ(runs, config.repeats + config.warmup);
+    EXPECT_EQ(teardowns, 1);
+    EXPECT_EQ(runner.scenarioCount(), 1);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(runner.reportJson(), doc, &error)) << error;
+    EXPECT_EQ(doc.find("bench_schema_version")->asInt(),
+              kBenchSchemaVersion);
+    ASSERT_TRUE(doc.find("fingerprint"));
+    EXPECT_GT(doc.find("fingerprint")->find("cores")->asInt(), 0);
+    EXPECT_EQ(doc.find("config")->find("note")->string, "value");
+
+    const JsonValue* entry =
+        doc.find("scenarios")->find("trivial");
+    ASSERT_TRUE(entry);
+    // Warmup is discarded: exactly `repeats` wall samples.
+    EXPECT_EQ(
+        entry->find("wall_seconds")->find("samples")->array.size(),
+        size_t(config.repeats));
+    // The counter delta series and the phase series align with it.
+    const JsonValue* counter =
+        entry->find("counters")->find("perftest.count");
+    ASSERT_TRUE(counter);
+    EXPECT_EQ(counter->find("samples")->array.size(),
+              size_t(config.repeats));
+    EXPECT_DOUBLE_EQ(counter->find("median")->number, 1.0);
+    ASSERT_TRUE(entry->find("phases")->find("perftest/body"));
+}
+
+} // namespace
+} // namespace betty::obs

@@ -11,6 +11,9 @@
  *       [--max-edge-cut-regress F]  (default 0.10: +10% edge cut)
  *       [--max-accuracy-drop F]     (default 0.05: -5 points test acc)
  *       [--inject-peak-scale F]     (test hook: scale candidate peaks)
+ *   betty_report bench-diff <baseline.json> <candidate.json>
+ *       [--tolerance F]             (default 0.25: +25% wall clock)
+ *       [--inject-time-scale F]     (test hook: scale candidate times)
  *
  * `print` renders the report's epochs and per-category Table 3
  * breakdown as aligned tables. `check` validates the report's
@@ -20,10 +23,20 @@
  * acceptance contract of the memory profiler and the fault-tolerant
  * runtime. `diff` compares two reports and exits non-zero when the
  * candidate regresses past any threshold, refusing to compare
- * artifacts with mismatched schema versions.
+ * artifacts with mismatched schema versions. `bench-diff` is the
+ * wall-clock regression gate over betty_bench's BENCH_report.json:
+ * every scenario's median wall seconds may exceed the baseline's by
+ * at most --tolerance (relative).
  *
- * Exit codes: 0 ok, 1 regression/violation, 2 usage or parse error.
+ * Malformed artifacts are typed errors, never crashes or silent
+ * passes: a missing summary/scenario section, a mismatched schema
+ * version, a zero baseline (ratio undefined), or a non-finite
+ * number each name the offending field and exit 2.
+ *
+ * Exit codes: 0 ok, 1 regression/violation, 2 usage/parse/artifact
+ * error.
  */
+#include <cmath>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +48,7 @@
 
 #include "obs/json.h"
 #include "obs/memprof.h"
+#include "obs/perf/bench_harness.h"
 #include "obs/run_meta.h"
 #include "util/table.h"
 
@@ -42,6 +56,7 @@ namespace {
 
 using betty::TablePrinter;
 using betty::obs::JsonValue;
+using betty::obs::kBenchSchemaVersion;
 using betty::obs::kMemCategoryCount;
 using betty::obs::kObsSchemaVersion;
 using betty::obs::MemCategory;
@@ -61,7 +76,10 @@ usage()
         "           [--max-peak-regress F] [--max-time-regress F]\n"
         "           [--max-edge-cut-regress F] "
         "[--max-accuracy-drop F]\n"
-        "           [--inject-peak-scale F]\n");
+        "           [--inject-peak-scale F]\n"
+        "       betty_report bench-diff <baseline.json> "
+        "<candidate.json>\n"
+        "           [--tolerance F] [--inject-time-scale F]\n");
     return 2;
 }
 
@@ -106,6 +124,47 @@ summaryNumber(const JsonValue& doc, const char* key, double fallback)
     const JsonValue* summary = doc.find("summary");
     const JsonValue* value = summary ? summary->find(key) : nullptr;
     return value && value->isNumber() ? value->number : fallback;
+}
+
+/** Malformed-artifact count (drives the exit-2 path of diff modes). */
+int artifact_errors = 0;
+
+void
+artifactError(const std::string& message)
+{
+    std::fprintf(stderr, "betty_report: artifact error: %s\n",
+                 message.c_str());
+    ++artifact_errors;
+}
+
+/**
+ * summary.<key> as a finite double for the diff gate. Unlike
+ * summaryNumber (whose absent-means-fallback suits printing), a gate
+ * comparing a missing or non-finite number would pass silently — so
+ * each such case is a typed artifact error instead.
+ */
+double
+requiredSummaryNumber(const JsonValue& doc, const char* doc_name,
+                      const char* key)
+{
+    const JsonValue* summary = doc.find("summary");
+    if (!summary || !summary->isObject()) {
+        artifactError(std::string(doc_name) +
+                      ": summary section is missing");
+        return 0.0;
+    }
+    const JsonValue* value = summary->find(key);
+    if (!value || !value->isNumber()) {
+        artifactError(std::string(doc_name) + ": summary." + key +
+                      " is missing or not a number");
+        return 0.0;
+    }
+    if (!std::isfinite(value->number)) {
+        artifactError(std::string(doc_name) + ": summary." + key +
+                      " is not finite");
+        return 0.0;
+    }
+    return value->number;
 }
 
 // ---------------------------------------------------------------- print
@@ -522,46 +581,190 @@ diffReports(const JsonValue& baseline, const JsonValue& candidate,
         return 2;
     }
 
-    const double base_peak = summaryNumber(baseline, "peak_bytes", 0);
+    const double base_peak =
+        requiredSummaryNumber(baseline, "baseline", "peak_bytes");
     const double cand_peak =
-        summaryNumber(candidate, "peak_bytes", 0) *
+        requiredSummaryNumber(candidate, "candidate", "peak_bytes") *
         thresholds.injectPeakScale;
     compareIncrease("peak_bytes", base_peak, cand_peak,
                     thresholds.maxPeakRegress);
 
     compareIncrease(
         "total_compute_seconds",
-        summaryNumber(baseline, "total_compute_seconds", 0),
-        summaryNumber(candidate, "total_compute_seconds", 0),
+        requiredSummaryNumber(baseline, "baseline",
+                              "total_compute_seconds"),
+        requiredSummaryNumber(candidate, "candidate",
+                              "total_compute_seconds"),
         thresholds.maxTimeRegress);
 
-    compareIncrease("edge_cut",
-                    summaryNumber(baseline, "edge_cut", 0),
-                    summaryNumber(candidate, "edge_cut", 0),
-                    thresholds.maxEdgeCutRegress);
+    compareIncrease(
+        "edge_cut",
+        requiredSummaryNumber(baseline, "baseline", "edge_cut"),
+        requiredSummaryNumber(candidate, "candidate", "edge_cut"),
+        thresholds.maxEdgeCutRegress);
 
-    const double base_acc =
-        summaryNumber(baseline, "final_test_accuracy", 0);
-    const double cand_acc =
-        summaryNumber(candidate, "final_test_accuracy", 0);
+    const double base_acc = requiredSummaryNumber(
+        baseline, "baseline", "final_test_accuracy");
+    const double cand_acc = requiredSummaryNumber(
+        candidate, "candidate", "final_test_accuracy");
     if (base_acc - cand_acc > thresholds.maxAccuracyDrop)
         regression("final_test_accuracy", base_acc, cand_acc,
                    "dropped " + std::to_string(base_acc - cand_acc) +
                        " > allowed " +
                        std::to_string(thresholds.maxAccuracyDrop));
 
-    const double base_oom = summaryNumber(baseline, "oom_events", 0);
-    const double cand_oom = summaryNumber(candidate, "oom_events", 0);
+    const double base_oom =
+        requiredSummaryNumber(baseline, "baseline", "oom_events");
+    const double cand_oom =
+        requiredSummaryNumber(candidate, "candidate", "oom_events");
     if (cand_oom > base_oom)
         regression("oom_events", base_oom, cand_oom,
                    "more OOM episodes than baseline");
 
+    if (artifact_errors) {
+        std::fprintf(stderr, "betty_report: %d artifact error(s)\n",
+                     artifact_errors);
+        return 2;
+    }
     if (diff_regressions) {
         std::fprintf(stderr, "betty_report: %d regression(s)\n",
                      diff_regressions);
         return 1;
     }
     std::printf("betty_report: diff OK (no regressions)\n");
+    return 0;
+}
+
+// ----------------------------------------------------------- bench-diff
+
+int64_t
+benchSchemaVersion(const JsonValue& doc)
+{
+    const JsonValue* version = doc.find("bench_schema_version");
+    return version && version->isNumber() ? version->asInt() : 0;
+}
+
+/** scenarios.<name>.wall_seconds.median as a finite double; flips
+ * @p ok (with a typed artifact error) when absent or non-finite. */
+double
+scenarioMedian(const JsonValue& entry, const char* doc_name,
+               const std::string& name, bool* ok)
+{
+    const JsonValue* wall = entry.find("wall_seconds");
+    if (!wall || !wall->isObject()) {
+        artifactError(std::string(doc_name) + ": scenario '" + name +
+                      "' has no wall_seconds section");
+        *ok = false;
+        return 0.0;
+    }
+    const JsonValue* median = wall->find("median");
+    if (!median || !median->isNumber()) {
+        artifactError(std::string(doc_name) + ": scenario '" + name +
+                      "' wall_seconds.median is missing");
+        *ok = false;
+        return 0.0;
+    }
+    if (!std::isfinite(median->number)) {
+        artifactError(std::string(doc_name) + ": scenario '" + name +
+                      "' wall_seconds.median is not finite");
+        *ok = false;
+        return 0.0;
+    }
+    return median->number;
+}
+
+/**
+ * The wall-clock regression gate over two BENCH_report.json files:
+ * every baseline scenario must exist in the candidate and its median
+ * wall seconds may grow by at most @p tolerance (relative).
+ */
+int
+benchDiff(const JsonValue& baseline, const JsonValue& candidate,
+          double tolerance, double inject_time_scale)
+{
+    const int64_t base_version = benchSchemaVersion(baseline);
+    const int64_t cand_version = benchSchemaVersion(candidate);
+    if (base_version == 0 || cand_version == 0) {
+        artifactError("bench_schema_version is missing — not a "
+                      "BENCH_report.json?");
+        return 2;
+    }
+    if (base_version != cand_version ||
+        base_version != kBenchSchemaVersion) {
+        std::fprintf(stderr,
+                     "betty_report: refusing to bench-diff "
+                     "bench_schema_version %lld against %lld "
+                     "(this build understands %lld)\n",
+                     (long long)base_version, (long long)cand_version,
+                     (long long)kBenchSchemaVersion);
+        return 2;
+    }
+
+    const JsonValue* base_scenarios = baseline.find("scenarios");
+    const JsonValue* cand_scenarios = candidate.find("scenarios");
+    if (!base_scenarios || !base_scenarios->isObject() ||
+        base_scenarios->object.empty()) {
+        artifactError("baseline: scenarios section is missing or "
+                      "empty");
+        return 2;
+    }
+    if (!cand_scenarios || !cand_scenarios->isObject()) {
+        artifactError("candidate: scenarios section is missing");
+        return 2;
+    }
+
+    size_t compared = 0;
+    for (const auto& [name, base_entry] : base_scenarios->object) {
+        const JsonValue* cand_entry = cand_scenarios->find(name);
+        if (!cand_entry) {
+            artifactError("candidate: scenario '" + name +
+                          "' is missing");
+            continue;
+        }
+        bool ok = true;
+        const double base_median =
+            scenarioMedian(base_entry, "baseline", name, &ok);
+        double cand_median =
+            scenarioMedian(*cand_entry, "candidate", name, &ok);
+        if (!ok)
+            continue;
+        if (base_median <= 0.0) {
+            artifactError("baseline: scenario '" + name +
+                          "' median wall seconds is " +
+                          std::to_string(base_median) +
+                          " — regression ratio is undefined");
+            continue;
+        }
+        cand_median *= inject_time_scale;
+        ++compared;
+        const double ratio =
+            (cand_median - base_median) / base_median;
+        if (ratio > tolerance)
+            regression(("bench." + name + ".wall_seconds").c_str(),
+                       base_median, cand_median,
+                       "+" + std::to_string(ratio * 100.0) +
+                           "% > allowed +" +
+                           std::to_string(tolerance * 100.0) + "%");
+        else
+            std::printf("bench-diff: %-24s %.6g s -> %.6g s "
+                        "(%+.1f%%, allowed +%.0f%%)\n",
+                        name.c_str(), base_median, cand_median,
+                        ratio * 100.0, tolerance * 100.0);
+    }
+
+    if (artifact_errors) {
+        std::fprintf(stderr, "betty_report: %d artifact error(s)\n",
+                     artifact_errors);
+        return 2;
+    }
+    if (diff_regressions) {
+        std::fprintf(stderr, "betty_report: %d regression(s)\n",
+                     diff_regressions);
+        return 1;
+    }
+    std::printf("betty_report: bench-diff OK (%zu scenario(s) "
+                "within +%.0f%%)\n",
+                compared, tolerance * 100.0);
     return 0;
 }
 
@@ -616,6 +819,38 @@ main(int argc, char** argv)
             !loadReport(argv[3], candidate))
             return 2;
         return diffReports(baseline, candidate, thresholds);
+    }
+
+    if (command == "bench-diff") {
+        if (argc < 4)
+            return usage();
+        double tolerance = 0.25;
+        double inject_time_scale = 1.0;
+        for (int i = 4; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto value = [&]() -> double {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "betty_report: missing value for "
+                                 "%s\n",
+                                 flag.c_str());
+                    std::exit(2);
+                }
+                return std::atof(argv[++i]);
+            };
+            if (flag == "--tolerance")
+                tolerance = value();
+            else if (flag == "--inject-time-scale")
+                inject_time_scale = value();
+            else
+                return usage();
+        }
+        JsonValue baseline, candidate;
+        if (!loadReport(argv[2], baseline) ||
+            !loadReport(argv[3], candidate))
+            return 2;
+        return benchDiff(baseline, candidate, tolerance,
+                         inject_time_scale);
     }
 
     return usage();
