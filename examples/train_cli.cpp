@@ -12,6 +12,7 @@
  *               [--threads N] [--no-pipeline]
  *               [--cache-gib F] [--cache-policy lru|lru-pinned]
  *               [--data-cache FILE] [--trace-out=FILE]
+ *               [--critpath-out=FILE] [--trace-ring N]
  *               [--metrics-out=FILE] [--memprof-out=FILE]
  *               [--faults SPEC] [--fault-seed N]
  *               [--checkpoint-out FILE] [--checkpoint-every N]
@@ -65,6 +66,13 @@
  *
  * --trace-out=FILE enables span collection and writes a Chrome
  * trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
+ * --critpath-out=FILE additionally (or instead) runs the critical-
+ * path analysis (obs/critpath/) over the recorded spans at the end
+ * of the run and writes CRITPATH_report.json — per-category
+ * attribution of the epoch critical path, the same artifact
+ * `betty_report critpath <trace>` produces offline. --trace-ring N
+ * overrides the per-thread trace ring capacity (BETTY_TRACE_RING);
+ * if the run still drops events, a warning names both knobs.
  * --metrics-out=FILE enables the metric registry and writes its JSON
  * snapshot, including per-micro-batch estimator residuals.
  * --memprof-out=FILE enables metrics and writes a structured run
@@ -85,6 +93,9 @@
 #include "data/catalog.h"
 #include "data/io.h"
 #include "memory/transfer_model.h"
+#include "obs/critpath/critical_path.h"
+#include "obs/critpath/critpath_report.h"
+#include "obs/critpath/span_graph.h"
 #include "obs/metrics.h"
 #include "obs/run_meta.h"
 #include "obs/run_report.h"
@@ -136,6 +147,12 @@ struct Args
     std::string data_cache;
     /** Chrome trace JSON destination ("" = tracing disabled). */
     std::string trace_out;
+    /** CRITPATH_report.json destination ("" = no analysis; enables
+     * tracing like --trace-out does). */
+    std::string critpath_out;
+    /** Per-thread trace ring capacity override (raw flag text; "" =
+     * BETTY_TRACE_RING or the built-in default). */
+    std::string trace_ring;
     /** Metrics JSON destination ("" = metrics disabled). */
     std::string metrics_out;
     /** Run-report JSON destination ("" = no report; enables metrics). */
@@ -255,6 +272,10 @@ parseArgs(int argc, char** argv)
             args.data_cache = next();
         } else if (flag == "--trace-out") {
             args.trace_out = next();
+        } else if (flag == "--critpath-out") {
+            args.critpath_out = next();
+        } else if (flag == "--trace-ring") {
+            args.trace_ring = next();
         } else if (flag == "--metrics-out") {
             args.metrics_out = next();
         } else if (flag == "--memprof-out") {
@@ -318,8 +339,18 @@ main(int argc, char** argv)
             args.flight_recorder_out);
     if (args.threads > 0)
         ThreadPool::setGlobalThreads(args.threads);
-    if (!args.trace_out.empty())
+    // Ring capacity must be set before the first event is recorded;
+    // flag > BETTY_TRACE_RING > default, strict parse.
+    const int64_t trace_ring =
+        envcfg::resolveInt(args.trace_ring, "--trace-ring",
+                           "BETTY_TRACE_RING", 1 << 16);
+    if (trace_ring < 1)
+        fatal("--trace-ring must be at least 1");
+    obs::Trace::setRingCapacity(size_t(trace_ring));
+    if (!args.trace_out.empty() || !args.critpath_out.empty()) {
         obs::Trace::setEnabled(true);
+        obs::Trace::nameCurrentLane("main");
+    }
     // The run report is fed by the metric collectors (memory
     // profiler, residuals, transfer counters), so --memprof-out
     // implies metrics collection.
@@ -686,6 +717,36 @@ main(int argc, char** argv)
                    "' (open in chrome://tracing or ui.perfetto.dev)");
         else
             warn("could not write trace '", args.trace_out, "'");
+    }
+    if (obs::Trace::enabled() && obs::Trace::droppedEvents() > 0)
+        warn("trace dropped ", obs::Trace::droppedEvents(),
+             " event(s) to the per-thread ring (capacity ",
+             trace_ring, "); raise BETTY_TRACE_RING or "
+             "--trace-ring for a lossless trace");
+    if (!args.critpath_out.empty()) {
+        namespace critpath = obs::critpath;
+        critpath::SpanGraph graph = critpath::buildFromLiveTrace();
+        critpath::CritpathError error;
+        critpath::SegmentGraph segments;
+        if (!critpath::validateSpanGraph(&graph, &error) ||
+            !critpath::buildSegmentGraph(graph, &segments, &error)) {
+            warn("critpath analysis failed (",
+                 critpath::critpathErrorKindName(error.kind), "): ",
+                 error.message);
+        } else {
+            const critpath::CriticalPathResult result =
+                critpath::analyzeCriticalPath(graph, segments);
+            if (critpath::writeCritpathReport(args.critpath_out,
+                                              graph, result, {}))
+                inform("wrote critpath report '", args.critpath_out,
+                       "' (", result.steps.size(),
+                       " steps, coverage ",
+                       TablePrinter::num(result.coverage, 4),
+                       "; inspect with betty_report critpath)");
+            else
+                warn("could not write critpath report '",
+                     args.critpath_out, "'");
+        }
     }
     if (!args.metrics_out.empty()) {
         if (obs::Metrics::writeJson(args.metrics_out))

@@ -32,7 +32,7 @@ std::vector<std::vector<int64_t>>
 BettyPartitioner::partition(const MultiLayerBatch& batch, int32_t k)
 {
     BETTY_ASSERT(k >= 1, "k must be >= 1");
-    BETTY_TRACE_SPAN("partition/betty");
+    BETTY_TRACE_SPAN_CAT("partition/betty", "partition");
     const auto outputs = batch.outputNodes();
     last_run_was_warm_ = false;
     if (k == 1)
@@ -97,7 +97,7 @@ MemoryAwarePlanner::evaluateK(const MultiLayerBatch& full,
                               OutputPartitioner& partitioner,
                               int32_t k) const
 {
-    BETTY_TRACE_SPAN("plan/evaluate_k");
+    BETTY_TRACE_SPAN_CAT("plan/evaluate_k", "partition");
     PlanResult result;
     result.k = k;
     result.attempts = 1;
@@ -123,7 +123,7 @@ MemoryAwarePlanner::plan(const MultiLayerBatch& full,
 {
     BETTY_ASSERT(initial_k >= 1 && max_k >= initial_k,
                  "bad K search range");
-    BETTY_TRACE_SPAN("plan/search");
+    BETTY_TRACE_SPAN_CAT("plan/search", "partition");
     const int64_t num_outputs = int64_t(full.outputNodes().size());
 
     int32_t attempts = 0;
@@ -148,7 +148,7 @@ MemoryAwarePlanner::planGeometric(const MultiLayerBatch& full,
                                   int32_t max_k) const
 {
     BETTY_ASSERT(max_k >= 1, "bad K bound");
-    BETTY_TRACE_SPAN("plan/search");
+    BETTY_TRACE_SPAN_CAT("plan/search", "partition");
     const int64_t num_outputs = int64_t(full.outputNodes().size());
     const int32_t hard_max = int32_t(
         std::min<int64_t>(max_k, std::max<int64_t>(1, num_outputs)));

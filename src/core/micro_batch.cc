@@ -12,7 +12,7 @@ std::vector<MultiLayerBatch>
 extractMicroBatches(const MultiLayerBatch& full,
                     const std::vector<std::vector<int64_t>>& groups)
 {
-    BETTY_TRACE_SPAN("partition/extract_micro_batches");
+    BETTY_TRACE_SPAN_CAT("partition/extract_micro_batches", "partition");
     const int64_t layers = full.numLayers();
     BETTY_ASSERT(layers > 0, "empty batch");
 

@@ -1,0 +1,154 @@
+#include "obs/critpath/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace betty::obs::critpath {
+
+CriticalPathResult
+analyzeCriticalPath(const SpanGraph& graph,
+                    const SegmentGraph& segments)
+{
+    CriticalPathResult result;
+    if (graph.spans.empty() || segments.segments.empty())
+        return result;
+
+    int64_t min_start = graph.spans.front().startUs;
+    int64_t max_end = graph.spans.front().endUs();
+    for (const GraphSpan& span : graph.spans) {
+        min_start = std::min(min_start, span.startUs);
+        max_end = std::max(max_end, span.endUs());
+    }
+    result.wallUs = max_end - min_start;
+
+    // Start at the globally last-ending segment (ties: lowest index,
+    // deterministic because segments are (lane, start)-sorted).
+    int32_t current = 0;
+    for (size_t i = 1; i < segments.segments.size(); ++i)
+        if (segments.segments[i].endUs >
+            segments.segments[current].endUs)
+            current = int32_t(i);
+
+    // Backward walk, collecting (segment, gap-before) pairs.
+    struct WalkStep
+    {
+        int32_t segment;
+        int64_t gapBefore;
+    };
+    std::vector<WalkStep> walk;
+    for (;;) {
+        // Binding predecessor: the dependency that ended last. Only
+        // predecessors that end at or before this segment starts can
+        // bind (others did not constrain the measured start).
+        const Segment& seg = segments.segments[size_t(current)];
+        int32_t binding = -1;
+        int64_t binding_end = -1;
+        for (int32_t pred : segments.preds[size_t(current)]) {
+            const Segment& p = segments.segments[size_t(pred)];
+            if (p.endUs > seg.startUs)
+                continue;
+            if (p.endUs > binding_end) {
+                binding_end = p.endUs;
+                binding = pred;
+            }
+        }
+        walk.push_back(WalkStep{
+            current,
+            binding < 0 ? 0 : seg.startUs - binding_end});
+        if (binding < 0)
+            break;
+        current = binding;
+    }
+    std::reverse(walk.begin(), walk.end());
+
+    // Merge consecutive same-span segments into steps; attribute.
+    std::map<std::string, int64_t> category_us;
+    for (const WalkStep& step : walk) {
+        const Segment& seg = segments.segments[size_t(step.segment)];
+        const GraphSpan& span = graph.spans[size_t(seg.spanIndex)];
+        if (step.gapBefore > 0)
+            category_us["stall"] += step.gapBefore;
+        category_us[spanCategory(span)] += seg.durUs();
+        if (!result.steps.empty() &&
+            result.steps.back().spanIndex == seg.spanIndex &&
+            step.gapBefore == 0) {
+            result.steps.back().endUs = seg.endUs;
+        } else {
+            PathStep out;
+            out.spanIndex = seg.spanIndex;
+            out.startUs = seg.startUs;
+            out.endUs = seg.endUs;
+            out.stallBeforeUs = step.gapBefore;
+            result.steps.push_back(out);
+        }
+    }
+
+    const Segment& first =
+        segments.segments[size_t(walk.front().segment)];
+    const Segment& last =
+        segments.segments[size_t(walk.back().segment)];
+    result.cpUs = last.endUs - first.startUs;
+
+    for (const PathStep& step : result.steps)
+        result.longestStepUs = std::max(
+            result.longestStepUs, step.endUs - step.startUs);
+
+    for (const auto& [category, us] : category_us) {
+        CategoryShare share;
+        share.category = category;
+        share.us = us;
+        share.share =
+            result.cpUs > 0 ? double(us) / double(result.cpUs) : 0.0;
+        result.categories.push_back(std::move(share));
+    }
+    std::sort(result.categories.begin(), result.categories.end(),
+              [](const CategoryShare& a, const CategoryShare& b) {
+                  if (a.us != b.us)
+                      return a.us > b.us;
+                  return a.category < b.category;
+              });
+    result.coverage = result.wallUs > 0
+                          ? double(result.cpUs) /
+                                double(result.wallUs)
+                          : 0.0;
+    return result;
+}
+
+bool
+validateCriticalPath(const CriticalPathResult& result,
+                     std::vector<std::string>* violations)
+{
+    bool ok = true;
+    auto violate = [&](std::string message) {
+        ok = false;
+        if (violations)
+            violations->push_back(std::move(message));
+    };
+    if (result.cpUs > result.wallUs)
+        violate("critical path (" + std::to_string(result.cpUs) +
+                " us) exceeds wall time (" +
+                std::to_string(result.wallUs) + " us)");
+    if (result.cpUs < result.longestStepUs)
+        violate("critical path (" + std::to_string(result.cpUs) +
+                " us) is shorter than its longest step (" +
+                std::to_string(result.longestStepUs) + " us)");
+    if (!result.categories.empty()) {
+        double sum = 0.0;
+        int64_t us_sum = 0;
+        for (const CategoryShare& share : result.categories) {
+            sum += share.share;
+            us_sum += share.us;
+        }
+        if (std::abs(sum - 1.0) > 1e-6)
+            violate("category shares sum to " +
+                    std::to_string(sum) + ", expected ~1");
+        if (us_sum != result.cpUs)
+            violate("category us sum to " +
+                    std::to_string(us_sum) + ", expected cp length " +
+                    std::to_string(result.cpUs));
+    }
+    return ok;
+}
+
+} // namespace betty::obs::critpath

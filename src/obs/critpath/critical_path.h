@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Critical-path extraction over a measured SegmentGraph.
+ *
+ * The walk starts at the segment that ends last anywhere in the trace
+ * and repeatedly steps to the *binding* predecessor — the incoming
+ * dependency (same-lane predecessor or flow-edge source) with the
+ * latest end time, i.e. the one that actually delayed this segment.
+ * Segment durations on the path are attributed to their span's
+ * category; any positive gap between a binding predecessor's end and
+ * the dependent segment's start — time where the path was waiting on
+ * nothing the trace can see — is attributed to "stall", as is every
+ * span explicitly tagged with the stall category (the trainer's
+ * "train/pipeline_wait").
+ *
+ * Invariants (checked by validateCriticalPath and gated by
+ * betty_report critpath):
+ *   - cpUs <= wallUs                  (the path is inside the trace)
+ *   - cpUs >= longestStepUs           (it contains its longest step)
+ *   - category shares sum to ~1       (every on-path us attributed)
+ */
+#ifndef BETTY_OBS_CRITPATH_CRITICAL_PATH_H
+#define BETTY_OBS_CRITPATH_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/critpath/span_graph.h"
+
+namespace betty::obs::critpath {
+
+/** One maximal run of a single span on the critical path. */
+struct PathStep
+{
+    /** Index into SpanGraph::spans. */
+    int32_t spanIndex = -1;
+    int64_t startUs = 0;
+    int64_t endUs = 0;
+    /** Positive scheduling gap immediately before this step
+     * (attributed to "stall"). */
+    int64_t stallBeforeUs = 0;
+};
+
+/** Aggregated on-path time of one category. */
+struct CategoryShare
+{
+    std::string category;
+    int64_t us = 0;
+    /** us / cpUs. */
+    double share = 0.0;
+};
+
+struct CriticalPathResult
+{
+    /** max span end - min span start over the whole trace. */
+    int64_t wallUs = 0;
+
+    /** Length of the critical path: last end - first reached start
+     * (durations + stall gaps telescope to exactly this). */
+    int64_t cpUs = 0;
+
+    /** cpUs / wallUs (0 when the trace is empty). */
+    double coverage = 0.0;
+
+    /** Longest single step on the path (duration, gap excluded). */
+    int64_t longestStepUs = 0;
+
+    /** Per-category attribution, largest first; includes "stall". */
+    std::vector<CategoryShare> categories;
+
+    /** The path, chronological. */
+    std::vector<PathStep> steps;
+};
+
+/**
+ * Walk the critical path of @p segments (built from @p graph).
+ * An empty graph yields an all-zero result.
+ */
+CriticalPathResult analyzeCriticalPath(const SpanGraph& graph,
+                                       const SegmentGraph& segments);
+
+/**
+ * Check the result's internal consistency (file-comment invariants).
+ * Returns false and appends one line per violation to @p violations.
+ */
+bool validateCriticalPath(const CriticalPathResult& result,
+                          std::vector<std::string>* violations);
+
+} // namespace betty::obs::critpath
+
+#endif // BETTY_OBS_CRITPATH_CRITICAL_PATH_H

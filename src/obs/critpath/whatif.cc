@@ -1,0 +1,62 @@
+#include "obs/critpath/whatif.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace betty::obs::critpath {
+
+double
+modelMakespanUs(const SpanGraph& graph, const SegmentGraph& segments,
+                const std::map<std::string, double>& scales)
+{
+    if (segments.segments.empty())
+        return 0.0;
+
+    // Per-segment scaled durations; "stall" models as zero (file
+    // comment of whatif.h).
+    std::vector<double> scaled(segments.segments.size(), 0.0);
+    for (size_t i = 0; i < segments.segments.size(); ++i) {
+        const Segment& seg = segments.segments[i];
+        const std::string category =
+            spanCategory(graph.spans[size_t(seg.spanIndex)]);
+        if (category == "stall")
+            continue;
+        double scale = 1.0;
+        const auto it = scales.find(category);
+        if (it != scales.end())
+            scale = it->second;
+        scaled[i] = double(seg.durUs()) * scale;
+    }
+
+    // Forward replay in topological order: start when every
+    // dependency has finished.
+    std::vector<double> finish(segments.segments.size(), 0.0);
+    double makespan = 0.0;
+    for (int32_t index : segments.topoOrder) {
+        double start = 0.0;
+        for (int32_t pred : segments.preds[size_t(index)])
+            start = std::max(start, finish[size_t(pred)]);
+        finish[size_t(index)] = start + scaled[size_t(index)];
+        makespan = std::max(makespan, finish[size_t(index)]);
+    }
+    return makespan;
+}
+
+WhatIfResult
+projectWhatIf(const SpanGraph& graph, const SegmentGraph& segments,
+              const WhatIfSpec& spec)
+{
+    WhatIfResult result;
+    result.spec = spec;
+    result.baselineModelUs = modelMakespanUs(graph, segments, {});
+    std::map<std::string, double> scales;
+    scales[spec.category] = spec.scale;
+    result.projectedUs = modelMakespanUs(graph, segments, scales);
+    if (result.baselineModelUs > 0.0)
+        result.projectedSpeedupPct =
+            (result.baselineModelUs - result.projectedUs) /
+            result.baselineModelUs * 100.0;
+    return result;
+}
+
+} // namespace betty::obs::critpath

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * COZ-style "virtual speedup" projection: what would the epoch
+ * makespan be if one category of work ran N× faster?
+ *
+ * The model replays the SegmentGraph as a schedule: every segment
+ * starts as soon as all its dependencies (same-lane predecessor,
+ * bound flow edges) have finished, and runs for its measured duration
+ * times the category's scale factor. Segments tagged "stall" are
+ * pure synchronization — their modeled duration is zero, because the
+ * time they measured is exactly the waiting the dependency edges
+ * already express; keeping it as fixed work would stop a faster
+ * producer from ever shortening the wait.
+ *
+ * Because untraced scheduling gaps compress to zero in this replay,
+ * the projection is only meaningful relative to the same replay at
+ * scale 1.0 (baselineModelUs), never to the measured wall time:
+ * speedup = (baseline - projected) / baseline. By construction the
+ * projection at scale 1.0 is exactly the baseline (identity), and a
+ * smaller scale can only shorten — never lengthen — the makespan
+ * (monotonicity); both are property-tested in tests/test_critpath.cc.
+ */
+#ifndef BETTY_OBS_CRITPATH_WHATIF_H
+#define BETTY_OBS_CRITPATH_WHATIF_H
+
+#include <map>
+#include <string>
+
+#include "obs/critpath/span_graph.h"
+
+namespace betty::obs::critpath {
+
+/** One requested projection: scale every span of @p category. */
+struct WhatIfSpec
+{
+    std::string category;
+    /** Duration multiplier: 0.5 = "2× faster", 1.0 = unchanged. */
+    double scale = 1.0;
+};
+
+struct WhatIfResult
+{
+    WhatIfSpec spec;
+    /** Modeled makespan with every scale at 1.0 (microseconds). */
+    double baselineModelUs = 0.0;
+    /** Modeled makespan with the spec applied. */
+    double projectedUs = 0.0;
+    /** (baseline - projected) / baseline * 100; 0 for empty model. */
+    double projectedSpeedupPct = 0.0;
+};
+
+/**
+ * Modeled makespan of @p segments with per-category duration scales
+ * @p scales (categories absent from the map run at 1.0).
+ */
+double modelMakespanUs(const SpanGraph& graph,
+                       const SegmentGraph& segments,
+                       const std::map<std::string, double>& scales);
+
+/** Project @p spec against the scale-1.0 baseline (file comment). */
+WhatIfResult projectWhatIf(const SpanGraph& graph,
+                           const SegmentGraph& segments,
+                           const WhatIfSpec& spec);
+
+} // namespace betty::obs::critpath
+
+#endif // BETTY_OBS_CRITPATH_WHATIF_H

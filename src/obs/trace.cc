@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
 #include "obs/run_meta.h"
+#include "util/env_config.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -31,20 +33,30 @@ struct ThreadBuffer
 
 struct Registry
 {
+    Registry() : ringCapacity(envcfg::traceRingCapacity()) {}
+
     std::mutex mutex;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     std::unordered_map<int32_t, std::string> laneNames;
     int32_t nextLane = 0;
-    std::atomic<size_t> ringCapacity{1 << 16};
+    std::atomic<size_t> ringCapacity;
 
     /** Counter samples (ph="C"): low-rate, so a capped flat vector
      * under the mutex beats per-thread rings. */
     std::vector<CounterSample> counters;
     int64_t droppedCounters = 0;
+
+    /** Dependency edges: low-rate (one per task spawn / handoff /
+     * join), same capped-vector treatment as counters. */
+    std::vector<FlowEdge> flows;
+    int64_t droppedFlows = 0;
 };
 
 /** Retention cap for counter samples across the process. */
 constexpr size_t kMaxCounterSamples = 1 << 16;
+
+/** Retention cap for flow edges across the process. */
+constexpr size_t kMaxFlowEdges = 1 << 18;
 
 Registry&
 registry()
@@ -55,6 +67,20 @@ registry()
 
 thread_local std::shared_ptr<ThreadBuffer> tls_buffer;
 thread_local int32_t tls_lane = -1;
+
+/** One open TraceSpan on the calling thread's stack. */
+struct OpenSpan
+{
+    uint64_t id;
+    /** Literal or nullptr; lets spawned work inherit a category. */
+    const char* category;
+};
+
+/** The calling thread's open TraceSpans, innermost last. */
+thread_local std::vector<OpenSpan> tls_span_stack;
+
+/** Process-wide span id allocator; 0 is reserved for "no span". */
+std::atomic<uint64_t> g_next_span_id{1};
 
 ThreadBuffer&
 threadBuffer()
@@ -101,6 +127,24 @@ appendJsonEscaped(std::string& out, const std::string& text)
     }
 }
 
+void
+appendSpanEvent(std::string& out, const TraceEvent& event)
+{
+    std::string name;
+    appendJsonEscaped(name, event.name);
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  ",{\"name\":\"%s\",\"cat\":\"%s\","
+                  "\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+                  "\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"span_id\":%llu}}",
+                  name.c_str(),
+                  event.category ? event.category : "betty",
+                  (long long)event.startUs, (long long)event.durUs,
+                  event.lane, (unsigned long long)event.id);
+    out += line;
+}
+
 } // namespace
 
 void
@@ -122,11 +166,79 @@ Trace::nowUs()
 void
 Trace::record(const char* name, int64_t start_us, int64_t dur_us)
 {
+    const uint64_t id =
+        g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    endSpan(name, nullptr, id | (uint64_t(1) << 63), start_us,
+            dur_us);
+}
+
+uint64_t
+Trace::beginSpan(const char* category)
+{
+    const uint64_t id =
+        g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    tls_span_stack.push_back(OpenSpan{id, category});
+    return id;
+}
+
+void
+Trace::endSpan(const char* name, const char* category, uint64_t id,
+               int64_t start_us, int64_t dur_us)
+{
+    // record() reuses this path for stack-less one-shot events by
+    // setting the top bit; strip it and skip the pop.
+    const bool on_stack = (id >> 63) == 0;
+    id &= ~(uint64_t(1) << 63);
+    if (on_stack && !tls_span_stack.empty() &&
+        tls_span_stack.back().id == id)
+        tls_span_stack.pop_back();
     ThreadBuffer& buffer = threadBuffer();
     const size_t head = buffer.head.load(std::memory_order_relaxed);
     buffer.ring[head % buffer.ring.size()] =
-        TraceEvent{name, start_us, dur_us, currentLane()};
+        TraceEvent{name, category, id, start_us, dur_us,
+                   currentLane()};
     buffer.head.store(head + 1, std::memory_order_release);
+}
+
+uint64_t
+Trace::currentSpanId()
+{
+    return tls_span_stack.empty() ? 0 : tls_span_stack.back().id;
+}
+
+const char*
+Trace::currentSpanCategory()
+{
+    for (auto it = tls_span_stack.rbegin();
+         it != tls_span_stack.rend(); ++it)
+        if (it->category)
+            return it->category;
+    return nullptr;
+}
+
+void
+Trace::recordFlow(uint64_t from_span, uint64_t to_span, int64_t ts_us)
+{
+    if (!enabled() || from_span == 0 || to_span == 0 ||
+        from_span == to_span)
+        return;
+    if (ts_us < 0)
+        ts_us = nowUs();
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (reg.flows.size() >= kMaxFlowEdges) {
+        ++reg.droppedFlows;
+        return;
+    }
+    reg.flows.push_back(FlowEdge{from_span, to_span, ts_us});
+}
+
+std::vector<FlowEdge>
+Trace::flowSnapshot()
+{
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.flows;
 }
 
 void
@@ -179,6 +291,17 @@ Trace::currentLane()
 }
 
 void
+Trace::nameCurrentLane(const std::string& name)
+{
+    if (name.empty())
+        return;
+    const int32_t lane = currentLane();
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.laneNames[lane] = name;
+}
+
+void
 Trace::setRingCapacity(size_t events)
 {
     registry().ringCapacity.store(events > 0 ? events : 1,
@@ -212,7 +335,7 @@ Trace::droppedEvents()
 {
     auto& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
-    int64_t dropped = reg.droppedCounters;
+    int64_t dropped = reg.droppedCounters + reg.droppedFlows;
     for (const auto& buffer : reg.buffers) {
         const size_t head =
             buffer->head.load(std::memory_order_acquire);
@@ -231,6 +354,8 @@ Trace::clear()
         buffer->head.store(0, std::memory_order_release);
     reg.counters.clear();
     reg.droppedCounters = 0;
+    reg.flows.clear();
+    reg.droppedFlows = 0;
 }
 
 std::string
@@ -238,19 +363,52 @@ Trace::chromeTraceJson()
 {
     const auto events = snapshot();
     const auto counters = counterSnapshot();
+    const auto flows = flowSnapshot();
+    const int64_t dropped = droppedEvents();
     std::unordered_map<int32_t, std::string> lane_names;
+    size_t ring_capacity = 0;
     {
         auto& reg = registry();
         std::lock_guard<std::mutex> lock(reg.mutex);
         lane_names = reg.laneNames;
+        ring_capacity =
+            reg.ringCapacity.load(std::memory_order_relaxed);
     }
 
+    // Spans by id, for resolving flow-edge endpoints to lanes below.
+    std::unordered_map<uint64_t, const TraceEvent*> by_id;
+    by_id.reserve(events.size());
+    for (const auto& event : events)
+        if (event.id != 0)
+            by_id.emplace(event.id, &event);
+
     std::string out;
-    out.reserve(events.size() * 96 + counters.size() * 192 + 512);
+    out.reserve(events.size() * 128 + counters.size() * 192 +
+                flows.size() * 224 + 512);
     out += "{\"displayTimeUnit\":\"ms\",\"schema_version\":";
     out += std::to_string(kObsSchemaVersion);
     out += ",\"otherData\":";
     out += runMetaJson();
+    out += ",\"metadata\":{\"droppedEvents\":";
+    out += std::to_string(dropped);
+    out += ",\"ringCapacity\":";
+    out += std::to_string(ring_capacity);
+    out += "}";
+    // Machine-readable dependency edges: betty_report critpath reads
+    // these; the ph "s"/"f" pairs below are only for Perfetto arrows.
+    out += ",\"flows\":[";
+    for (size_t i = 0; i < flows.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "{\"from\":";
+        out += std::to_string(flows[i].fromSpan);
+        out += ",\"to\":";
+        out += std::to_string(flows[i].toSpan);
+        out += ",\"ts\":";
+        out += std::to_string(flows[i].tsUs);
+        out += "}";
+    }
+    out += "]";
     out += ",\"traceEvents\":[";
     out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
            "\"tid\":0,\"args\":{\"name\":\"betty\"}}";
@@ -262,16 +420,31 @@ Trace::chromeTraceJson()
         appendJsonEscaped(out, name);
         out += "\"}}";
     }
+    for (const auto& event : events)
+        appendSpanEvent(out, event);
     char line[256];
-    for (const auto& event : events) {
-        std::string name;
-        appendJsonEscaped(name, event.name);
+    for (size_t i = 0; i < flows.size(); ++i) {
+        const auto from = by_id.find(flows[i].fromSpan);
+        const auto to = by_id.find(flows[i].toSpan);
+        if (from == by_id.end() || to == by_id.end())
+            continue; // endpoint dropped from a ring: no arrow
+        const TraceEvent& src = *from->second;
+        const TraceEvent& dst = *to->second;
+        const int64_t src_ts =
+            std::min(flows[i].tsUs, src.startUs + src.durUs);
+        const int64_t dst_ts =
+            std::max(flows[i].tsUs, dst.startUs);
         std::snprintf(line, sizeof(line),
-                      ",{\"name\":\"%s\",\"cat\":\"betty\","
-                      "\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+                      ",{\"name\":\"dep\",\"cat\":\"betty.flow\","
+                      "\"ph\":\"s\",\"id\":%zu,\"ts\":%lld,"
                       "\"pid\":1,\"tid\":%d}",
-                      name.c_str(), (long long)event.startUs,
-                      (long long)event.durUs, event.lane);
+                      i, (long long)src_ts, src.lane);
+        out += line;
+        std::snprintf(line, sizeof(line),
+                      ",{\"name\":\"dep\",\"cat\":\"betty.flow\","
+                      "\"ph\":\"f\",\"bp\":\"e\",\"id\":%zu,"
+                      "\"ts\":%lld,\"pid\":1,\"tid\":%d}",
+                      i, (long long)dst_ts, dst.lane);
         out += line;
     }
     for (const auto& sample : counters) {

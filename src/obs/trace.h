@@ -10,13 +10,23 @@
  * into a JSON file that chrome://tracing or https://ui.perfetto.dev
  * can open directly.
  *
+ * Spans additionally carry a process-unique id, an optional category
+ * tag ("compute", "transfer", ...), and may be connected by explicit
+ * dependency (flow) edges recorded with Trace::recordFlow() — the raw
+ * material obs/critpath/ builds its span dependency DAG and
+ * critical-path attribution from. Flow edges are emitted only where a
+ * dependency is real: thread-pool task spawn and join, the trainer's
+ * prefetch(k+1) -> compute(k) pipeline handoff, micro-batch ordering
+ * within an epoch, and resilient-trainer replan boundaries.
+ *
  * Cost model: collection is off by default, and a disabled span costs
  * exactly one relaxed atomic load and branch in its constructor (no
  * allocation, no lock, no clock read) — cheap enough to leave in
  * per-micro-batch and per-partition-phase code permanently. When
  * enabled, recording is lock-free: each thread appends to its own
  * fixed-capacity ring (oldest events are overwritten once full, and
- * counted as dropped).
+ * counted as dropped). Ring capacity comes from BETTY_TRACE_RING
+ * (util/env_config.h) unless overridden with setRingCapacity().
  *
  * Simulated devices execute serially on one OS thread; TraceLaneScope
  * reassigns the lane ("tid" in the Chrome JSON) so each device still
@@ -40,6 +50,15 @@ struct TraceEvent
      * (string literals in practice). */
     const char* name = nullptr;
 
+    /** Attribution category ("compute", "transfer", "gather",
+     * "sample", "partition", "stall"); nullptr = uncategorized.
+     * String literal, stored by pointer like @ref name. */
+    const char* category = nullptr;
+
+    /** Process-unique span id (never 0 for recorded spans); flow
+     * edges reference spans by this id. */
+    uint64_t id = 0;
+
     /** Start time, microseconds since the process time anchor. */
     int64_t startUs = 0;
 
@@ -49,6 +68,28 @@ struct TraceEvent
     /** Swimlane ("tid" in the exported JSON): the recording thread's
      * ordinal, unless overridden by TraceLaneScope. */
     int32_t lane = 0;
+};
+
+/**
+ * One dependency (flow) edge between two spans: work recorded as span
+ * @ref toSpan could not proceed past @ref tsUs until span @ref
+ * fromSpan had reached it (task spawn, pipeline handoff, join,
+ * ordering). Exported in the Chrome JSON both as a top-level "flows"
+ * array (machine-readable, for betty_report critpath) and as ph
+ * "s"/"f" event pairs (Perfetto arrows).
+ */
+struct FlowEdge
+{
+    /** Producing span's id. */
+    uint64_t fromSpan = 0;
+
+    /** Consuming span's id. */
+    uint64_t toSpan = 0;
+
+    /** When the dependency bound, microseconds since the process time
+     * anchor: spawn time for spawn edges, wait-return time for
+     * join/handoff edges. */
+    int64_t tsUs = 0;
 };
 
 /**
@@ -88,9 +129,42 @@ class Trace
     /** Microseconds since the process time anchor (first use). */
     static int64_t nowUs();
 
-    /** Append one completed span for the calling thread. */
+    /** Append one completed span for the calling thread (fresh id,
+     * no category). Prefer TraceSpan for scoped use. */
     static void record(const char* name, int64_t start_us,
                        int64_t dur_us);
+
+    /**
+     * Open a span on the calling thread: allocates a fresh id and
+     * pushes it (with @p category, a literal or nullptr) on the
+     * thread's open-span stack so nested spans (and recordFlow
+     * callers) can see it via currentSpanId().
+     */
+    static uint64_t beginSpan(const char* category = nullptr);
+
+    /** Close the span opened by the matching beginSpan(): pops the
+     * open-span stack and records the completed event. */
+    static void endSpan(const char* name, const char* category,
+                        uint64_t id, int64_t start_us, int64_t dur_us);
+
+    /** Id of the innermost open TraceSpan on this thread (0 if none —
+     * including whenever tracing is disabled). */
+    static uint64_t currentSpanId();
+
+    /** Category of the innermost open span that has one (nullptr if
+     * none). Lets spawned pool work inherit its caller's category. */
+    static const char* currentSpanCategory();
+
+    /**
+     * Record a dependency edge @p from_span -> @p to_span binding at
+     * @p ts_us (default: now). No-op while disabled or when either id
+     * is 0; edges beyond the retention cap are counted as dropped.
+     */
+    static void recordFlow(uint64_t from_span, uint64_t to_span,
+                           int64_t ts_us = -1);
+
+    /** All retained flow edges, in record order. */
+    static std::vector<FlowEdge> flowSnapshot();
 
     /**
      * Append one counter sample for track @p track (a literal) at
@@ -114,21 +188,27 @@ class Trace
     /** The calling thread's current lane id. */
     static int32_t currentLane();
 
+    /** Name the calling thread's current lane (thread_name metadata
+     * in the exported JSON) without changing its id. */
+    static void nameCurrentLane(const std::string& name);
+
     /**
      * Ring capacity (events) for buffers of threads that have not
-     * recorded yet; existing buffers keep their capacity.
+     * recorded yet; existing buffers keep their capacity. Overrides
+     * the BETTY_TRACE_RING environment default.
      */
     static void setRingCapacity(size_t events);
 
     /** All retained events from every thread, oldest first per lane. */
     static std::vector<TraceEvent> snapshot();
 
-    /** Events overwritten because a ring filled up, across threads. */
+    /** Events (spans, counter samples, flow edges) lost to retention
+     * caps, across threads. Raise BETTY_TRACE_RING when nonzero. */
     static int64_t droppedEvents();
 
     /**
-     * Drop all recorded events (buffers stay registered). Only call
-     * while no other thread is recording.
+     * Drop all recorded events, counters, and flow edges (buffers
+     * stay registered). Only call while no other thread is recording.
      */
     static void clear();
 
@@ -146,10 +226,13 @@ class Trace
 class TraceSpan
 {
   public:
-    explicit TraceSpan(const char* name)
+    explicit TraceSpan(const char* name,
+                       const char* category = nullptr)
     {
         if (Trace::enabled()) {
             name_ = name;
+            category_ = category;
+            id_ = Trace::beginSpan(category);
             start_ = Trace::nowUs();
         }
     }
@@ -157,7 +240,16 @@ class TraceSpan
     ~TraceSpan()
     {
         if (name_)
-            Trace::record(name_, start_, Trace::nowUs() - start_);
+            Trace::endSpan(name_, category_, id_, start_,
+                           Trace::nowUs() - start_);
+    }
+
+    /** This span's process-unique id (0 when tracing was disabled at
+     * construction) — the handle Trace::recordFlow() edges use. */
+    uint64_t
+    id() const
+    {
+        return id_;
     }
 
     TraceSpan(const TraceSpan&) = delete;
@@ -165,6 +257,8 @@ class TraceSpan
 
   private:
     const char* name_ = nullptr;
+    const char* category_ = nullptr;
+    uint64_t id_ = 0;
     int64_t start_ = 0;
 };
 
@@ -190,6 +284,12 @@ class TraceLaneScope
 #define BETTY_TRACE_SPAN(name)                                   \
     ::betty::obs::TraceSpan BETTY_OBS_CONCAT(betty_trace_span_,  \
                                              __LINE__)(name)
+
+/** Trace the enclosing scope as a span named @p name carrying
+ * attribution category @p category (both literals). */
+#define BETTY_TRACE_SPAN_CAT(name, category)                     \
+    ::betty::obs::TraceSpan BETTY_OBS_CONCAT(betty_trace_span_,  \
+                                             __LINE__)(name, category)
 
 } // namespace betty::obs
 

@@ -26,7 +26,7 @@ multilevelCycle(const WeightedGraph& graph, const KwayOptions& opts,
     std::vector<CoarseLevel> levels;
     const WeightedGraph* current = &graph;
     {
-        BETTY_TRACE_SPAN("partition/coarsen");
+        BETTY_TRACE_SPAN_CAT("partition/coarsen", "partition");
         while (current->numNodes() > coarsen_target) {
             const auto matching = heavyEdgeMatching(*current, rng);
             CoarseLevel level = coarsen(*current, matching);
@@ -42,7 +42,7 @@ multilevelCycle(const WeightedGraph& graph, const KwayOptions& opts,
     // Initial partition on the coarsest graph, then refine it there.
     std::vector<int32_t> parts;
     {
-        BETTY_TRACE_SPAN("partition/initial");
+        BETTY_TRACE_SPAN_CAT("partition/initial", "partition");
         parts = greedyGrowPartition(*current, opts.k, rng);
         rebalance(*current, parts, opts.k, opts.imbalance, rng);
         refineKway(*current, parts, opts.k, opts.imbalance,
@@ -50,7 +50,7 @@ multilevelCycle(const WeightedGraph& graph, const KwayOptions& opts,
     }
 
     // Uncoarsening: project through the levels, refining each time.
-    BETTY_TRACE_SPAN("partition/refine");
+    BETTY_TRACE_SPAN_CAT("partition/refine", "partition");
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
         const WeightedGraph& finer =
             (std::next(it) == levels.rend()) ? graph
@@ -74,7 +74,7 @@ std::vector<int32_t>
 kwayPartition(const WeightedGraph& graph, const KwayOptions& opts)
 {
     BETTY_ASSERT(opts.k >= 1, "k must be >= 1");
-    BETTY_TRACE_SPAN("partition/kway");
+    BETTY_TRACE_SPAN_CAT("partition/kway", "partition");
     const int64_t n = graph.numNodes();
     if (opts.k == 1 || n == 0)
         return std::vector<int32_t>(size_t(n), 0);
@@ -101,7 +101,7 @@ kwayPartitionWarm(const WeightedGraph& graph, const KwayOptions& opts,
                   std::vector<int32_t> initial)
 {
     BETTY_ASSERT(opts.k >= 1, "k must be >= 1");
-    BETTY_TRACE_SPAN("partition/kway_warm");
+    BETTY_TRACE_SPAN_CAT("partition/kway_warm", "partition");
     BETTY_ASSERT(int64_t(initial.size()) == graph.numNodes(),
                  "initial assignment size mismatch");
     if (opts.k == 1 || graph.numNodes() == 0)

@@ -67,7 +67,7 @@ accumulateBlock(std::vector<std::vector<int64_t>>& dsts_of_src,
 WeightedGraph
 buildReg(const Block& last_block, const RegOptions& opts)
 {
-    BETTY_TRACE_SPAN("partition/reg_build");
+    BETTY_TRACE_SPAN_CAT("partition/reg_build", "partition");
     const int64_t num_dst = last_block.numDst();
     const int64_t num_src = last_block.numSrc();
 

@@ -257,11 +257,18 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
     const int64_t num_outputs = int64_t(full.outputNodes().size());
     int32_t k = std::max<int32_t>(1, initial_k);
     int32_t attempts_left = policy_.maxReplanAttempts;
+    // Replan-boundary flow edges: aborted attempt -> re-plan -> next
+    // attempt, so the critpath DAG shows recovery work serialized
+    // behind the failure that caused it.
+    uint64_t prev_attempt_span = 0;
     for (;;) {
         planner_.setCapacity(device_ ? device_->capacity() : 0);
         planner_.setReservedBytes(cacheReservedBytes());
+        uint64_t plan_span_id = 0;
         {
-            BETTY_TRACE_SPAN("epoch/plan");
+            obs::TraceSpan plan_span("epoch/plan", "partition");
+            obs::Trace::recordFlow(prev_attempt_span, plan_span.id());
+            plan_span_id = plan_span.id();
             result.plan =
                 planner_.plan(full, partitioner_, k, policy_.maxK);
         }
@@ -270,6 +277,9 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
             give_up = "no K up to " + std::to_string(policy_.maxK) +
                       " fits the device capacity";
         } else {
+            obs::TraceSpan attempt_span("resilient/attempt");
+            obs::Trace::recordFlow(plan_span_id, attempt_span.id());
+            prev_attempt_span = attempt_span.id();
             RecoveryArbiter arbiter(*this, device_, policy_,
                                     result.plan.estimates);
             trainer_.setArbiter(&arbiter);

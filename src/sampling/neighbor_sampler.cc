@@ -32,7 +32,7 @@ MultiLayerBatch
 NeighborSampler::sample(const std::vector<int64_t>& seeds)
 {
     BETTY_ASSERT(!seeds.empty(), "cannot sample an empty seed set");
-    BETTY_TRACE_SPAN("sample/neighbor");
+    BETTY_TRACE_SPAN_CAT("sample/neighbor", "sample");
 
     MultiLayerBatch batch;
     batch.blocks.resize(size_t(fanouts_.size()));

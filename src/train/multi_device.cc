@@ -117,7 +117,7 @@ MultiDeviceTrainer::trainMicroBatches(
                 const int64_t dim = dataset_.featureDim();
                 ag::NodePtr feature_node;
                 {
-                    BETTY_TRACE_SPAN("train/transfer");
+                    BETTY_TRACE_SPAN_CAT("train/transfer", "transfer");
                     obs::MemCategoryScope mem_scope(
                         obs::MemCategory::InputFeatures);
                     Tensor features(int64_t(inputs.size()), dim);
@@ -140,7 +140,7 @@ MultiDeviceTrainer::trainMicroBatches(
                 Timer timer;
                 ag::NodePtr logits;
                 {
-                    BETTY_TRACE_SPAN("train/forward");
+                    BETTY_TRACE_SPAN_CAT("train/forward", "compute");
                     obs::MemCategoryScope mem_scope(
                         obs::MemCategory::Hidden);
                     logits = model_.forward(batch, feature_node);
@@ -151,7 +151,7 @@ MultiDeviceTrainer::trainMicroBatches(
                 const float weight = float(double(outputs) /
                                            double(total_outputs));
                 {
-                    BETTY_TRACE_SPAN("train/backward");
+                    BETTY_TRACE_SPAN_CAT("train/backward", "compute");
                     obs::MemCategoryScope mem_scope(
                         obs::MemCategory::Gradients);
                     ag::backward(ag::scale(loss, weight));
@@ -183,7 +183,7 @@ MultiDeviceTrainer::trainMicroBatches(
                 double(grad_bytes) / config_.interconnectBandwidth;
     }
     {
-        BETTY_TRACE_SPAN("train/step");
+        BETTY_TRACE_SPAN_CAT("train/step", "compute");
         Timer timer;
         optimizer_.step();
         stats.allreduceSeconds += timer.seconds();

@@ -72,18 +72,21 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
     // setup, so the span covers gather + the analytic charge. Under
     // pipelining this runs on a pool worker, whose lane shows the
     // span overlapping the training thread's compute spans.
-    BETTY_TRACE_SPAN("train/transfer");
+    BETTY_TRACE_SPAN_CAT("train/transfer", "transfer");
     const auto& inputs = batch.inputNodes();
     const int64_t dim = dataset_.featureDim();
     StagedFeatures staged;
     staged.rows = int64_t(inputs.size());
     staged.values.resize(inputs.size() * size_t(dim));
-    for (size_t i = 0; i < inputs.size(); ++i) {
-        const int64_t node = inputs[i];
-        BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
-                     "input node out of range");
-        std::copy_n(dataset_.features.data() + node * dim, dim,
-                    staged.values.data() + int64_t(i) * dim);
+    {
+        BETTY_TRACE_SPAN_CAT("train/gather", "gather");
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const int64_t node = inputs[i];
+            BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
+                         "input node out of range");
+            std::copy_n(dataset_.features.data() + node * dim, dim,
+                        staged.values.data() + int64_t(i) * dim);
+        }
     }
     // Feature-cache consult: rows already resident on the device do
     // not cross the link again. The gather above still read EVERY row
@@ -124,6 +127,7 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
 ag::NodePtr
 Trainer::uploadFeatures(StagedFeatures staged)
 {
+    BETTY_TRACE_SPAN_CAT("train/upload", "transfer");
     obs::MemCategoryScope mem_scope(obs::MemCategory::InputFeatures);
     const int64_t dim = dataset_.featureDim();
     Tensor features(staged.rows, dim);
@@ -163,12 +167,13 @@ Trainer::forwardStaged(const MultiLayerBatch& batch,
     const auto features = uploadFeatures(std::move(staged));
     ag::NodePtr logits;
     {
-        BETTY_TRACE_SPAN("train/forward");
+        BETTY_TRACE_SPAN_CAT("train/forward", "compute");
         // Ambient category for layer outputs (item (5)); layers
         // override with Aggregator for their aggregation chains.
         obs::MemCategoryScope mem_scope(obs::MemCategory::Hidden);
         logits = model_.forward(batch, features);
     }
+    BETTY_TRACE_SPAN_CAT("train/loss", "compute");
     auto labels = loadLabels(batch);
     result.correct = ag::countCorrect(logits->value, labels);
     result.outputs = int64_t(labels.size());
@@ -212,8 +217,10 @@ Trainer::trainMicroBatches(
     auto prefetch = [&](size_t index) {
         const MultiLayerBatch* next = &micro_batches[index];
         return ThreadPool::global().submit([this, next] {
-            BETTY_TRACE_SPAN("train/prefetch");
-            return gatherFeatures(*next);
+            obs::TraceSpan span("train/prefetch");
+            StagedFeatures staged = gatherFeatures(*next);
+            staged.traceSpanId = span.id();
+            return staged;
         });
     };
 
@@ -239,10 +246,15 @@ Trainer::trainMicroBatches(
     } prefetch_joiner{staged_next};
     if (pipelined)
         staged_next = prefetch(active.front());
+    uint64_t prev_micro_span = 0;
     for (size_t pos = 0; pos < active.size(); ++pos) {
         const size_t index = active[pos];
         const MultiLayerBatch& batch = micro_batches[index];
-        BETTY_TRACE_SPAN("train/micro_batch");
+        obs::TraceSpan micro_span("train/micro_batch");
+        // Ordering edge: gradient accumulation serializes the
+        // micro-batches of an epoch on this thread.
+        obs::Trace::recordFlow(prev_micro_span, micro_span.id());
+        prev_micro_span = micro_span.id();
         // Admission: the resilient runtime vetoes a micro-batch that
         // no longer fits the (possibly shrunken) budget BEFORE any
         // device charge, turning a would-be OOM into a clean abort.
@@ -266,7 +278,16 @@ Trainer::trainMicroBatches(
             Timer timer;
             ForwardResult fwd;
             if (pipelined) {
-                StagedFeatures staged = staged_next.get();
+                StagedFeatures staged;
+                {
+                    // Time blocked on the prefetch(k) handoff is the
+                    // pipeline stall the critpath analysis calls out.
+                    BETTY_TRACE_SPAN_CAT("train/pipeline_wait",
+                                         "stall");
+                    staged = staged_next.get();
+                }
+                obs::Trace::recordFlow(staged.traceSpanId,
+                                       micro_span.id());
                 if (pos + 1 < active.size())
                     staged_next = prefetch(active[pos + 1]);
                 fwd = forwardStaged(batch, std::move(staged));
@@ -279,7 +300,7 @@ Trainer::trainMicroBatches(
             const float weight =
                 float(double(fwd.outputs) / double(total_outputs));
             {
-                BETTY_TRACE_SPAN("train/backward");
+                BETTY_TRACE_SPAN_CAT("train/backward", "compute");
                 // Catches gradient temporaries allocated outside
                 // Node::ensureGrad (item (7)).
                 obs::MemCategoryScope mem_scope(
@@ -340,7 +361,7 @@ Trainer::trainMicroBatches(
         // re-plan and retry as if this attempt never happened.
         optimizer_.zeroGrad();
     } else {
-        BETTY_TRACE_SPAN("train/step");
+        BETTY_TRACE_SPAN_CAT("train/step", "compute");
         Timer timer;
         optimizer_.step();
         stats.computeSeconds += timer.seconds();
@@ -400,13 +421,13 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
             optimizer_.zeroGrad();
             ForwardResult fwd = forwardBatch(batch);
             {
-                BETTY_TRACE_SPAN("train/backward");
+                BETTY_TRACE_SPAN_CAT("train/backward", "compute");
                 obs::MemCategoryScope mem_scope(
                     obs::MemCategory::Gradients);
                 ag::backward(fwd.loss);
             }
             {
-                BETTY_TRACE_SPAN("train/step");
+                BETTY_TRACE_SPAN_CAT("train/step", "compute");
                 optimizer_.step();
             }
             stats.computeSeconds += timer.seconds();
@@ -441,6 +462,7 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
 double
 Trainer::evaluate(const MultiLayerBatch& batch)
 {
+    BETTY_TRACE_SPAN_CAT("train/evaluate", "compute");
     const auto features = loadFeatures(batch);
     const auto logits = model_.forward(batch, features);
     const auto labels = loadLabels(batch);

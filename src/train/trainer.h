@@ -193,6 +193,10 @@ class Trainer
     {
         std::vector<float> values;
         int64_t rows = 0;
+        /** Id of the "train/prefetch" span that produced this staging
+         * buffer (0 when gathered inline): the source of the pipeline
+         * handoff flow edge recorded at consumption time. */
+        uint64_t traceSpanId = 0;
     };
 
     /** Gather the batch's input-node feature rows into host staging

@@ -146,4 +146,13 @@ cachePolicyName()
     return envString("BETTY_CACHE_POLICY", "lru");
 }
 
+int64_t
+traceRingCapacity()
+{
+    const int64_t value = envInt("BETTY_TRACE_RING", 1 << 16);
+    if (value < 1)
+        fatal("BETTY_TRACE_RING=", value, " out of range: need >= 1");
+    return value;
+}
+
 } // namespace betty::envcfg

@@ -89,6 +89,13 @@ int64_t cacheCapacityBytes();
  */
 std::string cachePolicyName();
 
+/**
+ * Per-thread trace ring capacity (events): BETTY_TRACE_RING, >= 1
+ * (default 65536). Read once when the trace registry initializes;
+ * obs::Trace::setRingCapacity() (the --trace-ring flag) overrides it.
+ */
+int64_t traceRingCapacity();
+
 /** GiB -> bytes, matching betty::gib() (util cannot include it). */
 constexpr int64_t
 gibToBytes(double g)

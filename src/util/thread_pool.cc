@@ -60,6 +60,23 @@ ThreadPool::enqueue(std::function<void()> task)
         task();
         return;
     }
+    if (obs::Trace::enabled()) {
+        // Wrap the task in its span here (not in workerLoop) so the
+        // spawn flow edge can capture the submitting span and the
+        // submission time — the dependency critpath analysis follows
+        // from a worker-lane task back to the code that queued it.
+        const uint64_t parent = obs::Trace::currentSpanId();
+        const char* category = obs::Trace::currentSpanCategory();
+        const int64_t spawn_ts = obs::Trace::nowUs();
+        task = [inner = std::move(task), parent, category,
+                spawn_ts] {
+            // The task inherits the submitter's category: a chunk of
+            // sampling is still sampling, wherever it ran.
+            obs::TraceSpan span("pool/task", category);
+            obs::Trace::recordFlow(parent, span.id(), spawn_ts);
+            inner();
+        };
+    }
     const size_t target =
         size_t(next_queue_.fetch_add(1, std::memory_order_relaxed)) %
         queues_.size();
@@ -113,11 +130,12 @@ ThreadPool::tryPop(size_t index, std::function<void()>& task)
 void
 ThreadPool::workerLoop(size_t index)
 {
+    obs::Trace::nameCurrentLane("pool/worker-" +
+                                std::to_string(index + 1));
     while (true) {
         std::function<void()> task;
         if (tryPop(index, task)) {
             pending_.fetch_sub(1, std::memory_order_acq_rel);
-            BETTY_TRACE_SPAN("pool/task");
             task();
             continue;
         }
@@ -160,7 +178,15 @@ ThreadPool::runChunks(const std::shared_ptr<ForState>& state)
             const int64_t hi =
                 std::min(lo + state->grain, state->end);
             try {
-                BETTY_TRACE_SPAN("pool/chunk");
+                obs::TraceSpan span("pool/chunk",
+                                    state->traceCategory);
+                if (span.id() != 0) {
+                    obs::Trace::recordFlow(state->callerSpan,
+                                           span.id(),
+                                           state->spawnTsUs);
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    state->chunkSpans.push_back(span.id());
+                }
                 (*state->body)(lo, hi);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(state->mutex);
@@ -215,6 +241,11 @@ ThreadPool::parallelFor(
     state->grain = grain;
     state->numChunks = num_chunks;
     state->body = &body;
+    if (obs::Trace::enabled()) {
+        state->callerSpan = obs::Trace::currentSpanId();
+        state->traceCategory = obs::Trace::currentSpanCategory();
+        state->spawnTsUs = obs::Trace::nowUs();
+    }
 
     const int64_t helpers =
         std::min<int64_t>(int64_t(workers_.size()), num_chunks - 1);
@@ -232,6 +263,16 @@ ThreadPool::parallelFor(
         });
         if (state->exception)
             std::rethrow_exception(state->exception);
+    }
+
+    // Join edges: the caller could not proceed past this point until
+    // every chunk finished.
+    if (state->callerSpan != 0 && obs::Trace::enabled()) {
+        const int64_t join_ts = obs::Trace::nowUs();
+        std::lock_guard<std::mutex> lock(state->mutex);
+        for (uint64_t chunk : state->chunkSpans)
+            obs::Trace::recordFlow(chunk, state->callerSpan,
+                                   join_ts);
     }
 }
 

@@ -134,6 +134,18 @@ class ThreadPool
         std::mutex mutex;
         std::condition_variable done;
         std::exception_ptr exception;
+
+        /** Span enclosing the parallelFor call (0 = none/disabled);
+         * source of the spawn flow edges into each chunk span. */
+        uint64_t callerSpan = 0;
+        /** When the region was entered (spawn-edge timestamp). */
+        int64_t spawnTsUs = 0;
+        /** Attribution category inherited from the caller's span
+         * (literal or nullptr) — a chunk of sampling is sampling. */
+        const char* traceCategory = nullptr;
+        /** Chunk span ids, collected under mutex for the join edges
+         * the caller records after the wait. */
+        std::vector<uint64_t> chunkSpans;
     };
 
     void enqueue(std::function<void()> task);

@@ -161,6 +161,14 @@ TEST(Knobs, DefaultsMatchTheDocumentedValues)
     EXPECT_EQ(deviceCapacityBytes(), gibToBytes(0.25));
     EXPECT_EQ(cacheCapacityBytes(), gibToBytes(0.05));
     EXPECT_EQ(cachePolicyName(), "lru");
+    ScopedEnv r("BETTY_TRACE_RING", nullptr);
+    EXPECT_EQ(traceRingCapacity(), 1 << 16);
+}
+
+TEST(Knobs, TraceRingReadsTheEnvironment)
+{
+    ScopedEnv r("BETTY_TRACE_RING", "1024");
+    EXPECT_EQ(traceRingCapacity(), 1024);
 }
 
 TEST(Knobs, OutOfDomainValuesAreFatal)
@@ -172,6 +180,14 @@ TEST(Knobs, OutOfDomainValuesAreFatal)
     {
         ScopedEnv s("BETTY_BENCH_SCALE", "-1");
         EXPECT_DEATH(benchScale(), "BETTY_BENCH_SCALE");
+    }
+    {
+        ScopedEnv r("BETTY_TRACE_RING", "0");
+        EXPECT_DEATH(traceRingCapacity(), "BETTY_TRACE_RING");
+    }
+    {
+        ScopedEnv r("BETTY_TRACE_RING", "64k");
+        EXPECT_DEATH(traceRingCapacity(), "BETTY_TRACE_RING");
     }
 }
 

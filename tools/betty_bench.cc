@@ -11,6 +11,16 @@
  *   betty_bench [--scenario=NAME ...] [--repeats=N] [--warmup=N]
  *               [--threads=N] [--out=FILE]
  *               [--flight-recorder-out=FILE]
+ *               [--trace-out=FILE] [--critpath-out=FILE]
+ *               [--trace-ring=N]
+ *
+ * --trace-out enables span collection and writes the Chrome trace of
+ * the LAST timed repeat of the last scenario run (the harness clears
+ * the trace between repeats so each repeat's buffers start empty);
+ * --critpath-out runs the critical-path analysis over those same
+ * spans and writes CRITPATH_report.json. --trace-ring overrides the
+ * per-thread ring capacity (BETTY_TRACE_RING); a run that still
+ * drops events warns naming both knobs.
  *
  * Scenarios cover the pipeline stages the paper measures: neighbour
  * sampling, batch-level partitioning (REG construction), an epoch of
@@ -35,8 +45,12 @@
 #include "memory/transfer_model.h"
 #include "nn/models.h"
 #include "nn/optim.h"
+#include "obs/critpath/critical_path.h"
+#include "obs/critpath/critpath_report.h"
+#include "obs/critpath/span_graph.h"
 #include "obs/perf/bench_harness.h"
 #include "obs/perf/flight_recorder.h"
+#include "obs/trace.h"
 #include "partition/partitioner.h"
 #include "robustness/resilient_trainer.h"
 #include "sampling/neighbor_sampler.h"
@@ -215,7 +229,9 @@ usage()
         "usage: betty_bench [--list] [--scenario=NAME ...]\n"
         "                   [--repeats=N] [--warmup=N] [--threads=N]\n"
         "                   [--out=FILE] "
-        "[--flight-recorder-out=FILE]\n");
+        "[--flight-recorder-out=FILE]\n"
+        "                   [--trace-out=FILE] [--critpath-out=FILE]"
+        " [--trace-ring=N]\n");
     return 2;
 }
 
@@ -233,6 +249,9 @@ main(int argc, char** argv)
     std::vector<std::string> wanted;
     std::string out_path = "BENCH_report.json";
     std::string flight_out;
+    std::string trace_out;
+    std::string critpath_out;
+    std::string trace_ring_flag;
     bool list_only = false;
     int32_t threads = 0;
 
@@ -261,6 +280,12 @@ main(int argc, char** argv)
             out_path = arg + 6;
         else if (std::strncmp(arg, "--flight-recorder-out=", 22) == 0)
             flight_out = arg + 22;
+        else if (std::strncmp(arg, "--trace-out=", 12) == 0)
+            trace_out = arg + 12;
+        else if (std::strncmp(arg, "--critpath-out=", 15) == 0)
+            critpath_out = arg + 15;
+        else if (std::strncmp(arg, "--trace-ring=", 13) == 0)
+            trace_ring_flag = arg + 13;
         else
             return usage();
     }
@@ -279,6 +304,16 @@ main(int argc, char** argv)
         ThreadPool::setGlobalThreads(threads);
     if (!flight_out.empty())
         obs::FlightRecorder::setFatalDumpPath(flight_out);
+    const int64_t trace_ring =
+        envcfg::resolveInt(trace_ring_flag, "--trace-ring",
+                           "BETTY_TRACE_RING", 1 << 16);
+    if (trace_ring < 1)
+        fatal("--trace-ring must be at least 1");
+    obs::Trace::setRingCapacity(size_t(trace_ring));
+    if (!trace_out.empty() || !critpath_out.empty()) {
+        obs::Trace::setEnabled(true);
+        obs::Trace::nameCurrentLane("main");
+    }
 
     obs::BenchRunner runner(config);
     runner.setConfigNote("threads",
@@ -315,6 +350,43 @@ main(int argc, char** argv)
         else
             warn("could not write flight recording '", flight_out,
                  "'");
+    }
+
+    // The harness clears the trace between repeats, so what is left
+    // in the buffers here is the last timed repeat of the last
+    // scenario — one clean, representative recording.
+    if (!trace_out.empty()) {
+        if (obs::Trace::writeChromeTrace(trace_out))
+            std::printf("betty_bench: wrote %s\n", trace_out.c_str());
+        else
+            warn("could not write trace '", trace_out, "'");
+    }
+    if (obs::Trace::enabled() && obs::Trace::droppedEvents() > 0)
+        warn("trace dropped ", obs::Trace::droppedEvents(),
+             " event(s) to the per-thread ring (capacity ",
+             trace_ring, "); raise BETTY_TRACE_RING or "
+             "--trace-ring for a lossless trace");
+    if (!critpath_out.empty()) {
+        namespace critpath = obs::critpath;
+        critpath::SpanGraph graph = critpath::buildFromLiveTrace();
+        critpath::CritpathError error;
+        critpath::SegmentGraph segments;
+        if (!critpath::validateSpanGraph(&graph, &error) ||
+            !critpath::buildSegmentGraph(graph, &segments, &error)) {
+            warn("critpath analysis failed (",
+                 critpath::critpathErrorKindName(error.kind), "): ",
+                 error.message);
+        } else {
+            const critpath::CriticalPathResult result =
+                critpath::analyzeCriticalPath(graph, segments);
+            if (critpath::writeCritpathReport(critpath_out, graph,
+                                              result, {}))
+                std::printf("betty_bench: wrote %s\n",
+                            critpath_out.c_str());
+            else
+                warn("could not write critpath report '",
+                     critpath_out, "'");
+        }
     }
     return 0;
 }

@@ -14,6 +14,16 @@
  *   betty_report bench-diff <baseline.json> <candidate.json>
  *       [--tolerance F]             (default 0.25: +25% wall clock)
  *       [--inject-time-scale F]     (test hook: scale candidate times)
+ *   betty_report critpath <trace.json>
+ *       [--what-if CATEGORY=SCALE]... (virtual speedup projection)
+ *       [--min-coverage F]          (gate: cp must cover >= F of wall)
+ *       [--out FILE]                (write CRITPATH_report.json)
+ *
+ * `critpath` reconstructs the span dependency DAG from a Chrome
+ * trace written by Trace::writeChromeTrace(), walks the critical
+ * path, prints per-category attribution (including pipeline-stall
+ * time), and optionally projects COZ-style what-if speedups
+ * ("--what-if transfer=0.5" = transfers run 2x faster).
  *
  * `print` renders the report's epochs and per-category Table 3
  * breakdown as aligned tables. `check` validates the report's
@@ -46,10 +56,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath/critical_path.h"
+#include "obs/critpath/critpath_report.h"
+#include "obs/critpath/span_graph.h"
+#include "obs/critpath/whatif.h"
 #include "obs/json.h"
 #include "obs/memprof.h"
 #include "obs/perf/bench_harness.h"
 #include "obs/run_meta.h"
+#include "util/env_config.h"
 #include "util/table.h"
 
 namespace {
@@ -79,7 +94,10 @@ usage()
         "           [--inject-peak-scale F]\n"
         "       betty_report bench-diff <baseline.json> "
         "<candidate.json>\n"
-        "           [--tolerance F] [--inject-time-scale F]\n");
+        "           [--tolerance F] [--inject-time-scale F]\n"
+        "       betty_report critpath <trace.json>\n"
+        "           [--what-if CATEGORY=SCALE]... "
+        "[--min-coverage F] [--out FILE]\n");
     return 2;
 }
 
@@ -768,6 +786,154 @@ benchDiff(const JsonValue& baseline, const JsonValue& candidate,
     return 0;
 }
 
+// ------------------------------------------------------------- critpath
+
+namespace critpath = betty::obs::critpath;
+
+/**
+ * Report a typed artifact error from the critpath pipeline and
+ * return the exit-2 convention of the other diff modes.
+ */
+int
+critpathArtifactError(const critpath::CritpathError& error)
+{
+    std::fprintf(stderr,
+                 "betty_report: artifact error: %s: %s\n",
+                 critpath::critpathErrorKindName(error.kind),
+                 error.message.c_str());
+    return 2;
+}
+
+/** Parse "category=scale" (scale a whole-string finite double). */
+bool
+parseWhatIfSpec(const std::string& text, critpath::WhatIfSpec* spec)
+{
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    double scale = 0.0;
+    if (!betty::envcfg::parseDouble(text.substr(eq + 1), &scale) ||
+        scale < 0.0)
+        return false;
+    spec->category = text.substr(0, eq);
+    spec->scale = scale;
+    return true;
+}
+
+int
+critpathCommand(const std::string& trace_path,
+                const std::vector<critpath::WhatIfSpec>& specs,
+                double min_coverage, const std::string& out_path)
+{
+    JsonValue doc;
+    if (!loadReport(trace_path, doc))
+        return 2;
+
+    critpath::SpanGraph graph;
+    critpath::CritpathError error;
+    if (!critpath::buildFromTraceJson(doc, &graph, &error))
+        return critpathArtifactError(error);
+    if (!critpath::validateSpanGraph(&graph, &error))
+        return critpathArtifactError(error);
+    critpath::SegmentGraph segments;
+    if (!critpath::buildSegmentGraph(graph, &segments, &error))
+        return critpathArtifactError(error);
+
+    const critpath::CriticalPathResult result =
+        critpath::analyzeCriticalPath(graph, segments);
+
+    std::vector<critpath::WhatIfResult> what_ifs;
+    for (const critpath::WhatIfSpec& spec : specs)
+        what_ifs.push_back(
+            critpath::projectWhatIf(graph, segments, spec));
+
+    TablePrinter summary("critical path");
+    summary.setHeader({"metric", "value"});
+    summary.addRow({"wall ms",
+                    TablePrinter::num(double(result.wallUs) / 1000.0,
+                                      3)});
+    summary.addRow({"critical path ms",
+                    TablePrinter::num(double(result.cpUs) / 1000.0,
+                                      3)});
+    summary.addRow({"coverage",
+                    TablePrinter::num(result.coverage, 4)});
+    summary.addRow({"path steps",
+                    TablePrinter::count(
+                        (long long)result.steps.size())});
+    summary.addRow({"spans",
+                    TablePrinter::count(
+                        (long long)graph.spans.size())});
+    summary.addRow({"flow edges",
+                    TablePrinter::count(
+                        (long long)graph.flows.size())});
+    summary.addRow({"dropped events",
+                    TablePrinter::count(
+                        (long long)graph.droppedEvents)});
+    summary.addRow({"pruned flows",
+                    TablePrinter::count(
+                        (long long)graph.prunedFlows)});
+    summary.print();
+
+    TablePrinter attribution("on-path attribution");
+    attribution.setHeader({"category", "ms", "share %"});
+    for (const critpath::CategoryShare& share : result.categories)
+        attribution.addRow(
+            {share.category,
+             TablePrinter::num(double(share.us) / 1000.0, 3),
+             TablePrinter::num(share.share * 100.0, 1)});
+    attribution.print();
+
+    if (!what_ifs.empty()) {
+        TablePrinter projections("what-if projections");
+        projections.setHeader({"category", "scale", "baseline ms",
+                               "projected ms", "speedup %"});
+        for (const critpath::WhatIfResult& what_if : what_ifs)
+            projections.addRow(
+                {what_if.spec.category,
+                 TablePrinter::num(what_if.spec.scale, 2),
+                 TablePrinter::num(what_if.baselineModelUs / 1000.0,
+                                   3),
+                 TablePrinter::num(what_if.projectedUs / 1000.0, 3),
+                 TablePrinter::num(what_if.projectedSpeedupPct, 1)});
+        projections.print();
+    }
+
+    if (!out_path.empty()) {
+        if (!critpath::writeCritpathReport(out_path, graph, result,
+                                           what_ifs)) {
+            std::fprintf(stderr,
+                         "betty_report: cannot write '%s'\n",
+                         out_path.c_str());
+            return 2;
+        }
+        std::printf("critpath report written to %s\n",
+                    out_path.c_str());
+    }
+
+    // The consistency gate: a critical path that is longer than the
+    // trace, misses its own longest step, or leaks attribution means
+    // the DAG construction is wrong — fail like a regression, not an
+    // artifact error, because the input parsed fine.
+    std::vector<std::string> violations;
+    if (!critpath::validateCriticalPath(result, &violations)) {
+        for (const std::string& line : violations)
+            std::fprintf(stderr, "betty_report: critpath FAIL: %s\n",
+                         line.c_str());
+        return 1;
+    }
+    if (result.coverage < min_coverage) {
+        std::fprintf(stderr,
+                     "betty_report: critpath FAIL: coverage %.4f < "
+                     "required %.4f — the DAG is missing dependency "
+                     "edges across that much of the wall time\n",
+                     result.coverage, min_coverage);
+        return 1;
+    }
+    std::printf("betty_report: critpath OK (coverage %.4f)\n",
+                result.coverage);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -851,6 +1017,49 @@ main(int argc, char** argv)
             return 2;
         return benchDiff(baseline, candidate, tolerance,
                          inject_time_scale);
+    }
+
+    if (command == "critpath") {
+        std::vector<betty::obs::critpath::WhatIfSpec> specs;
+        double min_coverage = 0.0;
+        std::string out_path;
+        for (int i = 3; i < argc; ++i) {
+            const std::string flag = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "betty_report: missing value for "
+                                 "%s\n",
+                                 flag.c_str());
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (flag == "--what-if") {
+                betty::obs::critpath::WhatIfSpec spec;
+                const std::string text = value();
+                if (!parseWhatIfSpec(text, &spec)) {
+                    std::fprintf(
+                        stderr,
+                        "betty_report: --what-if expects "
+                        "CATEGORY=SCALE with a finite scale >= 0, "
+                        "got '%s'\n",
+                        text.c_str());
+                    return 2;
+                }
+                specs.push_back(spec);
+            } else if (flag == "--min-coverage") {
+                if (!betty::envcfg::parseDouble(value(),
+                                                &min_coverage))
+                    return usage();
+            } else if (flag == "--out") {
+                out_path = value();
+            } else {
+                return usage();
+            }
+        }
+        return critpathCommand(argv[2], specs, min_coverage,
+                               out_path);
     }
 
     return usage();
