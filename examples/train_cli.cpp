@@ -8,6 +8,7 @@
  *               [--aggregator mean|sum|pool|lstm] [--layers N]
  *               [--hidden N] [--fanout a,b,...] [--epochs N]
  *               [--lr F] [--budget-mib N] [--devices N]
+ *               [--interconnect nvlink|pcie]
  *               [--partitioner betty|metis|random|range] [--warm]
  *               [--threads N] [--no-pipeline]
  *               [--cache-gib F] [--cache-policy lru|lru-pinned]
@@ -60,9 +61,15 @@
  *
  * Every epoch resamples the full batch, (re)partitions it under the
  * memory budget, trains with gradient accumulation and prints loss /
- * accuracy / memory / time. With --devices > 1 the multi-accelerator
- * trainer is used. The end-of-run per-epoch stats are rendered with
- * the shared TablePrinter formatter.
+ * accuracy / memory / time. With --devices > 1 (or BETTY_DEVICES) the
+ * MultiDeviceEngine shards the micro-batches across N simulated
+ * accelerators by a vertex-cut assignment (docs/MULTI_DEVICE.md);
+ * losses and parameters stay bit-identical to the single-device run,
+ * only the simulated time/memory/transfer attribution changes.
+ * --interconnect picks the all-reduce fabric preset, and a
+ * `device-drop@epochN` fault re-shards the victim's pending work over
+ * the survivors mid-epoch. The end-of-run per-epoch stats are
+ * rendered with the shared TablePrinter formatter.
  *
  * --trace-out=FILE enables span collection and writes a Chrome
  * trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
@@ -128,7 +135,12 @@ struct Args
     int epochs = 10;
     float lr = 0.01f;
     double budget_mib = 16.0;
+    /** Simulated accelerators (flag > BETTY_DEVICES > 1; resolved in
+     * parseArgs). */
     int32_t devices = 1;
+    /** All-reduce fabric preset for --devices > 1 (memory/
+     * interconnect.h vocabulary). */
+    std::string interconnect = "nvlink";
     std::string partitioner = "betty";
     bool warm = false;
     /** Global ThreadPool lanes (0 = leave default/BETTY_THREADS). */
@@ -214,6 +226,7 @@ Args
 parseArgs(int argc, char** argv)
 {
     Args args;
+    std::string devices_text; // raw --devices value; resolved below
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         // Accept both "--flag value" and "--flag=value".
@@ -253,7 +266,9 @@ parseArgs(int argc, char** argv)
         } else if (flag == "--budget-mib") {
             args.budget_mib = doubleFlag(flag, next());
         } else if (flag == "--devices") {
-            args.devices = int32_t(intFlag(flag, next()));
+            devices_text = next();
+        } else if (flag == "--interconnect") {
+            args.interconnect = next();
         } else if (flag == "--partitioner") {
             args.partitioner = next();
         } else if (flag == "--warm") {
@@ -305,6 +320,12 @@ parseArgs(int argc, char** argv)
     }
     if (int64_t(args.fanouts.size()) != args.layers)
         fatal("--fanout must list exactly --layers values");
+    // flag > BETTY_DEVICES > 1 (shared with the benches).
+    const int64_t devices = envcfg::resolveInt(
+        devices_text, "--devices", "BETTY_DEVICES", 1);
+    if (devices < 1)
+        fatal("--devices must be at least 1");
+    args.devices = int32_t(devices);
     // flag > BETTY_CACHE_POLICY > "lru" (shared with the benches).
     args.cache_policy =
         envcfg::resolveString(args.cache_policy,
@@ -375,9 +396,9 @@ main(int argc, char** argv)
         fault::Injector::install(std::move(fault_plan));
         inform("fault injection active: ", fault_spec);
         if (args.devices > 1)
-            warn("fault injection recovers only the single-device "
-                 "trainer; --devices ", args.devices,
-                 " runs without recovery");
+            inform("multi-device run: device-drop faults re-shard "
+                   "over the survivors; other fault kinds recover "
+                   "only the single-device trainer");
     }
 
     Dataset ds;
@@ -488,18 +509,19 @@ main(int argc, char** argv)
 
     // Feature cache: a reservation carved out of the device budget
     // that keeps hot/duplicated input rows from re-crossing the link
-    // every micro-batch. Single-device only — the multi-device
-    // trainer has per-device memory models this cache knows nothing
-    // about.
+    // every micro-batch. With --devices > 1 the reservation is made
+    // per device inside the MultiDeviceEngine instead (each device
+    // has its own memory model and host link).
     CachePolicy cache_policy = CachePolicy::Lru;
     if (!parseCachePolicy(args.cache_policy, &cache_policy))
         fatal("unknown --cache-policy '", args.cache_policy, "'");
     std::unique_ptr<FeatureCache> cache;
     if (args.cache_gib > 0.0) {
         if (args.devices > 1) {
-            warn("--cache-gib applies only to single-device "
-                 "training; --devices ", args.devices,
-                 " runs uncached");
+            inform("feature cache: ",
+                   TablePrinter::num(args.cache_gib, 3),
+                   " GiB reserved per device (policy ",
+                   cachePolicyName(cache_policy), ")");
         } else {
             cache = std::make_unique<FeatureCache>(
                 &device, gib(args.cache_gib),
@@ -545,7 +567,18 @@ main(int argc, char** argv)
     MultiDeviceConfig multi_config;
     multi_config.numDevices = args.devices;
     multi_config.deviceCapacityBytes = budget;
-    MultiDeviceTrainer multi_trainer(ds, *model, adam, multi_config);
+    if (!InterconnectConfig::parse(args.interconnect,
+                                   &multi_config.interconnect))
+        fatal("unknown --interconnect '", args.interconnect,
+              "' (expected nvlink or pcie)");
+    multi_config.cacheBytesPerDevice =
+        args.devices > 1 ? gib(args.cache_gib) : 0;
+    multi_config.cachePolicy = cache_policy;
+    multi_config.pipeline = !args.no_pipeline;
+    std::unique_ptr<MultiDeviceEngine> multi_engine;
+    if (args.devices > 1)
+        multi_engine = std::make_unique<MultiDeviceEngine>(
+            ds, *model, adam, multi_config);
 
     NeighborSampler test_sampler(ds.graph, args.fanouts, 999);
     const auto test_batch = test_sampler.sample(ds.testNodes);
@@ -572,6 +605,9 @@ main(int argc, char** argv)
     report.setConfig("epochs", std::to_string(args.epochs));
     report.setConfig("budget_mib", std::to_string(args.budget_mib));
     report.setConfig("devices", std::to_string(args.devices));
+    if (args.devices > 1)
+        report.setConfig("interconnect",
+                         multi_config.interconnect.name);
     report.setConfig("partitioner", args.partitioner);
     report.setConfig("threads",
                      std::to_string(ThreadPool::globalThreads()));
@@ -658,7 +694,7 @@ main(int argc, char** argv)
                 fatal("budget too small even at one output per batch");
             last_k = plan.k; // warm the K search across epochs too
             const auto stats =
-                multi_trainer.trainMicroBatches(plan.microBatches);
+                multi_engine->trainEpoch(plan.microBatches, epoch);
             const double test = trainer.evaluate(test_batch);
             obs::RunReportEpoch epoch_row;
             epoch_row.epoch = epoch;
@@ -668,16 +704,28 @@ main(int argc, char** argv)
             epoch_row.testAccuracy = test;
             epoch_row.peakBytes = stats.maxDevicePeakBytes;
             epoch_row.computeSeconds = stats.epochSeconds;
+            double transfer_seconds = 0.0;
+            for (const double s : stats.deviceTransferSeconds)
+                transfer_seconds = std::max(transfer_seconds, s);
+            epoch_row.transferSeconds = transfer_seconds;
             epoch_row.oom = stats.oom;
             report.addEpoch(epoch_row);
             run_peak_bytes =
                 std::max(run_peak_bytes, stats.maxDevicePeakBytes);
             total_compute_seconds += stats.epochSeconds;
+            total_transfer_seconds += transfer_seconds;
             final_test_accuracy = test;
             inform("epoch ", epoch, "/", args.epochs, "  K=", plan.k,
                    "  loss ", TablePrinter::num(stats.loss, 4),
                    "  acc ", TablePrinter::num(stats.accuracy, 3),
-                   "  on ", args.devices, " devices",
+                   "  on ", stats.liveDevices, "/", args.devices,
+                   " devices  dup ",
+                   TablePrinter::num(stats.duplicationFactor, 2),
+                   "x",
+                   stats.deviceDrops
+                       ? "  (device-drop x" +
+                             std::to_string(stats.deviceDrops) + ")"
+                       : "",
                    stats.oom ? "  OOM!" : "");
             summary.addRow(
                 {std::to_string(epoch), std::to_string(plan.k),

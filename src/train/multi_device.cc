@@ -1,17 +1,39 @@
 #include "train/multi_device.h"
 
 #include <algorithm>
+#include <future>
 #include <numeric>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "memory/estimator.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
+#include "obs/perf/flight_recorder.h"
+#include "obs/residual.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace betty {
+
+namespace {
+
+/** The sharder's per-batch cost: feature bytes + structure bytes —
+ * the dominant memory and transfer load of the batch. */
+int64_t
+shardCost(const MultiLayerBatch& batch, int64_t feature_dim)
+{
+    return int64_t(batch.inputNodes().size()) * feature_dim *
+               int64_t(sizeof(float)) +
+           batch.structureBytes();
+}
+
+} // namespace
 
 std::vector<int32_t>
 scheduleLpt(const std::vector<int64_t>& costs, int32_t num_devices)
@@ -37,150 +59,537 @@ scheduleLpt(const std::vector<int64_t>& costs, int32_t num_devices)
     return assignment;
 }
 
-MultiDeviceTrainer::MultiDeviceTrainer(const Dataset& dataset,
-                                       GnnModel& model,
-                                       Optimizer& optimizer,
-                                       MultiDeviceConfig config)
+ShardPlan
+shardVertexCut(const std::vector<MultiLayerBatch>& micros,
+               int32_t num_devices, int64_t feature_dim,
+               double balance_slack)
+{
+    BETTY_ASSERT(num_devices >= 1, "need at least one device");
+    BETTY_ASSERT(balance_slack >= 1.0, "balance slack must be >= 1");
+    ShardPlan plan;
+    plan.assignment.assign(micros.size(), -1);
+    plan.deviceCostBytes.assign(size_t(num_devices), 0);
+    plan.deviceUniqueInputs.assign(size_t(num_devices), 0);
+
+    std::vector<int64_t> cost(micros.size(), 0);
+    std::vector<size_t> order;
+    order.reserve(micros.size());
+    int64_t total_cost = 0;
+    for (size_t i = 0; i < micros.size(); ++i) {
+        if (micros[i].outputNodes().empty())
+            continue;
+        cost[i] = shardCost(micros[i], feature_dim);
+        total_cost += cost[i];
+        order.push_back(i);
+    }
+    // LPT order with the index as tie-breaker: a total order, so the
+    // plan is a pure function of the batches — never of thread count
+    // or iteration timing.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cost[a] != cost[b])
+            return cost[a] > cost[b];
+        return a < b;
+    });
+
+    const double cap =
+        balance_slack * double(total_cost) / double(num_devices);
+    std::vector<std::unordered_set<int64_t>> inputs;
+    inputs.resize(size_t(num_devices));
+    std::unordered_set<int64_t> global;
+    for (size_t i : order) {
+        // Overlap-first among the devices still under the balance
+        // cap: placing a batch beside the batches it shares input
+        // vertices with is what keeps the halo (and with it the
+        // duplicated feature transfers) small.
+        int32_t best = -1;
+        int64_t best_overlap = -1;
+        for (int32_t d = 0; d < num_devices; ++d) {
+            if (double(plan.deviceCostBytes[size_t(d)] + cost[i]) >
+                cap)
+                continue;
+            int64_t overlap = 0;
+            const auto& set = inputs[size_t(d)];
+            for (int64_t node : micros[i].inputNodes())
+                overlap += set.count(node) ? 1 : 0;
+            if (overlap > best_overlap ||
+                (overlap == best_overlap && best >= 0 &&
+                 plan.deviceCostBytes[size_t(d)] <
+                     plan.deviceCostBytes[size_t(best)]))
+            {
+                best = d;
+                best_overlap = overlap;
+            }
+        }
+        if (best < 0) {
+            // Nothing fits under the cap (one huge batch): fall back
+            // to the least-loaded device, which bounds the load at
+            // total/devices + the largest single cost.
+            for (int32_t d = 0; d < num_devices; ++d)
+                if (best < 0 ||
+                    plan.deviceCostBytes[size_t(d)] <
+                        plan.deviceCostBytes[size_t(best)])
+                    best = d;
+        }
+        plan.assignment[i] = best;
+        plan.deviceCostBytes[size_t(best)] += cost[i];
+        for (int64_t node : micros[i].inputNodes()) {
+            inputs[size_t(best)].insert(node);
+            global.insert(node);
+        }
+    }
+
+    int64_t replicated = 0;
+    for (int32_t d = 0; d < num_devices; ++d) {
+        plan.deviceUniqueInputs[size_t(d)] =
+            int64_t(inputs[size_t(d)].size());
+        replicated += plan.deviceUniqueInputs[size_t(d)];
+    }
+    plan.globalUniqueInputs = int64_t(global.size());
+    plan.duplicationFactor =
+        plan.globalUniqueInputs > 0
+            ? double(replicated) / double(plan.globalUniqueInputs)
+            : 1.0;
+    return plan;
+}
+
+double
+shardDuplicationFactor(const std::vector<MultiLayerBatch>& micros,
+                       const std::vector<int32_t>& assignment)
+{
+    BETTY_ASSERT(assignment.size() == micros.size(),
+                 "assignment does not match the micro-batches");
+    std::unordered_map<int32_t, std::unordered_set<int64_t>> inputs;
+    std::unordered_set<int64_t> global;
+    for (size_t i = 0; i < micros.size(); ++i) {
+        if (assignment[i] < 0)
+            continue;
+        auto& set = inputs[assignment[i]];
+        for (int64_t node : micros[i].inputNodes()) {
+            set.insert(node);
+            global.insert(node);
+        }
+    }
+    if (global.empty())
+        return 1.0;
+    int64_t replicated = 0;
+    for (const auto& entry : inputs)
+        replicated += int64_t(entry.second.size());
+    return double(replicated) / double(global.size());
+}
+
+std::vector<int32_t>
+roundRobinAssignment(const std::vector<MultiLayerBatch>& micros,
+                     int32_t num_devices)
+{
+    BETTY_ASSERT(num_devices >= 1, "need at least one device");
+    std::vector<int32_t> assignment(micros.size(), -1);
+    int32_t next = 0;
+    for (size_t i = 0; i < micros.size(); ++i) {
+        if (micros[i].outputNodes().empty())
+            continue;
+        assignment[i] = next;
+        next = (next + 1) % num_devices;
+    }
+    return assignment;
+}
+
+MultiDeviceEngine::MultiDeviceEngine(const Dataset& dataset,
+                                     GnnModel& model,
+                                     Optimizer& optimizer,
+                                     MultiDeviceConfig config)
     : dataset_(dataset), model_(model), optimizer_(optimizer),
-      config_(std::move(config))
+      config_(std::move(config)),
+      numerics_(dataset, model, optimizer),
+      interconnect_(config_.interconnect)
 {
     BETTY_ASSERT(config_.numDevices >= 1, "need at least one device");
+    const int64_t row_bytes =
+        dataset_.featureDim() * int64_t(sizeof(float));
+    devices_.reserve(size_t(config_.numDevices));
+    for (int32_t d = 0; d < config_.numDevices; ++d) {
+        auto state = std::make_unique<DeviceState>(
+            config_.deviceCapacityBytes, config_.hostLinkBandwidth);
+        if (config_.cacheBytesPerDevice > 0)
+            state->cache = std::make_unique<FeatureCache>(
+                &state->memory, config_.cacheBytesPerDevice,
+                row_bytes, config_.cachePolicy);
+        devices_.push_back(std::move(state));
+    }
+}
+
+int32_t
+MultiDeviceEngine::liveDevices() const
+{
+    int32_t live = 0;
+    for (const auto& device : devices_)
+        live += device->dead ? 0 : 1;
+    return live;
+}
+
+std::vector<int32_t>
+MultiDeviceEngine::liveDeviceIds() const
+{
+    std::vector<int32_t> live;
+    live.reserve(devices_.size());
+    for (size_t d = 0; d < devices_.size(); ++d)
+        if (!devices_[d]->dead)
+            live.push_back(int32_t(d));
+    return live;
+}
+
+Trainer::StagedFeatures
+MultiDeviceEngine::gatherStaged(const MultiLayerBatch& batch,
+                                int32_t device)
+{
+    // The gather lands in the owning device's trace lane whether it
+    // runs on a pool worker (pipelined dispatch) or inline — the
+    // Chrome trace shows one swimlane per device either way.
+    obs::TraceLaneScope lane(1000 + device,
+                             "device" + std::to_string(device));
+    obs::TraceSpan span("multi/gather", "transfer");
+    Trainer::StagedFeatures staged;
+    const auto& inputs = batch.inputNodes();
+    const int64_t dim = dataset_.featureDim();
+    staged.rows = int64_t(inputs.size());
+    staged.values.resize(inputs.size() * size_t(dim));
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const int64_t node = inputs[i];
+        BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
+                     "input node out of range");
+        std::copy_n(dataset_.features.data() + node * dim, dim,
+                    staged.values.data() + int64_t(i) * dim);
+    }
+    staged.traceSpanId = span.id();
+    return staged;
+}
+
+void
+MultiDeviceEngine::consumeDeviceDrops(
+    const std::vector<MultiLayerBatch>& micros,
+    const std::vector<size_t>& active, size_t next_pos,
+    std::vector<int32_t>& owner, int64_t* drops)
+{
+    int64_t requested = -1;
+    while (fault::Injector::takeDeviceDrop(&requested)) {
+        const std::vector<int32_t> live = liveDeviceIds();
+        if (live.size() <= 1) {
+            warnOnce("device-drop fault ignored: only one live "
+                     "device remains");
+            continue;
+        }
+        int32_t victim = -1;
+        if (requested >= 0) {
+            if (requested >= int64_t(devices_.size()) ||
+                devices_[size_t(requested)]->dead) {
+                warnOnce("device-drop fault names device ", requested,
+                         " which is not a live device; ignored");
+                continue;
+            }
+            victim = int32_t(requested);
+        } else {
+            victim = live.back();
+        }
+        DeviceState& lost = *devices_[size_t(victim)];
+        lost.dead = true;
+        if (lost.cache)
+            lost.cache->releaseAll();
+        ++*drops;
+        obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                    "multi/device-drop", victim,
+                                    int64_t(next_pos));
+
+        // Re-shard the victim's pending micro-batches over the
+        // survivors: same overlap-first greedy as shardVertexCut,
+        // seeded with the survivors' current working sets (inputs of
+        // everything they own, executed or pending). Already-executed
+        // batches keep their attribution — their gradients are valid
+        // contributions, charged where they actually ran.
+        const std::vector<int32_t> survivors = liveDeviceIds();
+        const int64_t dim = dataset_.featureDim();
+        std::unordered_map<int32_t, std::unordered_set<int64_t>>
+            inputs;
+        std::unordered_map<int32_t, int64_t> load;
+        for (int32_t d : survivors) {
+            inputs[d];
+            load[d] = 0;
+        }
+        for (size_t i = 0; i < micros.size(); ++i) {
+            const int32_t d = owner[i];
+            if (d < 0 || devices_[size_t(d)]->dead)
+                continue;
+            for (int64_t node : micros[i].inputNodes())
+                inputs[d].insert(node);
+            load[d] += shardCost(micros[i], dim);
+        }
+        for (size_t pos = next_pos; pos < active.size(); ++pos) {
+            const size_t index = active[pos];
+            if (owner[index] != victim)
+                continue;
+            int32_t best = -1;
+            int64_t best_overlap = -1;
+            for (int32_t d : survivors) {
+                int64_t overlap = 0;
+                const auto& set = inputs[d];
+                for (int64_t node : micros[index].inputNodes())
+                    overlap += set.count(node) ? 1 : 0;
+                if (overlap > best_overlap ||
+                    (overlap == best_overlap && best >= 0 &&
+                     load[d] < load[best]))
+                {
+                    best = d;
+                    best_overlap = overlap;
+                }
+            }
+            owner[index] = best;
+            for (int64_t node : micros[index].inputNodes())
+                inputs[best].insert(node);
+            load[best] += shardCost(micros[index], dim);
+            obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                        "multi/reshard",
+                                        int64_t(index), best);
+        }
+    }
 }
 
 MultiDeviceStats
-MultiDeviceTrainer::trainMicroBatches(
+MultiDeviceEngine::trainMicroBatches(
     const std::vector<MultiLayerBatch>& micro_batches)
 {
+    return run(micro_batches, /*fault_clock=*/false);
+}
+
+MultiDeviceStats
+MultiDeviceEngine::trainEpoch(
+    const std::vector<MultiLayerBatch>& micro_batches, int64_t epoch)
+{
+    fault::Injector::beginEpoch(epoch);
+    return run(micro_batches, /*fault_clock=*/true);
+}
+
+MultiDeviceStats
+MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
+                       bool fault_clock)
+{
+    BETTY_TRACE_SPAN("multi/accumulation_step");
     MultiDeviceStats stats;
-    const int32_t devices = config_.numDevices;
-    stats.batchesPerDevice.assign(size_t(devices), 0);
-    stats.deviceSeconds.assign(size_t(devices), 0.0);
+    const size_t num_devices = devices_.size();
+    stats.batchesPerDevice.assign(num_devices, 0);
+    stats.deviceSeconds.assign(num_devices, 0.0);
+    stats.deviceComputeSeconds.assign(num_devices, 0.0);
+    stats.deviceTransferSeconds.assign(num_devices, 0.0);
+    stats.deviceTransferBytes.assign(num_devices, 0);
+    stats.devicePeakBytes.assign(num_devices, 0);
 
     int64_t total_outputs = 0;
-    for (const auto& batch : micro_batches)
+    for (const auto& batch : micros)
         total_outputs += int64_t(batch.outputNodes().size());
     BETTY_ASSERT(total_outputs > 0, "no output nodes to train on");
 
-    // Schedule by input-node volume: the dominant per-batch cost for
-    // both memory and time.
-    std::vector<int64_t> costs;
-    costs.reserve(micro_batches.size());
-    for (const auto& batch : micro_batches)
-        costs.push_back(int64_t(batch.inputNodes().size()) *
-                            dataset_.featureDim() +
-                        batch.totalEdges());
-    const auto assignment = scheduleLpt(costs, devices);
+    std::vector<size_t> active;
+    active.reserve(micros.size());
+    for (size_t i = 0; i < micros.size(); ++i)
+        if (!micros[i].outputNodes().empty())
+            active.push_back(i);
 
-    // Parameter gradients outlive the per-device memory models below;
-    // allocate them under the CALLER's observer (where the parameters
-    // themselves live) so no storage ever reports to a dead model.
+    int64_t drops = 0;
+    std::vector<int32_t> owner(micros.size(), -1);
+    // Epoch-scoped device drops fire BEFORE sharding: the epoch
+    // shards directly over the survivors, which is exactly "running
+    // on N-1 devices from the start" for this epoch.
+    if (fault_clock)
+        consumeDeviceDrops(micros, active, 0, owner, &drops);
+
+    const std::vector<int32_t> live = liveDeviceIds();
+    last_plan_ = shardVertexCut(micros, int32_t(live.size()),
+                                dataset_.featureDim(),
+                                config_.balanceSlack);
+    for (size_t i = 0; i < micros.size(); ++i)
+        if (last_plan_.assignment[i] >= 0)
+            owner[i] = live[size_t(last_plan_.assignment[i])];
+
+    // Parameter gradients outlive the per-device memory models'
+    // scopes; allocate them under the CALLER's observer (where the
+    // parameters themselves live) so no storage ever reports a free
+    // to the wrong device.
     for (const auto& p : model_.parameters())
         p->ensureGrad();
     optimizer_.zeroGrad();
-    int64_t correct = 0;
 
-    // Devices would run concurrently; we execute serially per device
-    // and take the max busy time, which is exact for the simulated
-    // clock (no shared resources between simulated devices). Each
-    // device's spans land in its own trace lane so the serialized
-    // execution still renders as parallel swimlanes in the viewer.
-    for (int32_t device_id = 0; device_id < devices; ++device_id) {
-        obs::TraceLaneScope lane(
-            1000 + device_id,
-            "device" + std::to_string(device_id));
-        BETTY_TRACE_SPAN("multi/device");
-        DeviceMemoryModel device(config_.deviceCapacityBytes);
-        TransferModel link(config_.hostLinkBandwidth);
-        double busy = 0.0;
-
-        for (size_t i = 0; i < micro_batches.size(); ++i) {
-            if (assignment[i] != device_id)
-                continue;
-            const auto& batch = micro_batches[i];
-            const int64_t outputs =
-                int64_t(batch.outputNodes().size());
-            if (outputs == 0)
-                continue;
-            BETTY_TRACE_SPAN("train/micro_batch");
-            ++stats.batchesPerDevice[size_t(device_id)];
-
-            DeviceMemoryModel::Scope scope(device);
-            const int64_t structure_bytes = batch.structureBytes();
-            const int64_t label_bytes =
-                outputs * int64_t(sizeof(int32_t));
-            device.onAlloc(structure_bytes,
-                           obs::MemCategory::Blocks);
-            device.onAlloc(label_bytes, obs::MemCategory::Labels);
-            {
-                // Gather features (host -> this device's link).
-                const auto& inputs = batch.inputNodes();
-                const int64_t dim = dataset_.featureDim();
-                ag::NodePtr feature_node;
-                {
-                    BETTY_TRACE_SPAN_CAT("train/transfer", "transfer");
-                    obs::MemCategoryScope mem_scope(
-                        obs::MemCategory::InputFeatures);
-                    Tensor features(int64_t(inputs.size()), dim);
-                    for (size_t r = 0; r < inputs.size(); ++r)
-                        std::copy_n(dataset_.features.data() +
-                                        inputs[r] * dim,
-                                    dim,
-                                    features.data() +
-                                        int64_t(r) * dim);
-                    link.transfer(features.bytes() +
-                                  structure_bytes);
-                    feature_node = ag::constant(std::move(features));
-                }
-
-                std::vector<int32_t> labels;
-                labels.reserve(size_t(outputs));
-                for (int64_t v : batch.outputNodes())
-                    labels.push_back(dataset_.labels[size_t(v)]);
-
-                Timer timer;
-                ag::NodePtr logits;
-                {
-                    BETTY_TRACE_SPAN_CAT("train/forward", "compute");
-                    obs::MemCategoryScope mem_scope(
-                        obs::MemCategory::Hidden);
-                    logits = model_.forward(batch, feature_node);
-                }
-                correct += ag::countCorrect(logits->value, labels);
-                const auto loss = ag::softmaxCrossEntropy(
-                    logits, std::move(labels));
-                const float weight = float(double(outputs) /
-                                           double(total_outputs));
-                {
-                    BETTY_TRACE_SPAN_CAT("train/backward", "compute");
-                    obs::MemCategoryScope mem_scope(
-                        obs::MemCategory::Gradients);
-                    ag::backward(ag::scale(loss, weight));
-                }
-                busy += timer.seconds();
-                stats.loss +=
-                    double(loss->value.at(0, 0)) * double(weight);
-            }
-            device.onFree(structure_bytes,
-                          obs::MemCategory::Blocks);
-            device.onFree(label_bytes, obs::MemCategory::Labels);
-        }
-
-        busy += link.seconds();
-        stats.deviceSeconds[size_t(device_id)] = busy;
-        stats.maxDevicePeakBytes =
-            std::max(stats.maxDevicePeakBytes, device.peakBytes());
-        stats.oom = stats.oom || device.oomOccurred();
+    std::vector<FeatureCacheStats> cache_before(num_devices);
+    for (size_t d = 0; d < num_devices; ++d) {
+        devices_[d]->memory.resetPeak();
+        devices_[d]->link.reset();
+        if (devices_[d]->cache)
+            cache_before[d] = devices_[d]->cache->stats();
     }
 
-    // Ring allreduce over the gradients, then one optimizer step.
-    if (devices > 1) {
+    // Pipelined dispatch: every active micro-batch's host-side
+    // feature gather is submitted to the pool up front, labelled with
+    // its owning device's lane. Staging buffers are plain host
+    // memory (unobserved), and ALL device charges happen at
+    // consumption time below, on this thread, in canonical order —
+    // so accounting is bit-identical to the inline schedule, for any
+    // thread count and any fault timing.
+    const bool pipelined = config_.pipeline &&
+                           ThreadPool::globalThreads() > 1 &&
+                           active.size() > 1;
+    std::vector<std::future<Trainer::StagedFeatures>> prefetched;
+    // If the loop unwinds early, pool workers would keep touching
+    // micros and dataset_ after this frame is gone; drain first.
+    struct DispatchJoiner
+    {
+        std::vector<std::future<Trainer::StagedFeatures>>& futures;
+        ~DispatchJoiner()
+        {
+            for (auto& future : futures) {
+                if (future.valid()) {
+                    try {
+                        future.get();
+                    } catch (...) {
+                    }
+                }
+            }
+        }
+    } dispatch_joiner{prefetched};
+    if (pipelined) {
+        prefetched.reserve(active.size());
+        for (size_t pos = 0; pos < active.size(); ++pos) {
+            const size_t index = active[pos];
+            const int32_t device = owner[index];
+            obs::FlightRecorder::record(obs::FrCategory::Mark,
+                                        "multi/dispatch",
+                                        int64_t(index), device);
+            const MultiLayerBatch* batch = &micros[index];
+            prefetched.push_back(ThreadPool::global().submit(
+                [this, batch, device] {
+                    return gatherStaged(*batch, device);
+                }));
+        }
+    }
+
+    int64_t correct = 0;
+    uint64_t prev_micro_span = 0;
+    for (size_t pos = 0; pos < active.size(); ++pos) {
+        const size_t index = active[pos];
+        if (fault_clock) {
+            fault::Injector::beginMicroBatch(int64_t(index));
+            // A mid-epoch drop re-shards this and all later pending
+            // batches; gathers already dispatched for the dead device
+            // stay valid (host staging), only the charges move.
+            consumeDeviceDrops(micros, active, pos, owner, &drops);
+        }
+        const MultiLayerBatch& batch = micros[index];
+        const int32_t device = owner[index];
+        DeviceState& state = *devices_[size_t(device)];
+        obs::TraceSpan micro_span("train/micro_batch");
+        // Ordering edge: gradient accumulation serializes the
+        // micro-batches of an epoch on this thread.
+        obs::Trace::recordFlow(prev_micro_span, micro_span.id());
+        prev_micro_span = micro_span.id();
+        stats.inputNodesProcessed +=
+            int64_t(batch.inputNodes().size());
+        for (const auto& block : batch.blocks)
+            stats.totalNodesProcessed += block.numSrc();
+
+        Trainer::StagedFeatures staged;
+        if (pipelined) {
+            {
+                // Time blocked on the dispatch handoff is the
+                // cross-device stall critpath calls out.
+                BETTY_TRACE_SPAN_CAT("multi/dispatch_wait", "stall");
+                staged = prefetched[pos].get();
+            }
+        } else {
+            staged = gatherStaged(batch, device);
+        }
+        obs::Trace::recordFlow(staged.traceSpanId, micro_span.id());
+
+        // Charge-at-consumption: cache consult, link charge, and
+        // every tensor allocation happen here under THIS device's
+        // scope, in canonical micro-batch order.
+        DeviceMemoryModel::Scope scope(state.memory);
+        state.memory.resetWindow();
+        const int64_t structure_bytes = batch.structureBytes();
+        const int64_t label_bytes =
+            int64_t(batch.outputNodes().size()) *
+            int64_t(sizeof(int32_t));
+        state.memory.onAlloc(structure_bytes,
+                             obs::MemCategory::Blocks);
+        state.memory.onAlloc(label_bytes, obs::MemCategory::Labels);
+        {
+            Timer timer;
+            int64_t feature_bytes = int64_t(staged.values.size()) *
+                                    int64_t(sizeof(float));
+            if (state.cache) {
+                const FeatureCache::AccessResult cached =
+                    state.cache->access(batch.inputNodes());
+                feature_bytes = cached.misses *
+                                dataset_.featureDim() *
+                                int64_t(sizeof(float));
+                state.link.noteSavedBytes(cached.bytesSaved);
+            }
+            state.link.transfer(feature_bytes + structure_bytes);
+            // The numeric core is the single-device trainer's own
+            // forwardStaged — same ops, same order, so losses and
+            // gradients are bit-identical by construction.
+            Trainer::ForwardResult fwd =
+                numerics_.forwardStaged(batch, std::move(staged));
+            const float weight =
+                float(double(fwd.outputs) / double(total_outputs));
+            {
+                BETTY_TRACE_SPAN_CAT("train/backward", "compute");
+                obs::MemCategoryScope mem_scope(
+                    obs::MemCategory::Gradients);
+                ag::backward(ag::scale(fwd.loss, weight));
+            }
+            stats.deviceComputeSeconds[size_t(device)] +=
+                timer.seconds();
+            stats.loss +=
+                double(fwd.loss->value.at(0, 0)) * double(weight);
+            correct += fwd.correct;
+            // fwd's graph (all intermediate activations) is released
+            // here, inside the device scope that charged it.
+        }
+        ++stats.batchesPerDevice[size_t(device)];
+        state.memory.onFree(structure_bytes,
+                            obs::MemCategory::Blocks);
+        state.memory.onFree(label_bytes, obs::MemCategory::Labels);
+        if (obs::Metrics::enabled()) {
+            const MemoryEstimate predicted =
+                estimateBatchMemory(batch, model_.memorySpec());
+            obs::residuals().record(predicted.peak,
+                                    state.memory.windowPeakBytes());
+            obs::MicroBatchMemRecord record;
+            record.actualTotalPeak = state.memory.windowPeakBytes();
+            record.predictedTotalPeak = predicted.peak;
+            for (size_t c = 0; c < obs::kMemCategoryCount; ++c) {
+                const auto category = obs::MemCategory(c);
+                record.actualPeak[c] =
+                    state.memory.windowPeakBytes(category);
+                record.predicted[c] =
+                    componentBytes(predicted, category);
+            }
+            obs::memProfiler().record(record);
+        }
+    }
+
+    // Deterministic ring all-reduce of the accumulated gradients
+    // across the live devices, then one optimizer step. The cost is
+    // purely analytic — no numeric reordering — which is what keeps
+    // N-device parameters bit-identical to N=1.
+    const std::vector<int32_t> live_after = liveDeviceIds();
+    stats.liveDevices = int32_t(live_after.size());
+    stats.deviceDrops = drops;
+    if (live_after.size() > 1) {
         int64_t grad_bytes = 0;
         for (const auto& p : model_.parameters())
             grad_bytes += p->value.bytes();
-        stats.allreduceSeconds =
-            config_.collectiveLatency +
-            2.0 * double(devices - 1) / double(devices) *
-                double(grad_bytes) / config_.interconnectBandwidth;
+        BETTY_TRACE_SPAN_CAT("multi/allreduce", "transfer");
+        stats.allreduceSeconds = interconnect_.chargeAllReduce(
+            grad_bytes, int32_t(live_after.size()));
+        obs::FlightRecorder::record(obs::FrCategory::Mark,
+                                    "multi/allreduce", grad_bytes,
+                                    int64_t(live_after.size()));
     }
     {
         BETTY_TRACE_SPAN_CAT("train/step", "compute");
@@ -188,18 +597,53 @@ MultiDeviceTrainer::trainMicroBatches(
         optimizer_.step();
         stats.allreduceSeconds += timer.seconds();
     }
-    if (obs::Metrics::enabled()) {
-        static obs::Gauge& allreduce_us =
-            obs::Metrics::gauge("multi.allreduce_microseconds");
-        allreduce_us.set(
-            int64_t(stats.allreduceSeconds * 1e6));
-    }
 
-    stats.epochSeconds =
-        *std::max_element(stats.deviceSeconds.begin(),
-                          stats.deviceSeconds.end()) +
-        stats.allreduceSeconds;
+    double max_busy = 0.0;
+    for (size_t d = 0; d < num_devices; ++d) {
+        DeviceState& state = *devices_[d];
+        stats.deviceTransferSeconds[d] = state.link.seconds();
+        stats.deviceTransferBytes[d] = state.link.totalBytes();
+        stats.deviceSeconds[d] =
+            stats.deviceComputeSeconds[d] + state.link.seconds();
+        stats.devicePeakBytes[d] = state.memory.peakBytes();
+        stats.maxDevicePeakBytes = std::max(stats.maxDevicePeakBytes,
+                                            state.memory.peakBytes());
+        stats.oom = stats.oom || state.memory.oomOccurred();
+        max_busy = std::max(max_busy, stats.deviceSeconds[d]);
+        if (state.cache) {
+            const FeatureCacheStats now = state.cache->stats();
+            stats.cacheHits += now.hits - cache_before[d].hits;
+            stats.cacheMisses += now.misses - cache_before[d].misses;
+            stats.cacheSavedBytes +=
+                now.bytesSaved - cache_before[d].bytesSaved;
+        }
+        state.link.reset();
+    }
+    stats.duplicationFactor = shardDuplicationFactor(micros, owner);
+    stats.epochSeconds = max_busy + stats.allreduceSeconds;
     stats.accuracy = double(correct) / double(total_outputs);
+
+    if (obs::Metrics::enabled()) {
+        obs::Metrics::gauge("multi.devices")
+            .set(int64_t(stats.liveDevices));
+        obs::Metrics::gauge("multi.duplication_factor_x1000")
+            .set(int64_t(stats.duplicationFactor * 1000.0));
+        obs::Metrics::gauge("multi.allreduce_microseconds")
+            .set(int64_t(stats.allreduceSeconds * 1e6));
+        if (drops > 0) {
+            static obs::Counter& drop_counter =
+                obs::Metrics::counter("multi.device_drops");
+            drop_counter.add(drops);
+        }
+        for (size_t d = 0; d < num_devices; ++d) {
+            const std::string prefix =
+                "multi.device" + std::to_string(d);
+            obs::Metrics::gauge(prefix + ".transfer_bytes")
+                .set(stats.deviceTransferBytes[d]);
+            obs::Metrics::gauge(prefix + ".peak_bytes")
+                .set(stats.devicePeakBytes[d]);
+        }
+    }
     return stats;
 }
 

@@ -1,37 +1,56 @@
 /**
  * @file
- * Multi-accelerator micro-batch training — the paper's stated future
- * work ("we plan to extend Betty to multi-GPU training to speed up
- * the training process", §7), built on the same simulated-device
- * substrate as the single-device trainer.
+ * Multi-accelerator split-parallel micro-batch training — the paper's
+ * stated future work ("we plan to extend Betty to multi-GPU training
+ * to speed up the training process", §7), built on the same
+ * simulated-device substrate as the single-device trainer.
  *
- * Model: D devices, each with its own DeviceMemoryModel and host link.
- * The K micro-batches of a batch are scheduled across devices; every
- * device computes gradients for its share against the same parameter
- * snapshot; gradients are then combined with a ring-allreduce whose
- * cost is charged analytically (2 (D-1)/D * bytes / bandwidth). The
- * accumulated gradient is identical to single-device Betty (and to
- * full-batch training), so convergence is untouched — only wall-clock
- * and per-device peak memory change.
+ * Model: D simulated devices, each with its own DeviceMemoryModel,
+ * host link (TransferModel), and optional FeatureCache. The K REG
+ * micro-batches of a batch are sharded across devices by a vertex-cut
+ * assignment (shardVertexCut): greedy balanced placement that
+ * co-locates micro-batches sharing input (halo) vertices, minimizing
+ * the cross-device duplication factor the `multi.*` metrics report.
+ * Every device computes gradients for its share against the same
+ * parameter snapshot; gradients are then combined with a ring
+ * all-reduce priced by memory/interconnect.h before one optimizer
+ * step.
  *
- * Scheduling is longest-processing-time-first over the per-micro-batch
- * cost estimates, which keeps both compute and memory balanced across
- * devices even when the memory-aware planner produced uneven
- * micro-batches.
+ * Equivalence guarantee (tests/test_multi_device_equivalence.cc): the
+ * engine computes every micro-batch on the calling thread, in the
+ * canonical micro-batch order, through the SAME numeric path as
+ * Trainer::trainMicroBatches (it borrows Trainer::forwardStaged via a
+ * friend hook). Device assignment decides only where the simulated
+ * bytes and seconds are charged — never the float operation order —
+ * so losses and parameters are bit-identical to single-device
+ * gradient accumulation for any device count, thread count, pipeline
+ * mode, and cache size. Pool lanes carry only the host-side feature
+ * gathers (plain staging buffers, unobserved by the device models),
+ * one lane per device in the Chrome trace.
+ *
+ * Fault semantics (docs/MULTI_DEVICE.md): a `device-drop@epochN[.mbM]`
+ * fault (util/fault.h) kills one device; its remaining micro-batches
+ * are re-sharded over the survivors and the epoch continues. Because
+ * assignment never touches numerics, the run finishes with parameters
+ * bit-identical to running on the surviving devices from the start —
+ * the multi-device mirror of PR 4's capacity-drop invariant.
  */
 #ifndef BETTY_TRAIN_MULTI_DEVICE_H
 #define BETTY_TRAIN_MULTI_DEVICE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "cache/feature_cache.h"
 #include "data/dataset.h"
 #include "memory/device_memory.h"
-#include "memory/estimator.h"
+#include "memory/interconnect.h"
 #include "memory/transfer_model.h"
 #include "nn/models.h"
 #include "nn/optim.h"
 #include "sampling/block.h"
+#include "train/trainer.h"
 
 namespace betty {
 
@@ -47,31 +66,114 @@ struct MultiDeviceConfig
     /** Host->device link bandwidth per device, bytes/s. */
     double hostLinkBandwidth = 12.0e9;
 
-    /** Device<->device interconnect bandwidth (allreduce), bytes/s. */
-    double interconnectBandwidth = 50.0e9;
+    /** Device<->device fabric for the gradient all-reduce. */
+    InterconnectConfig interconnect = InterconnectConfig::nvlink();
 
-    /** Per-collective latency, seconds. */
-    double collectiveLatency = 20.0e-6;
+    /** Per-device feature-cache reservation (0 = no cache). */
+    int64_t cacheBytesPerDevice = 0;
+
+    /** Replacement policy of the per-device caches. */
+    CachePolicy cachePolicy = CachePolicy::Lru;
+
+    /**
+     * Balance slack of the vertex-cut sharder: a device may hold up
+     * to slack * (total cost / devices) before the sharder stops
+     * preferring it for overlap.
+     */
+    double balanceSlack = 1.2;
+
+    /**
+     * Dispatch the host-side feature gathers to pool lanes (one per
+     * device) when the global ThreadPool has workers. Off = gather
+     * inline at consumption time. Either way numerics and all
+     * per-device accounting are bit-identical: gathers stage into
+     * plain host memory and every charge happens at consumption time
+     * on the calling thread, in canonical micro-batch order.
+     */
+    bool pipeline = true;
 };
+
+/**
+ * Vertex-cut assignment of micro-batches to devices.
+ *
+ * REG already minimized input-node duplication BETWEEN micro-batches
+ * (paper §4.3); across devices the residual duplication is the halo:
+ * every input vertex needed by micro-batches on two devices is
+ * gathered and transferred twice. shardVertexCut packs micro-batches
+ * that share inputs onto the same device, subject to a load-balance
+ * cap.
+ */
+struct ShardPlan
+{
+    /** Per-micro-batch device slot in [0, numDevices), or -1 for
+     * micro-batches with no output nodes (never scheduled). */
+    std::vector<int32_t> assignment;
+
+    /** Per-device assigned cost (feature + structure bytes). */
+    std::vector<int64_t> deviceCostBytes;
+
+    /** Per-device count of distinct input vertices. */
+    std::vector<int64_t> deviceUniqueInputs;
+
+    /** Distinct input vertices across all assigned micro-batches. */
+    int64_t globalUniqueInputs = 0;
+
+    /**
+     * Sum over devices of unique inputs divided by the global unique
+     * count: 1.0 = no vertex is replicated across devices; D = every
+     * vertex lives on every device.
+     */
+    double duplicationFactor = 1.0;
+};
+
+/**
+ * Greedy balanced vertex-cut sharding (LPT order, overlap-first).
+ * Deterministic: a pure function of the batches and arguments, never
+ * of the thread count. Micro-batches with no output nodes get
+ * assignment -1. Load-balance bound (tests/test_multi_device.cc):
+ * every device's assigned cost is at most
+ * max(balance_slack * total / devices, total / devices + max single
+ * cost).
+ */
+ShardPlan shardVertexCut(const std::vector<MultiLayerBatch>& micros,
+                         int32_t num_devices, int64_t feature_dim,
+                         double balance_slack = 1.2);
+
+/**
+ * Duplication factor of an arbitrary assignment (same definition as
+ * ShardPlan::duplicationFactor; entries < 0 are ignored). The
+ * baseline comparator for the greedy sharder: pass the round-robin
+ * assignment to get the naive split's factor.
+ */
+double shardDuplicationFactor(
+    const std::vector<MultiLayerBatch>& micros,
+    const std::vector<int32_t>& assignment);
+
+/** Naive baseline: active micro-batch i -> device i % num_devices
+ * (-1 for empty micro-batches). */
+std::vector<int32_t> roundRobinAssignment(
+    const std::vector<MultiLayerBatch>& micros, int32_t num_devices);
 
 /** Per-epoch measurements of a multi-device step. */
 struct MultiDeviceStats
 {
-    /** Output-weighted mean training loss (same as single device). */
+    /** Output-weighted mean training loss (bit-identical to the
+     * single-device trainer). */
     double loss = 0.0;
 
     /** Training accuracy over the epoch's output nodes. */
     double accuracy = 0.0;
 
     /**
-     * Simulated parallel epoch time: max over devices of (compute +
-     * feature transfer) plus the allreduce. Per-device compute is the
-     * measured single-thread wall time of that device's micro-batches
-     * (devices would run concurrently on real hardware).
+     * Simulated parallel epoch time: max over live devices of
+     * (compute + feature transfer) plus the all-reduce and optimizer
+     * step. Per-device compute is the measured single-thread wall
+     * time of that device's micro-batches (devices would run
+     * concurrently on real hardware).
      */
     double epochSeconds = 0.0;
 
-    /** The allreduce portion of epochSeconds. */
+    /** All-reduce + optimizer-step portion of epochSeconds. */
     double allreduceSeconds = 0.0;
 
     /** Largest per-device peak memory, bytes. */
@@ -80,48 +182,157 @@ struct MultiDeviceStats
     /** True if any device exceeded its capacity. */
     bool oom = false;
 
-    /** Micro-batch count assigned to each device. */
+    /** Micro-batch count executed on each device. */
     std::vector<int32_t> batchesPerDevice;
 
     /** Per-device busy time (compute + transfer), seconds. */
     std::vector<double> deviceSeconds;
+
+    /** Per-device compute portion of deviceSeconds. */
+    std::vector<double> deviceComputeSeconds;
+
+    /** Per-device simulated host-link transfer time, seconds. */
+    std::vector<double> deviceTransferSeconds;
+
+    /** Per-device bytes moved over the host link. */
+    std::vector<int64_t> deviceTransferBytes;
+
+    /** Per-device peak bytes this step. */
+    std::vector<int64_t> devicePeakBytes;
+
+    /** Cross-device input-vertex duplication of the executed
+     * assignment (after any re-shard). */
+    double duplicationFactor = 1.0;
+
+    /** Devices still alive after this step. */
+    int32_t liveDevices = 0;
+
+    /** device-drop faults consumed during this step. */
+    int64_t deviceDrops = 0;
+
+    /** Aggregate per-device feature-cache counters. */
+    int64_t cacheHits = 0;
+    int64_t cacheMisses = 0;
+    int64_t cacheSavedBytes = 0;
+
+    /** Total first-layer input nodes processed (Table 6 metric). */
+    int64_t inputNodesProcessed = 0;
+
+    /** Total nodes across all blocks of all batches. */
+    int64_t totalNodesProcessed = 0;
 };
 
 /**
  * Assign micro-batches to devices, longest-processing-time-first by
- * the given per-batch costs. Returns assignment[i] = device of batch i.
+ * the given per-batch costs, ignoring vertex overlap. Kept as the
+ * load-only scheduler (bench tables, balance comparisons);
+ * shardVertexCut is what the engine runs.
  */
 std::vector<int32_t> scheduleLpt(const std::vector<int64_t>& costs,
                                  int32_t num_devices);
 
 /** Drives one model replica set over multiple simulated devices. */
-class MultiDeviceTrainer
+class MultiDeviceEngine
 {
   public:
     /**
-     * @param dataset Host-resident data (must outlive the trainer).
-     * @param model Shared model (data-parallel replicas hold identical
-     * weights; we keep one copy and serialize device execution, which
-     * is numerically identical).
-     * @param optimizer Stepped once per batch after the allreduce.
+     * @param dataset Host-resident data (must outlive the engine).
+     * @param model Shared model (data-parallel replicas hold
+     * identical weights; we keep one copy and compute serially in
+     * canonical order, which is bit-identical).
+     * @param optimizer Stepped once per batch after the all-reduce.
      */
-    MultiDeviceTrainer(const Dataset& dataset, GnnModel& model,
-                       Optimizer& optimizer, MultiDeviceConfig config);
+    MultiDeviceEngine(const Dataset& dataset, GnnModel& model,
+                      Optimizer& optimizer, MultiDeviceConfig config);
 
     /**
      * One gradient-accumulation step over @p micro_batches spread
-     * across the configured devices.
+     * across the configured devices. Does NOT advance the fault
+     * clock (use trainEpoch in fault-injected runs).
      */
     MultiDeviceStats trainMicroBatches(
         const std::vector<MultiLayerBatch>& micro_batches);
 
+    /**
+     * trainMicroBatches plus the fault protocol: advances the
+     * injector clock (Injector::beginEpoch / beginMicroBatch) and
+     * consumes `device-drop` events — the dropped device's pending
+     * micro-batches are re-sharded over the survivors and the step
+     * completes with identical numerics. Other fault kinds remain
+     * the single-device ResilientTrainer's domain.
+     */
+    MultiDeviceStats trainEpoch(
+        const std::vector<MultiLayerBatch>& micro_batches,
+        int64_t epoch);
+
     const MultiDeviceConfig& config() const { return config_; }
 
+    /** Devices not yet lost to a device-drop fault. */
+    int32_t liveDevices() const;
+
+    /** The vertex-cut plan of the most recent step (before any
+     * mid-step re-shard). */
+    const ShardPlan& lastShardPlan() const { return last_plan_; }
+
+    /** The interconnect's cumulative collective accounting. */
+    const InterconnectModel& interconnect() const
+    {
+        return interconnect_;
+    }
+
   private:
+    /** One simulated accelerator: memory model, host link, cache.
+     * The cache member is declared last so its destructor releases
+     * the reservation into a still-live memory model. */
+    struct DeviceState
+    {
+        DeviceState(int64_t capacity_bytes, double link_bandwidth)
+            : memory(capacity_bytes), link(link_bandwidth)
+        {
+        }
+
+        DeviceMemoryModel memory;
+        TransferModel link;
+        std::unique_ptr<FeatureCache> cache;
+        bool dead = false;
+    };
+
+    /** Copy the batch's input feature rows into host staging (the
+     * physical gather). Runs on a pool lane when pipelining; values
+     * are identical wherever it runs, and nothing is charged here —
+     * all accounting happens at consumption time. */
+    Trainer::StagedFeatures gatherStaged(const MultiLayerBatch& batch,
+                                         int32_t device);
+
+    MultiDeviceStats run(
+        const std::vector<MultiLayerBatch>& micro_batches,
+        bool fault_clock);
+
+    /** Indices of live devices, ascending. */
+    std::vector<int32_t> liveDeviceIds() const;
+
+    /**
+     * Consume pending device-drop faults at the current clock slot:
+     * mark victims dead and re-shard their not-yet-executed
+     * micro-batches (positions >= @p next_pos in @p active) over the
+     * survivors. Never drops the last live device.
+     */
+    void consumeDeviceDrops(const std::vector<MultiLayerBatch>& micros,
+                            const std::vector<size_t>& active,
+                            size_t next_pos,
+                            std::vector<int32_t>& owner,
+                            int64_t* drops);
+
     const Dataset& dataset_;
     GnnModel& model_;
     Optimizer& optimizer_;
     MultiDeviceConfig config_;
+    /** Numeric core borrowed from the single-device trainer (no
+     * device/transfer/cache attached — the engine owns accounting). */
+    Trainer numerics_;
+    InterconnectModel interconnect_;
+    std::vector<std::unique_ptr<DeviceState>> devices_;
+    ShardPlan last_plan_;
 };
 
 } // namespace betty

@@ -182,6 +182,14 @@ class Trainer
 
   private:
     /**
+     * The multi-device engine (train/multi_device.h) reuses the exact
+     * numeric path — gatherFeatures' staging layout and forwardStaged
+     * — so its per-device runs are bit-identical to this trainer by
+     * construction, not by approximation.
+     */
+    friend class MultiDeviceEngine;
+
+    /**
      * Host-side staging buffer for one batch's gathered feature rows.
      * Plain host memory on purpose: it is NOT observed by the device
      * memory model, so a prefetch running during another batch's

@@ -119,6 +119,15 @@ threads()
     return int32_t(value);
 }
 
+int32_t
+devices()
+{
+    const int64_t value = envInt("BETTY_DEVICES", 1);
+    if (value < 1)
+        fatal("BETTY_DEVICES=", value, " out of range: need >= 1");
+    return int32_t(value);
+}
+
 double
 benchScale()
 {

@@ -3,8 +3,9 @@
  * Shared parsing for the BETTY_* configuration knobs.
  *
  * The bench harness, train_cli, and the thread pool all read the same
- * environment variables (BETTY_THREADS, BETTY_BENCH_SCALE,
- * BETTY_DEVICE_GIB, BETTY_CACHE_GIB, BETTY_CACHE_POLICY), and the CLI
+ * environment variables (BETTY_THREADS, BETTY_DEVICES,
+ * BETTY_BENCH_SCALE, BETTY_DEVICE_GIB, BETTY_CACHE_GIB,
+ * BETTY_CACHE_POLICY), and the CLI
  * surfaces most of them as flags too. This header is the single place
  * that defines their precedence and validation:
  *
@@ -73,6 +74,9 @@ std::string resolveString(const std::string& flag_value,
 
 /** Global ThreadPool lanes: BETTY_THREADS, >= 1 (default 1). */
 int32_t threads();
+
+/** Simulated accelerators: BETTY_DEVICES, >= 1 (default 1). */
+int32_t devices();
 
 /** Dataset scale multiplier: BETTY_BENCH_SCALE, > 0 (default 1.0). */
 double benchScale();

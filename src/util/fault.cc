@@ -96,6 +96,8 @@ parseKind(const std::string& word, FaultKind& kind)
         kind = FaultKind::AllocScale;
     else if (word == "corrupt-features")
         kind = FaultKind::CorruptFeatures;
+    else if (word == "device-drop")
+        kind = FaultKind::DeviceDrop;
     else
         return false;
     return true;
@@ -155,7 +157,8 @@ parseEvent(const std::string& clause, FaultEvent& event,
         return fail(error,
                     "'" + clause + "': unknown fault kind '" + head +
                         "' (oom, capacity-drop, transfer-fail, "
-                        "alloc-scale, corrupt-features)");
+                        "alloc-scale, corrupt-features, "
+                        "device-drop)");
     event.value = value;
 
     // :key=value modifiers (after the position).
@@ -224,6 +227,20 @@ parseEvent(const std::string& clause, FaultEvent& event,
                                    "': corrupt-features needs a "
                                    "fraction in (0, 1]");
         break;
+      case FaultKind::DeviceDrop:
+        // Optional value: a whole non-negative device index. No
+        // value means "drop the highest-indexed live device", which
+        // the engine encodes as -1.
+        if (has_value) {
+            if (event.value < 0.0 ||
+                event.value != double(int64_t(event.value)))
+                return fail(error, "'" + clause +
+                                       "': device-drop needs a whole "
+                                       "device index >= 0");
+        } else {
+            event.value = -1.0;
+        }
+        break;
       case FaultKind::InjectOom:
       case FaultKind::TransferFail:
         if (has_value)
@@ -251,6 +268,8 @@ faultKindName(FaultKind kind)
         return "alloc-scale";
       case FaultKind::CorruptFeatures:
         return "corrupt-features";
+      case FaultKind::DeviceDrop:
+        return "device-drop";
     }
     return "?";
 }
@@ -379,6 +398,19 @@ Injector::takeTransferFailure()
         return true;
     }
     return false;
+}
+
+bool
+Injector::takeDeviceDrop(int64_t* device)
+{
+    InjectorState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const int64_t index = takeOneShot(s, FaultKind::DeviceDrop);
+    if (index < 0)
+        return false;
+    if (device)
+        *device = int64_t(s.plan.events[size_t(index)].value);
+    return true;
 }
 
 bool

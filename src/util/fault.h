@@ -10,7 +10,7 @@
  *   event := kind ['=' value] '@epoch' N ['.mb' M]
  *            (':' key '=' value)*
  *   kind  := oom | capacity-drop | transfer-fail | alloc-scale
- *            | corrupt-features
+ *            | corrupt-features | device-drop
  *
  * Examples:
  *   oom@epoch2.mb1                 injected OOM in epoch 2's second
@@ -26,6 +26,12 @@
  *                                  allocates 1.5x its estimate
  *   corrupt-features=0.01@epoch1   1% of epoch 1's gathered feature
  *                                  rows arrive as NaN garbage
+ *   device-drop@epoch2             the highest-indexed live device
+ *                                  dies at the start of epoch 2; its
+ *                                  micro-batches are re-sharded over
+ *                                  the survivors
+ *   device-drop=1@epoch2.mb3       device 1 dies just before epoch
+ *                                  2's micro-batch 3
  *
  * Every event fires exactly once (transfer-fail fires `retries`
  * attempts), at a position fixed by the schedule, and the corrupt-row
@@ -63,6 +69,12 @@ enum class FaultKind
 
     /** Deliver a fraction of gathered feature rows as NaN garbage. */
     CorruptFeatures,
+
+    /** Kill one simulated device of the multi-device engine; its
+     * pending micro-batches re-shard over the survivors
+     * (train/multi_device.h). Value = device index, or none for
+     * "the highest-indexed live device". */
+    DeviceDrop,
 };
 
 /** Printable kind name (the spec keyword). */
@@ -154,6 +166,13 @@ class Injector
     /** True (with the row fraction) if a CorruptFeatures event fires
      * at the current epoch's epoch-scoped slot. */
     static bool takeCorruptFeatures(double* fraction);
+
+    /**
+     * True if a DeviceDrop fires at the clock position. @p device
+     * receives the spec's device index, or -1 when the spec named no
+     * device (the engine then drops the highest-indexed live one).
+     */
+    static bool takeDeviceDrop(int64_t* device);
 
     /** @} */
 

@@ -111,6 +111,66 @@ TEST(FaultPlanParse, TypedErrors)
     EXPECT_NE(error.find("unknown modifier"), std::string::npos);
 }
 
+TEST(FaultPlanParse, DeviceDropGrammar)
+{
+    FaultPlan plan;
+    std::string error;
+
+    // Without a value: drop the highest-indexed live device; the
+    // unspecified index is encoded as -1.
+    ASSERT_TRUE(FaultPlan::parse("device-drop@epoch2", plan, &error))
+        << error;
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::DeviceDrop);
+    EXPECT_EQ(plan.events[0].epoch, 2);
+    EXPECT_EQ(plan.events[0].microBatch, -1); // epoch-scoped
+    EXPECT_DOUBLE_EQ(plan.events[0].value, -1.0);
+
+    // With an explicit device index, micro-batch scoped.
+    ASSERT_TRUE(FaultPlan::parse("device-drop=1@epoch2.mb3", plan,
+                                 &error))
+        << error;
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::DeviceDrop);
+    EXPECT_DOUBLE_EQ(plan.events[0].value, 1.0);
+    EXPECT_EQ(plan.events[0].microBatch, 3);
+
+    // The index must be a whole non-negative integer.
+    EXPECT_FALSE(
+        FaultPlan::parse("device-drop=-1@epoch1", plan, &error));
+    EXPECT_NE(error.find("whole device index"), std::string::npos);
+    EXPECT_FALSE(
+        FaultPlan::parse("device-drop=0.5@epoch1", plan, &error));
+    EXPECT_NE(error.find("whole device index"), std::string::npos);
+}
+
+TEST(Injector, DeviceDropFiresOnceAtTheClockPosition)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "device-drop@epoch2;device-drop=1@epoch3.mb1", plan,
+        nullptr));
+    Injector::install(plan);
+
+    int64_t device = -2;
+    Injector::beginEpoch(1);
+    EXPECT_FALSE(Injector::takeDeviceDrop(&device));
+
+    Injector::beginEpoch(2);
+    ASSERT_TRUE(Injector::takeDeviceDrop(&device));
+    EXPECT_EQ(device, -1); // no index named in the spec
+    EXPECT_FALSE(Injector::takeDeviceDrop(&device)); // one-shot
+
+    Injector::beginEpoch(3);
+    Injector::beginMicroBatch(0);
+    EXPECT_FALSE(Injector::takeDeviceDrop(&device));
+    Injector::beginMicroBatch(1);
+    ASSERT_TRUE(Injector::takeDeviceDrop(&device));
+    EXPECT_EQ(device, 1);
+    EXPECT_EQ(Injector::faultsInjected(FaultKind::DeviceDrop), 2);
+}
+
 TEST(Injector, InactiveQueriesAreNoops)
 {
     InjectorScope cleanup;

@@ -54,6 +54,7 @@
 #include "partition/partitioner.h"
 #include "robustness/resilient_trainer.h"
 #include "sampling/neighbor_sampler.h"
+#include "train/multi_device.h"
 #include "train/trainer.h"
 #include "util/env_config.h"
 #include "util/fault.h"
@@ -145,6 +146,24 @@ runTrainEpoch(bool cached)
         trainer.trainMicroBatches(g_work.micros);
 }
 
+/** Two multi-device epochs: micro-batches sharded over 4 simulated
+ * devices by the vertex-cut assignment, gradients combined with a
+ * ring all-reduce before each optimizer step. Numerics identical to
+ * runTrainEpoch; only placement and simulated accounting differ. */
+void
+runTrainEpochMultiDevice()
+{
+    const Dataset& ds = *g_work.dataset;
+    GraphSage model(sageConfig(ds));
+    Adam adam(model.parameters(), 0.01f);
+    MultiDeviceConfig config;
+    config.numDevices = 4;
+    config.deviceCapacityBytes = envcfg::deviceCapacityBytes();
+    MultiDeviceEngine engine(ds, model, adam, config);
+    for (int epoch = 0; epoch < 2; ++epoch)
+        engine.trainMicroBatches(g_work.micros);
+}
+
 /** A fault-injected resilient epoch: injected OOM forces K -> K+1. */
 void
 runResilientRecovery()
@@ -211,6 +230,13 @@ registeredScenarios()
          "same epochs with the device feature cache installed",
          [] { setupMicros("cora_like", 0.5, 256, 4); },
          [] { runTrainEpoch(true); }, [] { g_work.reset(); }});
+
+    scenarios.push_back(
+        {"train_epoch_multi_device",
+         "same epochs sharded over 4 simulated devices (vertex-cut "
+         "+ ring all-reduce), K=8",
+         [] { setupMicros("cora_like", 0.5, 256, 8); },
+         [] { runTrainEpochMultiDevice(); }, [] { g_work.reset(); }});
 
     scenarios.push_back(
         {"resilient_recovery",
