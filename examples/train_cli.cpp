@@ -837,6 +837,12 @@ main(int argc, char** argv)
         recovery.batchesSkipped = recovered.batchesSkipped;
         recovery.corruptRowsRepaired = recovered.corruptRowsRepaired;
         recovery.faultsInjected = recovered.faultsInjected;
+        recovery.retryFailures =
+            obs::Metrics::counter("retry.failures").value();
+        recovery.retryBackoffUs =
+            obs::Metrics::counter("retry.backoff_us").value();
+        recovery.retryExhausted =
+            obs::Metrics::counter("retry.exhausted").value();
         recovery.faultsActive = fault::Injector::active();
         report.setRecovery(recovery);
         if (report.writeJson(args.memprof_out))

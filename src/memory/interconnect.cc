@@ -49,7 +49,10 @@ InterconnectModel::allReduceSeconds(int64_t gradient_bytes,
         return 0.0;
     const double steps = 2.0 * double(devices - 1);
     const double shard = double(gradient_bytes) / double(devices);
-    return steps * (config_.latencySeconds + shard / config_.bandwidth);
+    // slowdown_ > 1 models one degraded lane; the ring is bounded by
+    // its slowest link, so the whole collective pays it.
+    return steps * (config_.latencySeconds +
+                    shard * slowdown_ / config_.bandwidth);
 }
 
 double

@@ -73,6 +73,22 @@ class InterconnectModel
      */
     double chargeAllReduce(int64_t gradient_bytes, int32_t devices);
 
+    /**
+     * Degrade the fabric to 1/@p factor of its configured bandwidth
+     * (factor >= 1; 1 restores full speed). A ring all-reduce moves
+     * every shard through every link, so one degraded lane slows the
+     * whole collective — which is exactly the straggler behaviour
+     * the device-slow fault simulates. Attribution only.
+     */
+    void
+    setSlowdown(double factor)
+    {
+        slowdown_ = factor < 1.0 ? 1.0 : factor;
+    }
+
+    /** Current slowdown factor (1 = healthy). */
+    double slowdown() const { return slowdown_; }
+
     const InterconnectConfig& config() const { return config_; }
 
     /** Cumulative charged collective time, seconds. */
@@ -94,6 +110,7 @@ class InterconnectModel
 
   private:
     InterconnectConfig config_;
+    double slowdown_ = 1.0;
     double seconds_ = 0.0;
     int64_t collectives_ = 0;
     int64_t bytes_moved_ = 0;

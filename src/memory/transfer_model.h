@@ -36,7 +36,10 @@ class TransferModel
     void
     transfer(int64_t bytes)
     {
-        seconds_ += latency_ + double(bytes) / bandwidth_;
+        const double cost =
+            latency_ + double(bytes) * slowdown_ / bandwidth_;
+        seconds_ += cost;
+        lifetime_seconds_ += cost;
         total_bytes_ += bytes;
         ++num_transfers_;
         if (obs::Metrics::enabled()) {
@@ -60,6 +63,7 @@ class TransferModel
     chargeFailedAttempt()
     {
         seconds_ += latency_;
+        lifetime_seconds_ += latency_;
         ++failed_attempts_;
         if (obs::Metrics::enabled()) {
             static obs::Counter& failures =
@@ -67,6 +71,34 @@ class TransferModel
             failures.increment();
         }
     }
+
+    /**
+     * Charge @p backoff_sec of retry backoff as simulated link time
+     * (the link sits idle while the retry policy waits, so the wait
+     * is part of the transfer story). Counted separately so reports
+     * can show how much of the transfer time was backoff.
+     */
+    void
+    chargeBackoff(double backoff_sec)
+    {
+        seconds_ += backoff_sec;
+        lifetime_seconds_ += backoff_sec;
+        backoff_seconds_ += backoff_sec;
+    }
+
+    /**
+     * Degrade the link to 1/@p factor of its configured bandwidth
+     * (factor >= 1; 1 restores full speed). The device-slow fault
+     * uses this — attribution only, so numerics are untouched.
+     */
+    void
+    setSlowdown(double factor)
+    {
+        slowdown_ = factor < 1.0 ? 1.0 : factor;
+    }
+
+    /** Current slowdown factor (1 = healthy). */
+    double slowdown() const { return slowdown_; }
 
     /**
      * Record @p bytes that a transfer did NOT have to move because
@@ -93,6 +125,18 @@ class TransferModel
      * not skewed by the per-epoch re-arm. */
     int64_t savedBytes() const { return saved_bytes_; }
 
+    /** Lifetime retry-backoff seconds charged — survives reset()
+     * like the other lifetime counters. Always <= the total time
+     * this link has ever accumulated. */
+    double backoffSeconds() const { return backoff_seconds_; }
+
+    /** Lifetime simulated seconds across all transfers, failed
+     * attempts, and backoff — unlike seconds(), survives reset().
+     * The denominator for the backoff-share invariant
+     * (backoffSeconds() <= lifetimeSeconds(), gated by
+     * `betty_report check`). */
+    double lifetimeSeconds() const { return lifetime_seconds_; }
+
     void
     reset()
     {
@@ -104,7 +148,10 @@ class TransferModel
   private:
     double bandwidth_;
     double latency_;
+    double slowdown_ = 1.0;
     double seconds_ = 0.0;
+    double lifetime_seconds_ = 0.0;
+    double backoff_seconds_ = 0.0;
     int64_t total_bytes_ = 0;
     int64_t num_transfers_ = 0;
     int64_t failed_attempts_ = 0;

@@ -148,6 +148,12 @@ RunReport::toJson() const
                std::to_string(recovery_.corruptRowsRepaired);
         out += ", \"faults_injected\": " +
                std::to_string(recovery_.faultsInjected);
+        out += ", \"retry_failures\": " +
+               std::to_string(recovery_.retryFailures);
+        out += ", \"retry_backoff_us\": " +
+               std::to_string(recovery_.retryBackoffUs);
+        out += ", \"retry_exhausted\": " +
+               std::to_string(recovery_.retryExhausted);
         out += "},\n";
     }
 

@@ -52,6 +52,15 @@ struct RunReportRecovery
     int64_t corruptRowsRepaired = 0;
     int64_t faultsInjected = 0;
 
+    /** Retry-policy activity (robustness/retry.h): failed transfer
+     * attempts absorbed, total simulated backoff charged, and
+     * policy-exhaustion events. Fault-free runs must report zero for
+     * all three (gated by `betty_report check`), and the backoff can
+     * never exceed the link's lifetime transfer seconds. */
+    int64_t retryFailures = 0;
+    int64_t retryBackoffUs = 0;
+    int64_t retryExhausted = 0;
+
     /** True when a fault plan was installed for this run. When false,
      * betty_report's check mode requires every counter above to be
      * zero (fault-free runs must not silently recover). */

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Seeded chaos testing: randomized multi-event fault schedules plus
+ * the invariant harness that runs them end-to-end
+ * (docs/ROBUSTNESS.md, "Chaos testing").
+ *
+ * The generator composes valid FaultPlans — every fault kind the
+ * grammar accepts, epoch/micro-batch positions, quantized magnitudes
+ * — from a single seed via Rng::stream, so a schedule is a pure
+ * function of its seed: any failure replays bit-for-bit from the
+ * seed alone.
+ *
+ * The harness runs each schedule through the full stack (the
+ * single-device ResilientTrainer or the MultiDeviceEngine, chosen by
+ * the seed) and asserts the global robustness invariants:
+ *
+ *   - the run completes or skips DETERMINISTICALLY: executing the
+ *     same schedule twice yields bit-identical losses, parameters,
+ *     and recovery counters;
+ *   - attribution-only faults (transfer-fail, transfer-flaky,
+ *     device-slow — and on the multi-device path device-drop too)
+ *     leave losses and parameters bit-identical to the fault-free
+ *     baseline;
+ *   - recovery and metric counters are mutually consistent
+ *     (transfer retries match injected transfer faults, replans
+ *     never exceed aborts, backoff never exceeds link time, live
+ *     devices match consumed drops);
+ *   - no NaN ever reaches a completed epoch's loss.
+ *
+ * A failing schedule's ChaosResult::failure includes a `--faults`
+ * spec (FaultPlan::format()) and the seed, reproducing the run
+ * verbatim — paste it into train_cli or a test and debug.
+ */
+#ifndef BETTY_ROBUSTNESS_CHAOS_H
+#define BETTY_ROBUSTNESS_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sampling/block.h"
+#include "util/fault.h"
+
+namespace betty::robustness {
+
+/** Which stack a schedule exercises. */
+enum class ChaosTarget
+{
+    SingleDevice, ///< ResilientTrainer (recovery loop)
+    MultiDevice,  ///< MultiDeviceEngine (drops, stragglers)
+};
+
+const char* chaosTargetName(ChaosTarget target);
+
+/** Bounds of the schedule generator and harness runs. */
+struct ChaosConfig
+{
+    /** Epochs per run; fault epochs are drawn in [1, epochs]. */
+    int64_t epochs = 2;
+
+    /** Events per schedule are drawn in [1, maxEvents]. */
+    int32_t maxEvents = 3;
+
+    /** Devices of the multi-device target. */
+    int32_t numDevices = 3;
+
+    /** Micro-batches (K) the multi-device target shards. */
+    int32_t multiK = 8;
+
+    /** Initial K of the single-device recovery loop; the harness
+     * sizes the device capacity so exactly this K fits. */
+    int32_t singleK = 4;
+
+    /** Recovery-policy K bound — keeps futile re-plan searches cheap
+     * when a schedule stacks several capacity drops. */
+    int32_t maxK = 64;
+
+    /** Training seed nodes sampled into the harness batch. */
+    int32_t trainSeeds = 120;
+};
+
+/** One generated schedule: a pure function of (seed, config). */
+struct ChaosSchedule
+{
+    uint64_t seed = 0;
+    ChaosTarget target = ChaosTarget::SingleDevice;
+
+    /** The composed plan; plan.seed == seed, so probabilistic events
+     * (transfer-flaky, corrupt-row selection) replay too. */
+    fault::FaultPlan plan;
+
+    /** FaultPlan::format() of the plan — the replay handle. */
+    std::string spec;
+};
+
+/** Generate the schedule for @p seed. Deterministic; every event
+ * validates against the fault grammar (round-trips via parse). */
+ChaosSchedule generateSchedule(uint64_t seed,
+                               const ChaosConfig& config = {});
+
+/** True when every event of @p plan is attribution-only on
+ * @p target — cost/accounting but never numerics. */
+bool attributionOnly(const fault::FaultPlan& plan, ChaosTarget target);
+
+/** Outcome of one schedule through the harness. */
+struct ChaosResult
+{
+    uint64_t seed = 0;
+    ChaosTarget target = ChaosTarget::SingleDevice;
+    std::string spec;
+    bool ok = true;
+
+    /** Human-readable diagnosis when !ok; always ends with a
+     * "replay:" line carrying the --faults spec and seed. */
+    std::string failure;
+};
+
+/**
+ * Runs chaos schedules end-to-end and checks the invariants (file
+ * doc). Construction loads the synthetic dataset, samples the
+ * harness batch, and computes the fault-free baselines both targets
+ * are compared against; each run() is then self-contained (fresh
+ * model/optimizer/devices, injector installed and cleared).
+ *
+ * Not thread-safe — drive it from one thread (schedules themselves
+ * exercise the engine's internal parallelism).
+ */
+class ChaosHarness
+{
+  public:
+    explicit ChaosHarness(ChaosConfig config = {});
+
+    /** generateSchedule(seed) + run(schedule). */
+    ChaosResult run(uint64_t seed);
+
+    /** Execute @p schedule twice and verify every invariant. */
+    ChaosResult run(const ChaosSchedule& schedule);
+
+  private:
+    /** Everything one single-device execution is compared on. */
+    struct SingleTrace
+    {
+        std::vector<double> losses;
+        std::vector<char> skipped;
+        uint64_t paramHash = 0;
+        int64_t replans = 0;
+        int64_t oomRetries = 0;
+        int64_t transferRetries = 0;
+        int64_t batchesSkipped = 0;
+        int64_t faultsInjected = 0;
+        int64_t firedTransferFail = 0;
+        int64_t firedTransferFlaky = 0;
+        double transferSeconds = 0.0;
+        double backoffSeconds = 0.0;
+    };
+
+    /** Everything one multi-device execution is compared on. */
+    struct MultiTrace
+    {
+        std::vector<double> losses;
+        uint64_t paramHash = 0;
+        int32_t liveDevices = 0;
+        int64_t deviceDrops = 0;
+        int64_t deviceSlowFaults = 0;
+        int64_t stragglersDetected = 0;
+        int64_t stragglerResharded = 0;
+        int64_t firedDeviceDrop = 0;
+        int64_t firedDeviceSlow = 0;
+        int64_t firedTransferFail = 0;
+        int64_t firedTransferFlaky = 0;
+    };
+
+    SingleTrace runSingle(const fault::FaultPlan* plan);
+    MultiTrace runMulti(const fault::FaultPlan* plan);
+
+    void checkSingle(const ChaosSchedule& schedule,
+                     std::vector<std::string>& failures);
+    void checkMulti(const ChaosSchedule& schedule,
+                    std::vector<std::string>& failures);
+
+    ChaosConfig config_;
+    Dataset dataset_;
+    MultiLayerBatch full_;
+    std::vector<MultiLayerBatch> micros_;
+    int64_t singleCapacity_ = 0;
+    SingleTrace singleBaseline_;
+    MultiTrace multiBaseline_;
+};
+
+} // namespace betty::robustness
+
+#endif // BETTY_ROBUSTNESS_CHAOS_H

@@ -193,6 +193,39 @@ ResilientTrainer::corruptFeatureRows(const MultiLayerBatch& full,
     }
 }
 
+void
+ResilientTrainer::consumeDeviceSlow(int64_t epoch)
+{
+    if (!transfer_)
+        return;
+    // Heal a bounded degradation whose window has passed.
+    if (slowActive_ && slowUntilEpoch_ > 0 && epoch > slowUntilEpoch_) {
+        transfer_->setSlowdown(1.0);
+        slowActive_ = false;
+        slowUntilEpoch_ = 0;
+        obs::FlightRecorder::record(obs::FrCategory::Fault,
+                                    "fault/device-heal", epoch, 0);
+        warn("ResilientTrainer: device-slow degradation healed at "
+             "epoch ", epoch);
+    }
+    double factor = 0.0;
+    int64_t device = -1;
+    int64_t duration = 0;
+    while (fault::Injector::takeDeviceSlow(&factor, &device,
+                                           &duration)) {
+        transfer_->setSlowdown(
+            std::max(transfer_->slowdown(), factor));
+        slowActive_ = true;
+        slowUntilEpoch_ = duration > 0 ? epoch + duration - 1 : -1;
+        obs::FlightRecorder::record(obs::FrCategory::Fault,
+                                    "fault/device-slow", epoch,
+                                    int64_t(factor * 1000.0));
+        warn("ResilientTrainer: host link degraded by ", factor,
+             "x at epoch ", epoch,
+             duration > 0 ? " (bounded)" : " (permanent)");
+    }
+}
+
 int64_t
 ResilientTrainer::repairFeatureRows(const MultiLayerBatch& full)
 {
@@ -231,6 +264,8 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
     while (fault::Injector::takeCapacityDrop(&factor))
         applyCapacityDrop(factor);
 
+    consumeDeviceSlow(epoch);
+
     double fraction = 0.0;
     if (fault::Injector::takeCorruptFeatures(&fraction))
         corruptFeatureRows(full, fraction);
@@ -248,8 +283,11 @@ ResilientTrainer::trainEpoch(const MultiLayerBatch& full,
     }
 
     auto snapshotInjector = [this] {
-        report_.transferRetries = fault::Injector::faultsInjected(
-            fault::FaultKind::TransferFail);
+        report_.transferRetries =
+            fault::Injector::faultsInjected(
+                fault::FaultKind::TransferFail) +
+            fault::Injector::faultsInjected(
+                fault::FaultKind::TransferFlaky);
         report_.faultsInjected = fault::Injector::faultsInjected();
     };
 

@@ -24,10 +24,10 @@
  * total and partitioning is a pure function of (batch, K) on a cold
  * start. tests/test_resilient_trainer.cc proves the param-hash match.
  *
- * Fault-injection caveat: transfer faults are consumed inside
- * Trainer::gatherFeatures, which under pipelining may run on a pool
- * worker ahead of the clock; fault tests should run with a single
- * thread (or setPipeline(false)) for exact schedules.
+ * Transfer faults are keyed to each micro-batch's logical
+ * program-order position (Trainer passes it into the retry protocol),
+ * so fault schedules are exact even when a pipelined prefetch worker
+ * gathers ahead of the clock — no single-thread workaround needed.
  */
 #ifndef BETTY_ROBUSTNESS_RESILIENT_TRAINER_H
 #define BETTY_ROBUSTNESS_RESILIENT_TRAINER_H
@@ -131,6 +131,17 @@ class ResilientTrainer
     void setFeatureCache(FeatureCache* cache) { cache_ = cache; }
 
     /**
+     * Transfer model the device-slow fault degrades (the simulated
+     * host link). Borrowed, may be null — without it device-slow is a
+     * no-op on the single-device path. The fault is attribution-only:
+     * it inflates simulated transfer seconds, never numerics.
+     */
+    void setTransferModel(TransferModel* transfer)
+    {
+        transfer_ = transfer;
+    }
+
+    /**
      * One resilient epoch over @p full: advance the fault clock to
      * @p epoch (1-based), apply epoch-scoped faults, then
      * plan/train/re-plan per the policy starting from @p initial_k.
@@ -161,6 +172,10 @@ class ResilientTrainer
      * returns the number of rows repaired. */
     int64_t repairFeatureRows(const MultiLayerBatch& full);
 
+    /** Consume pending device-slow faults (degrade the transfer
+     * model) and heal expired ones; called at each epoch start. */
+    void consumeDeviceSlow(int64_t epoch);
+
     Trainer& trainer_;
     OutputPartitioner& partitioner_;
     DeviceMemoryModel* device_;
@@ -168,6 +183,11 @@ class ResilientTrainer
     RecoveryPolicy policy_;
     Tensor* features_ = nullptr;
     FeatureCache* cache_ = nullptr;
+    TransferModel* transfer_ = nullptr;
+    /** Last epoch the current device-slow degradation covers;
+     * -1 = permanent, 0 = no degradation active. */
+    int64_t slowUntilEpoch_ = 0;
+    bool slowActive_ = false;
     RecoveryReport report_;
 };
 

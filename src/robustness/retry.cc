@@ -1,0 +1,41 @@
+#include "robustness/retry.h"
+
+#include <cstdlib>
+
+namespace betty::robustness {
+
+namespace {
+
+bool
+envInt(const char* name, int64_t& value)
+{
+    const char* text = std::getenv(name);
+    if (!text || !*text)
+        return false;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(text, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    value = parsed;
+    return true;
+}
+
+} // namespace
+
+RetryPolicy
+retryPolicyFromEnv()
+{
+    RetryPolicy policy;
+    int64_t value = 0;
+    if (envInt("BETTY_RETRY_MAX_ATTEMPTS", value) && value >= 1)
+        policy.maxAttempts = value;
+    if (envInt("BETTY_RETRY_BASE_BACKOFF_US", value) && value >= 0)
+        policy.baseBackoffSeconds = double(value) * 1e-6;
+    if (envInt("BETTY_RETRY_MAX_BACKOFF_US", value) && value >= 0)
+        policy.maxBackoffSeconds = double(value) * 1e-6;
+    if (envInt("BETTY_RETRY_MULTIPLIER", value) && value >= 1)
+        policy.backoffMultiplier = double(value);
+    return policy;
+}
+
+} // namespace betty::robustness

@@ -13,6 +13,7 @@
 #include "obs/perf/flight_recorder.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
+#include "robustness/retry.h"
 #include "tensor/autograd.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -297,57 +298,147 @@ MultiDeviceEngine::consumeDeviceDrops(
         obs::FlightRecorder::record(obs::FrCategory::Recovery,
                                     "multi/device-drop", victim,
                                     int64_t(next_pos));
+        // A dead device leaves the ring; if it was the degraded lane
+        // the collective speeds back up.
+        refreshInterconnectSlowdown();
 
         // Re-shard the victim's pending micro-batches over the
-        // survivors: same overlap-first greedy as shardVertexCut,
-        // seeded with the survivors' current working sets (inputs of
-        // everything they own, executed or pending). Already-executed
-        // batches keep their attribution — their gradients are valid
-        // contributions, charged where they actually ran.
-        const std::vector<int32_t> survivors = liveDeviceIds();
-        const int64_t dim = dataset_.featureDim();
-        std::unordered_map<int32_t, std::unordered_set<int64_t>>
-            inputs;
-        std::unordered_map<int32_t, int64_t> load;
-        for (int32_t d : survivors) {
-            inputs[d];
-            load[d] = 0;
-        }
-        for (size_t i = 0; i < micros.size(); ++i) {
-            const int32_t d = owner[i];
-            if (d < 0 || devices_[size_t(d)]->dead)
-                continue;
-            for (int64_t node : micros[i].inputNodes())
-                inputs[d].insert(node);
-            load[d] += shardCost(micros[i], dim);
-        }
-        for (size_t pos = next_pos; pos < active.size(); ++pos) {
-            const size_t index = active[pos];
-            if (owner[index] != victim)
-                continue;
-            int32_t best = -1;
-            int64_t best_overlap = -1;
-            for (int32_t d : survivors) {
-                int64_t overlap = 0;
-                const auto& set = inputs[d];
-                for (int64_t node : micros[index].inputNodes())
-                    overlap += set.count(node) ? 1 : 0;
-                if (overlap > best_overlap ||
-                    (overlap == best_overlap && best >= 0 &&
-                     load[d] < load[best]))
-                {
-                    best = d;
-                    best_overlap = overlap;
-                }
-            }
-            owner[index] = best;
+        // survivors. Already-executed batches keep their attribution
+        // — their gradients are valid contributions, charged where
+        // they actually ran.
+        reshardPending(micros, active, next_pos, owner, victim,
+                       liveDeviceIds(), "multi/reshard");
+    }
+}
+
+int64_t
+MultiDeviceEngine::reshardPending(
+    const std::vector<MultiLayerBatch>& micros,
+    const std::vector<size_t>& active, size_t next_pos,
+    std::vector<int32_t>& owner, int32_t victim,
+    const std::vector<int32_t>& targets, const char* reason)
+{
+    // Same overlap-first greedy as shardVertexCut, seeded with the
+    // targets' current working sets (inputs of everything they own,
+    // executed or pending).
+    const int64_t dim = dataset_.featureDim();
+    std::unordered_map<int32_t, std::unordered_set<int64_t>> inputs;
+    std::unordered_map<int32_t, int64_t> load;
+    for (int32_t d : targets) {
+        inputs[d];
+        load[d] = 0;
+    }
+    for (size_t i = 0; i < micros.size(); ++i) {
+        const int32_t d = owner[i];
+        if (d < 0 || !inputs.count(d))
+            continue;
+        for (int64_t node : micros[i].inputNodes())
+            inputs[d].insert(node);
+        load[d] += shardCost(micros[i], dim);
+    }
+    int64_t moved = 0;
+    for (size_t pos = next_pos; pos < active.size(); ++pos) {
+        const size_t index = active[pos];
+        if (owner[index] != victim)
+            continue;
+        int32_t best = -1;
+        int64_t best_overlap = -1;
+        for (int32_t d : targets) {
+            int64_t overlap = 0;
+            const auto& set = inputs[d];
             for (int64_t node : micros[index].inputNodes())
-                inputs[best].insert(node);
-            load[best] += shardCost(micros[index], dim);
-            obs::FlightRecorder::record(obs::FrCategory::Recovery,
-                                        "multi/reshard",
-                                        int64_t(index), best);
+                overlap += set.count(node) ? 1 : 0;
+            if (overlap > best_overlap ||
+                (overlap == best_overlap && best >= 0 &&
+                 load[d] < load[best]))
+            {
+                best = d;
+                best_overlap = overlap;
+            }
         }
+        owner[index] = best;
+        ++moved;
+        for (int64_t node : micros[index].inputNodes())
+            inputs[best].insert(node);
+        load[best] += shardCost(micros[index], dim);
+        obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                    reason, int64_t(index), best);
+    }
+    return moved;
+}
+
+void
+MultiDeviceEngine::refreshInterconnectSlowdown()
+{
+    double worst = 1.0;
+    for (const auto& device : devices_)
+        if (!device->dead && device->degraded)
+            worst = std::max(worst, device->slowFactor);
+    interconnect_.setSlowdown(worst);
+}
+
+void
+MultiDeviceEngine::healExpiredSlowdowns(int64_t epoch)
+{
+    bool changed = false;
+    for (size_t d = 0; d < devices_.size(); ++d) {
+        DeviceState& state = *devices_[d];
+        if (!state.degraded || state.slowUntilEpoch < 0 ||
+            epoch <= state.slowUntilEpoch)
+            continue;
+        state.degraded = false;
+        state.slowFactor = 1.0;
+        state.slowUntilEpoch = -1;
+        state.link.setSlowdown(1.0);
+        changed = true;
+        obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                    "multi/device-heal", int64_t(d),
+                                    epoch);
+    }
+    if (changed)
+        refreshInterconnectSlowdown();
+}
+
+void
+MultiDeviceEngine::consumeDeviceSlow(int64_t epoch,
+                                     int64_t* slow_faults)
+{
+    double factor = 1.0;
+    int64_t requested = -1;
+    int64_t duration = 0;
+    while (fault::Injector::takeDeviceSlow(&factor, &requested,
+                                           &duration)) {
+        const std::vector<int32_t> live = liveDeviceIds();
+        int32_t victim = -1;
+        if (requested >= 0) {
+            if (requested >= int64_t(devices_.size()) ||
+                devices_[size_t(requested)]->dead) {
+                // The event was consumed (and the injector charged
+                // it), so it still counts toward the engine's fault
+                // tally — the chaos tier cross-checks the two.
+                warnOnce("device-slow fault names device ", requested,
+                         " which is not a live device; ignored");
+                ++*slow_faults;
+                obs::FlightRecorder::record(
+                    obs::FrCategory::Recovery,
+                    "multi/device-slow-ignored", requested, epoch);
+                continue;
+            }
+            victim = int32_t(requested);
+        } else {
+            victim = live.back();
+        }
+        DeviceState& state = *devices_[size_t(victim)];
+        state.degraded = true;
+        state.slowFactor = std::max(state.slowFactor, factor);
+        state.slowUntilEpoch =
+            duration > 0 ? epoch + duration - 1 : -1;
+        state.link.setSlowdown(state.slowFactor);
+        refreshInterconnectSlowdown();
+        ++*slow_faults;
+        obs::FlightRecorder::record(obs::FrCategory::Recovery,
+                                    "multi/device-slow", victim,
+                                    int64_t(factor * 1000.0));
     }
 }
 
@@ -355,7 +446,7 @@ MultiDeviceStats
 MultiDeviceEngine::trainMicroBatches(
     const std::vector<MultiLayerBatch>& micro_batches)
 {
-    return run(micro_batches, /*fault_clock=*/false);
+    return run(micro_batches, /*fault_clock=*/false, /*epoch=*/0);
 }
 
 MultiDeviceStats
@@ -363,12 +454,15 @@ MultiDeviceEngine::trainEpoch(
     const std::vector<MultiLayerBatch>& micro_batches, int64_t epoch)
 {
     fault::Injector::beginEpoch(epoch);
-    return run(micro_batches, /*fault_clock=*/true);
+    // Slowdowns with a duration heal BEFORE this epoch's faults are
+    // consumed — a duration=1 slowdown covers exactly one epoch.
+    healExpiredSlowdowns(epoch);
+    return run(micro_batches, /*fault_clock=*/true, epoch);
 }
 
 MultiDeviceStats
 MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
-                       bool fault_clock)
+                       bool fault_clock, int64_t epoch)
 {
     BETTY_TRACE_SPAN("multi/accumulation_step");
     MultiDeviceStats stats;
@@ -392,12 +486,16 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
             active.push_back(i);
 
     int64_t drops = 0;
+    int64_t slow_faults = 0;
     std::vector<int32_t> owner(micros.size(), -1);
     // Epoch-scoped device drops fire BEFORE sharding: the epoch
     // shards directly over the survivors, which is exactly "running
-    // on N-1 devices from the start" for this epoch.
-    if (fault_clock)
+    // on N-1 devices from the start" for this epoch. Epoch-scoped
+    // slowdowns also land here, before any transfer is priced.
+    if (fault_clock) {
         consumeDeviceDrops(micros, active, 0, owner, &drops);
+        consumeDeviceSlow(epoch, &slow_faults);
+    }
 
     const std::vector<int32_t> live = liveDeviceIds();
     last_plan_ = shardVertexCut(micros, int32_t(live.size()),
@@ -467,6 +565,18 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
         }
     }
 
+    // Straggler supervisor state: per-device EWMA of SIMULATED link
+    // seconds per micro-batch — deterministic, unlike wall-clock
+    // compute — judged against the fastest healthy device. Only
+    // armed in fault-injected epochs: in fault-free runs the engine
+    // must be invisible (no attribution drift for the report gates).
+    const bool supervise = fault_clock &&
+                           config_.stragglerFactor > 0.0 &&
+                           fault::Injector::active();
+    std::vector<double> ewma(num_devices, 0.0);
+    std::vector<int32_t> ewma_samples(num_devices, 0);
+    std::vector<char> flagged(num_devices, 0);
+
     int64_t correct = 0;
     uint64_t prev_micro_span = 0;
     for (size_t pos = 0; pos < active.size(); ++pos) {
@@ -477,6 +587,7 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
             // batches; gathers already dispatched for the dead device
             // stay valid (host staging), only the charges move.
             consumeDeviceDrops(micros, active, pos, owner, &drops);
+            consumeDeviceSlow(epoch, &slow_faults);
         }
         const MultiLayerBatch& batch = micros[index];
         const int32_t device = owner[index];
@@ -516,6 +627,7 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
         state.memory.onAlloc(structure_bytes,
                              obs::MemCategory::Blocks);
         state.memory.onAlloc(label_bytes, obs::MemCategory::Labels);
+        const double link_before = state.link.seconds();
         {
             Timer timer;
             int64_t feature_bytes = int64_t(staged.values.size()) *
@@ -528,6 +640,13 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
                                 int64_t(sizeof(float));
                 state.link.noteSavedBytes(cached.bytesSaved);
             }
+            // Per-attempt transfer faults on this device's link are
+            // drained by the shared retry protocol before the copy
+            // goes through (robustness/retry.h), keyed to the
+            // batch's logical position.
+            if (fault_clock)
+                robustness::runTransferRetries(state.link,
+                                               int64_t(index));
             state.link.transfer(feature_bytes + structure_bytes);
             // The numeric core is the single-device trainer's own
             // forwardStaged — same ops, same order, so losses and
@@ -551,6 +670,59 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
             // here, inside the device scope that charged it.
         }
         ++stats.batchesPerDevice[size_t(device)];
+        // Straggler supervisor: fold this micro-batch's simulated
+        // link seconds (transfer + failed attempts + backoff) into
+        // the device's EWMA and compare against the fastest healthy
+        // reference. Detection uses observed timings only — never
+        // the ground-truth `degraded` flag — so it also catches
+        // degradations nobody scheduled.
+        if (supervise) {
+            const double mb_link_seconds =
+                state.link.seconds() - link_before;
+            ++ewma_samples[size_t(device)];
+            ewma[size_t(device)] =
+                ewma_samples[size_t(device)] == 1
+                    ? mb_link_seconds
+                    : config_.stragglerEwmaAlpha * mb_link_seconds +
+                          (1.0 - config_.stragglerEwmaAlpha) *
+                              ewma[size_t(device)];
+            if (!flagged[size_t(device)] &&
+                ewma_samples[size_t(device)] >=
+                    config_.minStragglerSamples)
+            {
+                double fastest = -1.0;
+                std::vector<int32_t> healthy;
+                for (int32_t d : liveDeviceIds()) {
+                    if (d == device || flagged[size_t(d)])
+                        continue;
+                    healthy.push_back(d);
+                    if (ewma_samples[size_t(d)] >=
+                            config_.minStragglerSamples &&
+                        (fastest < 0.0 ||
+                         ewma[size_t(d)] < fastest))
+                        fastest = ewma[size_t(d)];
+                }
+                if (fastest > 0.0 &&
+                    ewma[size_t(device)] >
+                        config_.stragglerFactor * fastest &&
+                    !healthy.empty())
+                {
+                    BETTY_TRACE_SPAN_CAT("multi/straggler_reshard",
+                                         "stall");
+                    flagged[size_t(device)] = 1;
+                    ++stats.stragglersDetected;
+                    obs::FlightRecorder::record(
+                        obs::FrCategory::Recovery,
+                        "multi/straggler", device, int64_t(pos));
+                    // Graceful degradation: pending batches drain
+                    // toward healthy devices; the straggler keeps
+                    // what it already ran and stays in the ring.
+                    stats.stragglerResharded += reshardPending(
+                        micros, active, pos + 1, owner, device,
+                        healthy, "multi/straggler-reshard");
+                }
+            }
+        }
         state.memory.onFree(structure_bytes,
                             obs::MemCategory::Blocks);
         state.memory.onFree(label_bytes, obs::MemCategory::Labels);
@@ -580,6 +752,10 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
     const std::vector<int32_t> live_after = liveDeviceIds();
     stats.liveDevices = int32_t(live_after.size());
     stats.deviceDrops = drops;
+    stats.deviceSlowFaults = slow_faults;
+    for (const auto& device : devices_)
+        if (!device->dead && device->degraded)
+            ++stats.degradedDevices;
     if (live_after.size() > 1) {
         int64_t grad_bytes = 0;
         for (const auto& p : model_.parameters())
@@ -634,6 +810,23 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
             static obs::Counter& drop_counter =
                 obs::Metrics::counter("multi.device_drops");
             drop_counter.add(drops);
+        }
+        obs::Metrics::gauge("multi.degraded")
+            .set(int64_t(stats.degradedDevices));
+        if (slow_faults > 0) {
+            static obs::Counter& slow_counter =
+                obs::Metrics::counter("multi.device_slow_faults");
+            slow_counter.add(slow_faults);
+        }
+        if (stats.stragglersDetected > 0) {
+            static obs::Counter& detected =
+                obs::Metrics::counter("multi.stragglers_detected");
+            detected.add(stats.stragglersDetected);
+        }
+        if (stats.stragglerResharded > 0) {
+            static obs::Counter& resharded =
+                obs::Metrics::counter("multi.straggler_reshards");
+            resharded.add(stats.stragglerResharded);
         }
         for (size_t d = 0; d < num_devices; ++d) {
             const std::string prefix =

@@ -34,6 +34,20 @@
  * assignment never touches numerics, the run finishes with parameters
  * bit-identical to running on the surviving devices from the start —
  * the multi-device mirror of PR 4's capacity-drop invariant.
+ *
+ * Gray failures: a `device-slow=FACTOR@epochN[:device=D][:duration=E]`
+ * fault degrades one device's host link (TransferModel::setSlowdown)
+ * and the shared ring (InterconnectModel::setSlowdown — a ring is
+ * bounded by its slowest lane). The engine does NOT use its
+ * ground-truth knowledge of the victim to react; instead a straggler
+ * supervisor keeps a per-device EWMA of *simulated* per-micro-batch
+ * link seconds (deterministic — wall-clock compute is excluded) and,
+ * when one device's EWMA exceeds stragglerFactor x the fastest
+ * healthy device's, re-shards the straggler's PENDING micro-batches
+ * toward healthy devices. Graceful degradation, not a drop: the
+ * device keeps the batches it already ran, stays in the ring, and
+ * heals on schedule. Numerics are bit-identical by construction —
+ * assignment only moves simulated charges.
  */
 #ifndef BETTY_TRAIN_MULTI_DEVICE_H
 #define BETTY_TRAIN_MULTI_DEVICE_H
@@ -91,6 +105,25 @@ struct MultiDeviceConfig
      * on the calling thread, in canonical micro-batch order.
      */
     bool pipeline = true;
+
+    /**
+     * Straggler supervisor: a device is flagged when its EWMA of
+     * simulated per-micro-batch link seconds exceeds this factor
+     * times the fastest healthy device's EWMA. The default tolerates
+     * the sharder's balance slack plus cache variance while catching
+     * any device-slow factor >= ~2. Set <= 0 to disable the
+     * supervisor (the no-re-shard baseline the acceptance test
+     * compares against).
+     */
+    double stragglerFactor = 2.0;
+
+    /** EWMA smoothing for the straggler detector (0 < alpha <= 1;
+     * 1 = judge on the latest sample alone). */
+    double stragglerEwmaAlpha = 0.5;
+
+    /** Samples a device needs before it can be flagged or serve as
+     * the healthy reference. */
+    int32_t minStragglerSamples = 1;
 };
 
 /**
@@ -210,6 +243,18 @@ struct MultiDeviceStats
     /** device-drop faults consumed during this step. */
     int64_t deviceDrops = 0;
 
+    /** device-slow faults consumed during this step. */
+    int64_t deviceSlowFaults = 0;
+
+    /** Live devices still degraded (slowed) after this step. */
+    int32_t degradedDevices = 0;
+
+    /** Straggler-supervisor detections during this step. */
+    int64_t stragglersDetected = 0;
+
+    /** Pending micro-batches the supervisor moved off stragglers. */
+    int64_t stragglerResharded = 0;
+
     /** Aggregate per-device feature-cache counters. */
     int64_t cacheHits = 0;
     int64_t cacheMisses = 0;
@@ -258,8 +303,11 @@ class MultiDeviceEngine
      * injector clock (Injector::beginEpoch / beginMicroBatch) and
      * consumes `device-drop` events — the dropped device's pending
      * micro-batches are re-sharded over the survivors and the step
-     * completes with identical numerics. Other fault kinds remain
-     * the single-device ResilientTrainer's domain.
+     * completes with identical numerics — plus `device-slow` events
+     * (link/interconnect degradation with scheduled healing, handled
+     * by the straggler supervisor) and per-attempt transfer faults on
+     * the per-device links (robustness/retry.h). Other fault kinds
+     * remain the single-device ResilientTrainer's domain.
      */
     MultiDeviceStats trainEpoch(
         const std::vector<MultiLayerBatch>& micro_batches,
@@ -295,6 +343,14 @@ class MultiDeviceEngine
         TransferModel link;
         std::unique_ptr<FeatureCache> cache;
         bool dead = false;
+
+        /** Ground truth of a consumed device-slow fault (what the
+         * simulator applies); the straggler supervisor must NOT read
+         * these — it detects from observed timings only. */
+        bool degraded = false;
+        double slowFactor = 1.0;
+        /** Last epoch the slowdown covers; -1 = permanent. */
+        int64_t slowUntilEpoch = -1;
     };
 
     /** Copy the batch's input feature rows into host staging (the
@@ -306,7 +362,7 @@ class MultiDeviceEngine
 
     MultiDeviceStats run(
         const std::vector<MultiLayerBatch>& micro_batches,
-        bool fault_clock);
+        bool fault_clock, int64_t epoch);
 
     /** Indices of live devices, ascending. */
     std::vector<int32_t> liveDeviceIds() const;
@@ -322,6 +378,36 @@ class MultiDeviceEngine
                             size_t next_pos,
                             std::vector<int32_t>& owner,
                             int64_t* drops);
+
+    /**
+     * Consume pending device-slow faults at the current clock slot:
+     * degrade the victim's host link and the shared interconnect,
+     * and schedule healing at @p epoch + duration. Picks the
+     * highest-indexed live device when the spec names none.
+     */
+    void consumeDeviceSlow(int64_t epoch, int64_t* slow_faults);
+
+    /** Heal devices whose slowdown expired before @p epoch. */
+    void healExpiredSlowdowns(int64_t epoch);
+
+    /** Re-price the interconnect after degradation changes: a ring
+     * all-reduce is bounded by its slowest live lane. */
+    void refreshInterconnectSlowdown();
+
+    /**
+     * Move @p victim's not-yet-executed micro-batches (positions >=
+     * @p next_pos in @p active) onto @p targets with the same
+     * overlap-first greedy as shardVertexCut, seeded with the
+     * targets' current working sets. Returns how many moved.
+     * Attribution only — numerics never depend on ownership.
+     */
+    int64_t reshardPending(const std::vector<MultiLayerBatch>& micros,
+                           const std::vector<size_t>& active,
+                           size_t next_pos,
+                           std::vector<int32_t>& owner,
+                           int32_t victim,
+                           const std::vector<int32_t>& targets,
+                           const char* reason);
 
     const Dataset& dataset_;
     GnnModel& model_;

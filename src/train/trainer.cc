@@ -8,8 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/residual.h"
 #include "obs/trace.h"
+#include "robustness/retry.h"
 #include "tensor/autograd.h"
-#include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -66,7 +66,8 @@ labelBytes(const MultiLayerBatch& batch)
 }
 
 Trainer::StagedFeatures
-Trainer::gatherFeatures(const MultiLayerBatch& batch)
+Trainer::gatherFeatures(const MultiLayerBatch& batch,
+                        int64_t micro_batch)
 {
     // The host-side gather IS the transfer work in this simulated
     // setup, so the span covers gather + the analytic charge. Under
@@ -105,20 +106,15 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch)
             transfer_->noteSavedBytes(cached.bytesSaved);
     }
     if (transfer_) {
-        // Injected transfer failures (util/fault.h): each failed
-        // attempt pays the link latency, then the copy is retried —
-        // bounded by the fault plan's retries count, so this always
-        // terminates. Under pipelining this runs on a pool worker;
-        // the injector is thread-safe and attempts are consumed in
-        // charge order.
-        while (fault::Injector::takeTransferFailure()) {
-            transfer_->chargeFailedAttempt();
-            if (obs::Metrics::enabled()) {
-                static obs::Counter& retries = obs::Metrics::counter(
-                    "recover.transfer_retries");
-                retries.increment();
-            }
-        }
+        // Retry protocol (robustness/retry.h): scheduled
+        // transfer-fail events and probabilistic transfer-flaky
+        // draws are drained with bounded exponential backoff, each
+        // failed attempt paying link latency + backoff as simulated
+        // time. Consumption is keyed to this batch's logical
+        // position, so a pipelined prefetch worker gathering ahead
+        // of the clock still hits exactly the faults scheduled for
+        // ITS micro-batch.
+        robustness::runTransferRetries(*transfer_, micro_batch);
         transfer_->transfer(feature_bytes + blockBytes(batch));
     }
     return staged;
@@ -137,9 +133,10 @@ Trainer::uploadFeatures(StagedFeatures staged)
 }
 
 ag::NodePtr
-Trainer::loadFeatures(const MultiLayerBatch& batch)
+Trainer::loadFeatures(const MultiLayerBatch& batch,
+                      int64_t micro_batch)
 {
-    return uploadFeatures(gatherFeatures(batch));
+    return uploadFeatures(gatherFeatures(batch, micro_batch));
 }
 
 std::vector<int32_t>
@@ -154,9 +151,10 @@ Trainer::loadLabels(const MultiLayerBatch& batch) const
 }
 
 Trainer::ForwardResult
-Trainer::forwardBatch(const MultiLayerBatch& batch)
+Trainer::forwardBatch(const MultiLayerBatch& batch,
+                      int64_t micro_batch)
 {
-    return forwardStaged(batch, gatherFeatures(batch));
+    return forwardStaged(batch, gatherFeatures(batch, micro_batch));
 }
 
 Trainer::ForwardResult
@@ -216,9 +214,13 @@ Trainer::trainMicroBatches(
                            active.size() > 1;
     auto prefetch = [&](size_t index) {
         const MultiLayerBatch* next = &micro_batches[index];
-        return ThreadPool::global().submit([this, next] {
+        // The worker carries the batch's logical index so fault
+        // consumption stays in program order even when the gather
+        // runs ahead of the injector clock.
+        return ThreadPool::global().submit([this, next, index] {
             obs::TraceSpan span("train/prefetch");
-            StagedFeatures staged = gatherFeatures(*next);
+            StagedFeatures staged =
+                gatherFeatures(*next, int64_t(index));
             staged.traceSpanId = span.id();
             return staged;
         });
@@ -292,7 +294,7 @@ Trainer::trainMicroBatches(
                     staged_next = prefetch(active[pos + 1]);
                 fwd = forwardStaged(batch, std::move(staged));
             } else {
-                fwd = forwardBatch(batch);
+                fwd = forwardBatch(batch, int64_t(index));
             }
             // Weight each micro-batch's mean loss by its output share:
             // the accumulated gradient is then identical to the full
@@ -419,7 +421,9 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
             BETTY_TRACE_SPAN("train/micro_batch");
             Timer timer;
             optimizer_.zeroGrad();
-            ForwardResult fwd = forwardBatch(batch);
+            // Mini-batch mode has no micro-batch fault clock; -1 =
+            // only epoch-scoped transfer faults apply.
+            ForwardResult fwd = forwardBatch(batch, -1);
             {
                 BETTY_TRACE_SPAN_CAT("train/backward", "compute");
                 obs::MemCategoryScope mem_scope(
@@ -463,7 +467,7 @@ double
 Trainer::evaluate(const MultiLayerBatch& batch)
 {
     BETTY_TRACE_SPAN_CAT("train/evaluate", "compute");
-    const auto features = loadFeatures(batch);
+    const auto features = loadFeatures(batch, -1);
     const auto logits = model_.forward(batch, features);
     const auto labels = loadLabels(batch);
     if (labels.empty())

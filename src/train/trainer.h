@@ -207,16 +207,25 @@ class Trainer
         uint64_t traceSpanId = 0;
     };
 
-    /** Gather the batch's input-node feature rows into host staging
-     * and charge the transfer model (the simulated PCIe copy). */
-    StagedFeatures gatherFeatures(const MultiLayerBatch& batch);
+    /**
+     * Gather the batch's input-node feature rows into host staging
+     * and charge the transfer model (the simulated PCIe copy).
+     * @p micro_batch is the batch's logical (program-order) position
+     * in the accumulation step, -1 outside the micro-batch loop; the
+     * transfer retry protocol keys fault consumption on it so a
+     * pipelined prefetch worker gathering ahead of the clock still
+     * hits exactly the faults scheduled for its micro-batch.
+     */
+    StagedFeatures gatherFeatures(const MultiLayerBatch& batch,
+                                  int64_t micro_batch);
 
     /** Materialize staged rows as the device-side feature tensor
      * (charged to the device under InputFeatures). */
     ag::NodePtr uploadFeatures(StagedFeatures staged);
 
     /** gatherFeatures + uploadFeatures (the serial path). */
-    ag::NodePtr loadFeatures(const MultiLayerBatch& batch);
+    ag::NodePtr loadFeatures(const MultiLayerBatch& batch,
+                             int64_t micro_batch);
 
     /** Labels of the batch's output nodes. */
     std::vector<int32_t> loadLabels(const MultiLayerBatch& batch) const;
@@ -232,7 +241,8 @@ class Trainer
         int64_t correct = 0;
         int64_t outputs = 0;
     };
-    ForwardResult forwardBatch(const MultiLayerBatch& batch);
+    ForwardResult forwardBatch(const MultiLayerBatch& batch,
+                               int64_t micro_batch);
 
     /** forwardBatch on already-gathered features. */
     ForwardResult forwardStaged(const MultiLayerBatch& batch,

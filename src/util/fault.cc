@@ -1,6 +1,7 @@
 #include "util/fault.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -20,8 +21,12 @@ struct InjectorState
     bool installed = false;
     int64_t epoch = 0;
     int64_t microBatch = -1;
-    /** Per-event consumed flag; TransferFail tracks attempts left. */
+    /** Per-event consumed flag; TransferFail tracks attempts left.
+     * TransferFlaky never consumes (it stays armed for its whole
+     * scope) — its firings are counted in `fired` only. */
     std::vector<int64_t> remaining;
+    /** Per-event count of times the event actually fired. */
+    std::vector<int64_t> fired;
     int64_t injected = 0;
 };
 
@@ -38,17 +43,19 @@ matches(const FaultEvent& event, int64_t epoch, int64_t mb)
 {
     if (event.epoch != epoch)
         return false;
-    // TransferFail is consumed per transfer attempt anywhere in the
-    // epoch unless the spec pins a micro-batch.
-    if (event.kind == FaultKind::TransferFail)
+    // Transfer faults are consumed per transfer attempt anywhere in
+    // the epoch unless the spec pins a micro-batch.
+    if (event.kind == FaultKind::TransferFail ||
+        event.kind == FaultKind::TransferFlaky)
         return event.microBatch < 0 || event.microBatch == mb;
     return event.microBatch == mb;
 }
 
 void
-chargeInjected(InjectorState& s, FaultKind kind)
+chargeInjected(InjectorState& s, size_t index)
 {
     ++s.injected;
+    ++s.fired[index];
     if (obs::Metrics::enabled()) {
         static obs::Counter& counter =
             obs::Metrics::counter("recover.faults_injected");
@@ -56,9 +63,10 @@ chargeInjected(InjectorState& s, FaultKind kind)
     }
     // The consumed fault is exactly the kind of state change the
     // flight recorder exists for: it names the black-box story.
-    obs::FlightRecorder::record(obs::FrCategory::Fault,
-                                faultKindName(kind), s.epoch,
-                                s.microBatch);
+    obs::FlightRecorder::record(
+        obs::FrCategory::Fault,
+        faultKindName(s.plan.events[index].kind), s.epoch,
+        s.microBatch);
 }
 
 /** Consume the first matching unconsumed event of @p kind; returns
@@ -75,7 +83,7 @@ takeOneShot(InjectorState& s, FaultKind kind)
         if (!matches(event, s.epoch, s.microBatch))
             continue;
         s.remaining[i] = 0;
-        chargeInjected(s, kind);
+        chargeInjected(s, i);
         return int64_t(i);
     }
     return -1;
@@ -98,6 +106,10 @@ parseKind(const std::string& word, FaultKind& kind)
         kind = FaultKind::CorruptFeatures;
     else if (word == "device-drop")
         kind = FaultKind::DeviceDrop;
+    else if (word == "device-slow")
+        kind = FaultKind::DeviceSlow;
+    else if (word == "transfer-flaky")
+        kind = FaultKind::TransferFlaky;
     else
         return false;
     return true;
@@ -158,7 +170,7 @@ parseEvent(const std::string& clause, FaultEvent& event,
                     "'" + clause + "': unknown fault kind '" + head +
                         "' (oom, capacity-drop, transfer-fail, "
                         "alloc-scale, corrupt-features, "
-                        "device-drop)");
+                        "device-drop, device-slow, transfer-flaky)");
     event.value = value;
 
     // :key=value modifiers (after the position).
@@ -183,6 +195,21 @@ parseEvent(const std::string& clause, FaultEvent& event,
                     event.retries < 1)
                     return fail(error, "'" + clause +
                                            "': bad retries count");
+            } else if (key == "device") {
+                if (!parseInt(mod.substr(eq + 1), event.device) ||
+                    event.device < 0)
+                    return fail(error,
+                                "'" + clause +
+                                    "': bad device index (needs a "
+                                    "whole index >= 0)");
+            } else if (key == "duration") {
+                if (!parseInt(mod.substr(eq + 1),
+                              event.durationEpochs) ||
+                    event.durationEpochs < 0)
+                    return fail(error,
+                                "'" + clause +
+                                    "': bad duration (epochs >= 0; "
+                                    "0 = permanent)");
             } else {
                 return fail(error, "'" + clause +
                                        "': unknown modifier '" + key +
@@ -241,6 +268,18 @@ parseEvent(const std::string& clause, FaultEvent& event,
             event.value = -1.0;
         }
         break;
+      case FaultKind::DeviceSlow:
+        if (!has_value || event.value <= 1.0)
+            return fail(error, "'" + clause +
+                                   "': device-slow needs a slowdown "
+                                   "factor > 1");
+        break;
+      case FaultKind::TransferFlaky:
+        if (!has_value || event.value <= 0.0 || event.value >= 1.0)
+            return fail(error, "'" + clause +
+                                   "': transfer-flaky needs a "
+                                   "probability in (0, 1)");
+        break;
       case FaultKind::InjectOom:
       case FaultKind::TransferFail:
         if (has_value)
@@ -250,6 +289,16 @@ parseEvent(const std::string& clause, FaultEvent& event,
         break;
     }
     return true;
+}
+
+/** %.12g — compact, and enough digits to round-trip every magnitude
+ * the grammar accepts (factors, fractions, probabilities). */
+std::string
+formatValue(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    return buffer;
 }
 
 } // namespace
@@ -270,6 +319,10 @@ faultKindName(FaultKind kind)
         return "corrupt-features";
       case FaultKind::DeviceDrop:
         return "device-drop";
+      case FaultKind::DeviceSlow:
+        return "device-slow";
+      case FaultKind::TransferFlaky:
+        return "transfer-flaky";
     }
     return "?";
 }
@@ -296,6 +349,39 @@ FaultPlan::parse(const std::string& spec, FaultPlan& plan,
     return true;
 }
 
+std::string
+FaultPlan::format() const
+{
+    std::string spec;
+    for (const FaultEvent& event : events) {
+        if (!spec.empty())
+            spec += ';';
+        spec += faultKindName(event.kind);
+        const bool has_value =
+            event.kind == FaultKind::CapacityDrop ||
+            event.kind == FaultKind::AllocScale ||
+            event.kind == FaultKind::CorruptFeatures ||
+            event.kind == FaultKind::DeviceSlow ||
+            event.kind == FaultKind::TransferFlaky ||
+            (event.kind == FaultKind::DeviceDrop &&
+             event.value >= 0.0);
+        if (has_value)
+            spec += "=" + formatValue(event.value);
+        spec += "@epoch" + std::to_string(event.epoch);
+        if (event.microBatch >= 0)
+            spec += ".mb" + std::to_string(event.microBatch);
+        if (event.kind == FaultKind::TransferFail &&
+            event.retries != 1)
+            spec += ":retries=" + std::to_string(event.retries);
+        if (event.device >= 0)
+            spec += ":device=" + std::to_string(event.device);
+        if (event.durationEpochs > 0)
+            spec +=
+                ":duration=" + std::to_string(event.durationEpochs);
+    }
+    return spec;
+}
+
 void
 Injector::install(FaultPlan plan)
 {
@@ -311,6 +397,7 @@ Injector::install(FaultPlan plan)
             s.plan.events[i].kind == FaultKind::TransferFail
                 ? s.plan.events[i].retries
                 : 1;
+    s.fired.assign(s.plan.events.size(), 0);
     s.injected = 0;
 }
 
@@ -380,7 +467,7 @@ Injector::takeAllocScale(double* scale)
 }
 
 bool
-Injector::takeTransferFailure()
+Injector::takeTransferFailure(int64_t micro_batch)
 {
     InjectorState& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
@@ -391,11 +478,46 @@ Injector::takeTransferFailure()
         if (event.kind != FaultKind::TransferFail ||
             s.remaining[i] <= 0)
             continue;
-        if (!matches(event, s.epoch, s.microBatch))
+        // Program-order position: the epoch comes from the clock
+        // (stable across one trainMicroBatches call) but the
+        // micro-batch is the caller's logical index, so a pipelined
+        // prefetch worker gathering ahead still consumes the fault
+        // scheduled for ITS micro-batch, not the clock's.
+        if (!matches(event, s.epoch, micro_batch))
             continue;
         --s.remaining[i];
-        chargeInjected(s, FaultKind::TransferFail);
+        chargeInjected(s, i);
         return true;
+    }
+    return false;
+}
+
+bool
+Injector::takeTransferFlakyFailure(int64_t micro_batch,
+                                   int64_t attempt)
+{
+    InjectorState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.installed)
+        return false;
+    for (size_t i = 0; i < s.plan.events.size(); ++i) {
+        const FaultEvent& event = s.plan.events[i];
+        if (event.kind != FaultKind::TransferFlaky)
+            continue;
+        if (!matches(event, s.epoch, micro_batch))
+            continue;
+        // One independent stream per (event, epoch, micro-batch,
+        // attempt): the outcome is a pure function of position, so
+        // any thread interleaving replays identically.
+        Rng rng = Rng::stream(
+            s.plan.seed,
+            (uint64_t(s.epoch) << 16) ^ uint64_t(i) ^
+                0xF1A6FA117ULL,
+            (uint64_t(micro_batch + 1) << 20) ^ uint64_t(attempt));
+        if (rng.uniformReal() < event.value) {
+            chargeInjected(s, i);
+            return true;
+        }
     }
     return false;
 }
@@ -410,6 +532,25 @@ Injector::takeDeviceDrop(int64_t* device)
         return false;
     if (device)
         *device = int64_t(s.plan.events[size_t(index)].value);
+    return true;
+}
+
+bool
+Injector::takeDeviceSlow(double* factor, int64_t* device,
+                         int64_t* duration_epochs)
+{
+    InjectorState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const int64_t index = takeOneShot(s, FaultKind::DeviceSlow);
+    if (index < 0)
+        return false;
+    const FaultEvent& event = s.plan.events[size_t(index)];
+    if (factor)
+        *factor = event.value;
+    if (device)
+        *device = event.device;
+    if (duration_epochs)
+        *duration_epochs = event.durationEpochs;
     return true;
 }
 
@@ -463,14 +604,9 @@ Injector::faultsInjected(FaultKind kind)
     InjectorState& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
     int64_t consumed = 0;
-    for (size_t i = 0; i < s.plan.events.size(); ++i) {
-        const FaultEvent& event = s.plan.events[i];
-        if (event.kind != kind)
-            continue;
-        const int64_t initial =
-            event.kind == FaultKind::TransferFail ? event.retries : 1;
-        consumed += initial - s.remaining[i];
-    }
+    for (size_t i = 0; i < s.plan.events.size(); ++i)
+        if (s.plan.events[i].kind == kind)
+            consumed += s.fired[i];
     return consumed;
 }
 

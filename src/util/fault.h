@@ -10,7 +10,8 @@
  *   event := kind ['=' value] '@epoch' N ['.mb' M]
  *            (':' key '=' value)*
  *   kind  := oom | capacity-drop | transfer-fail | alloc-scale
- *            | corrupt-features | device-drop
+ *            | corrupt-features | device-drop | device-slow
+ *            | transfer-flaky
  *
  * Examples:
  *   oom@epoch2.mb1                 injected OOM in epoch 2's second
@@ -32,11 +33,23 @@
  *                                  the survivors
  *   device-drop=1@epoch2.mb3       device 1 dies just before epoch
  *                                  2's micro-batch 3
+ *   device-slow=4@epoch2:duration=1
+ *                                  one device's host link and
+ *                                  interconnect lane degrade to 1/4
+ *                                  bandwidth for one epoch
+ *                                  (`:device=D` names the victim;
+ *                                  `:duration=0` = permanent)
+ *   transfer-flaky=0.2@epoch3      every transfer attempt in epoch 3
+ *                                  fails with probability 0.2, drawn
+ *                                  from the plan seed so the exact
+ *                                  attempt outcomes replay
  *
  * Every event fires exactly once (transfer-fail fires `retries`
- * attempts), at a position fixed by the schedule, and the corrupt-row
- * selection is a pure function of (plan seed, epoch) — so a test can
- * assert the exact recovery behaviour and replay it bit-for-bit.
+ * attempts; transfer-flaky fires per losing per-attempt draw), at a
+ * position fixed by the schedule, and every stochastic choice
+ * (corrupt-row selection, flaky-attempt outcomes) is a pure function
+ * of the plan seed and the clock position — so a test can assert the
+ * exact recovery behaviour and replay it bit-for-bit.
  *
  * The process-global Injector follows the obs::Metrics pattern: when
  * no plan is installed every query is a cheap early-out, so fault-
@@ -75,6 +88,19 @@ enum class FaultKind
      * (train/multi_device.h). Value = device index, or none for
      * "the highest-indexed live device". */
     DeviceDrop,
+
+    /** Gray failure: one device's host link and interconnect lane
+     * degrade to 1/FACTOR bandwidth (value = FACTOR > 1). Optional
+     * `:device=D` names the victim (default: the engine picks the
+     * highest-indexed live device), `:duration=E` heals it after E
+     * epochs (0 = permanent). */
+    DeviceSlow,
+
+    /** Gray failure: while active, each transfer attempt fails with
+     * probability value in (0, 1). Outcomes are drawn via
+     * Rng::stream keyed on (plan seed, epoch, micro-batch, attempt)
+     * — deterministic no matter which thread asks. */
+    TransferFlaky,
 };
 
 /** Printable kind name (the spec keyword). */
@@ -93,11 +119,17 @@ struct FaultEvent
     int64_t microBatch = -1;
 
     /** Kind-dependent magnitude: capacity factor, allocation scale,
-     * or corrupt-row fraction. */
+     * corrupt-row fraction, slowdown factor, or flaky probability. */
     double value = 0.0;
 
     /** TransferFail: how many consecutive attempts fail. */
     int64_t retries = 1;
+
+    /** DeviceSlow: victim device index, or -1 = engine's choice. */
+    int64_t device = -1;
+
+    /** DeviceSlow: epochs the slowdown lasts; 0 = permanent. */
+    int64_t durationEpochs = 0;
 };
 
 /** A parsed schedule plus the seed all stochastic choices key on. */
@@ -114,6 +146,14 @@ struct FaultPlan
      */
     static bool parse(const std::string& spec, FaultPlan& plan,
                       std::string* error = nullptr);
+
+    /**
+     * Render the plan back to a spec string that parse() accepts and
+     * that round-trips to an equal plan — the replay handle the chaos
+     * harness prints for a failing schedule (the seed travels
+     * separately via --fault-seed).
+     */
+    std::string format() const;
 };
 
 /**
@@ -121,7 +161,10 @@ struct FaultPlan
  * clock (beginEpoch/beginMicroBatch); injection sites issue one-shot
  * consuming queries that fire when an unconsumed event matches the
  * clock position. All entry points are thread-safe: transfer faults
- * are consumed from pool workers under pipelining.
+ * are consumed from pool workers under pipelining, which is also why
+ * the transfer queries take the micro-batch's *logical* position as
+ * an argument instead of trusting the clock — a prefetch worker may
+ * gather micro-batch 3 while the clock still says 1.
  */
 class Injector
 {
@@ -159,9 +202,25 @@ class Injector
     /** True (with the scale) if an AllocScale fires here. */
     static bool takeAllocScale(double* scale);
 
-    /** True while a TransferFail event has failed attempts left for
-     * the current epoch; call once per attempt. */
-    static bool takeTransferFailure();
+    /**
+     * True while a TransferFail event has failed attempts left for
+     * the current epoch; call once per attempt. @p micro_batch is
+     * the attempt's logical (program-order) position — pass -1 for
+     * gathers outside the micro-batch loop (evaluation) — so a
+     * `.mbM`-pinned schedule lands on exactly that micro-batch even
+     * when a pool worker gathers ahead of the clock.
+     */
+    static bool takeTransferFailure(int64_t micro_batch);
+
+    /**
+     * True if a TransferFlaky event active at the clock's epoch (and
+     * @p micro_batch, if pinned) loses its per-attempt draw. The
+     * draw is Rng::stream keyed on (plan seed, epoch, micro_batch,
+     * attempt ordinal) — a pure function of position, never of call
+     * order or thread identity.
+     */
+    static bool takeTransferFlakyFailure(int64_t micro_batch,
+                                         int64_t attempt);
 
     /** True (with the row fraction) if a CorruptFeatures event fires
      * at the current epoch's epoch-scoped slot. */
@@ -173,6 +232,15 @@ class Injector
      * device (the engine then drops the highest-indexed live one).
      */
     static bool takeDeviceDrop(int64_t* device);
+
+    /**
+     * True if a DeviceSlow fires at the clock position. @p factor
+     * receives the slowdown (> 1), @p device the victim index or -1
+     * for "engine's choice", @p duration_epochs how many epochs the
+     * degradation lasts (0 = permanent).
+     */
+    static bool takeDeviceSlow(double* factor, int64_t* device,
+                               int64_t* duration_epochs);
 
     /** @} */
 
@@ -189,7 +257,8 @@ class Injector
     /** Total events consumed since install() (retries count each). */
     static int64_t faultsInjected();
 
-    /** Consumed events of one kind (TransferFail counts attempts). */
+    /** Consumed events of one kind (TransferFail counts attempts,
+     * TransferFlaky counts losing draws). */
     static int64_t faultsInjected(FaultKind kind);
 };
 

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The chaos tier (robustness/chaos.h, docs/ROBUSTNESS.md "Chaos
+ * testing"): randomized seeded fault schedules through the full
+ * stack, with the generator's own contracts checked first.
+ *
+ * Scales by environment so one binary serves both tiers:
+ *   BETTY_CHAOS_SCHEDULES  schedules to run (default 20 — the smoke
+ *                          subset; the CI chaos job sets 200)
+ *   BETTY_CHAOS_SEED       base seed (default 1); schedule i runs
+ *                          seed base+i, and every failure message
+ *                          carries the seed and a --faults spec that
+ *                          replays it verbatim.
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "robustness/chaos.h"
+#include "util/fault.h"
+
+namespace betty::robustness {
+namespace {
+
+int64_t
+envInt(const char* name, int64_t fallback)
+{
+    const char* text = std::getenv(name);
+    if (!text || !*text)
+        return fallback;
+    char* end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    return (end && *end == '\0') ? int64_t(value) : fallback;
+}
+
+TEST(ChaosGenerator, ScheduleIsAPureFunctionOfTheSeed)
+{
+    const ChaosSchedule a = generateSchedule(42);
+    const ChaosSchedule b = generateSchedule(42);
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.target, b.target);
+    EXPECT_EQ(a.plan.seed, 42u);
+    ASSERT_FALSE(a.plan.events.empty());
+    ASSERT_EQ(a.plan.events.size(), b.plan.events.size());
+}
+
+TEST(ChaosGenerator, SpecsRoundTripThroughTheGrammar)
+{
+    // The printed spec IS the replay artifact: parsing it back must
+    // reproduce the plan (format() is tested to be injective enough
+    // in test_fault.cc; here we close the loop on generated output).
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        const ChaosSchedule schedule = generateSchedule(seed);
+        fault::FaultPlan plan;
+        std::string error;
+        ASSERT_TRUE(fault::FaultPlan::parse(schedule.spec, plan,
+                                            &error))
+            << "seed " << seed << ": '" << schedule.spec << "': "
+            << error;
+        EXPECT_EQ(plan.format(), schedule.spec) << "seed " << seed;
+        EXPECT_EQ(plan.events.size(), schedule.plan.events.size());
+    }
+}
+
+TEST(ChaosGenerator, CoversBothTargetsAndMostKinds)
+{
+    int single = 0;
+    int multi = 0;
+    std::set<fault::FaultKind> kinds;
+    for (uint64_t seed = 1; seed <= 128; ++seed) {
+        const ChaosSchedule schedule = generateSchedule(seed);
+        (schedule.target == ChaosTarget::SingleDevice ? single
+                                                      : multi)++;
+        for (const fault::FaultEvent& event : schedule.plan.events)
+            kinds.insert(event.kind);
+    }
+    EXPECT_GT(single, 16);
+    EXPECT_GT(multi, 16);
+    // All eight grammar kinds should appear across 128 schedules.
+    EXPECT_EQ(kinds.size(), 8u);
+}
+
+TEST(ChaosGenerator, AttributionOnlyClassification)
+{
+    fault::FaultPlan plan;
+    ASSERT_TRUE(fault::FaultPlan::parse(
+        "transfer-fail@epoch1;transfer-flaky=0.2@epoch1;"
+        "device-slow=2@epoch1",
+        plan, nullptr));
+    EXPECT_TRUE(attributionOnly(plan, ChaosTarget::SingleDevice));
+    EXPECT_TRUE(attributionOnly(plan, ChaosTarget::MultiDevice));
+
+    ASSERT_TRUE(fault::FaultPlan::parse("device-drop@epoch1", plan,
+                                        nullptr));
+    EXPECT_FALSE(attributionOnly(plan, ChaosTarget::SingleDevice));
+    EXPECT_TRUE(attributionOnly(plan, ChaosTarget::MultiDevice));
+
+    ASSERT_TRUE(fault::FaultPlan::parse(
+        "transfer-fail@epoch1;capacity-drop=0.5@epoch1", plan,
+        nullptr));
+    EXPECT_FALSE(attributionOnly(plan, ChaosTarget::SingleDevice));
+}
+
+TEST(ChaosHarness, RandomSchedulesHoldTheInvariants)
+{
+    const int64_t schedules =
+        std::max<int64_t>(1, envInt("BETTY_CHAOS_SCHEDULES", 20));
+    const uint64_t base = uint64_t(envInt("BETTY_CHAOS_SEED", 1));
+
+    ChaosHarness harness;
+    for (int64_t i = 0; i < schedules; ++i) {
+        const uint64_t seed = base + uint64_t(i);
+        const ChaosResult result = harness.run(seed);
+        // The seed is echoed on success too, so a CI log alone is
+        // enough to rerun any schedule of the batch.
+        SCOPED_TRACE("chaos seed " + std::to_string(seed) + " (" +
+                     chaosTargetName(result.target) + "): " +
+                     result.spec);
+        ASSERT_TRUE(result.ok) << result.failure;
+    }
+}
+
+TEST(ChaosHarness, ResultEchoesTheReplayHandle)
+{
+    ChaosHarness harness;
+    const ChaosSchedule schedule = generateSchedule(7);
+    const ChaosResult result = harness.run(schedule);
+    EXPECT_EQ(result.seed, 7u);
+    EXPECT_EQ(result.target, schedule.target);
+    EXPECT_EQ(result.spec, schedule.spec);
+    EXPECT_TRUE(result.ok) << result.failure;
+}
+
+} // namespace
+} // namespace betty::robustness

@@ -18,9 +18,12 @@
 #include "data/catalog.h"
 #include "memory/device_memory.h"
 #include "memory/transfer_model.h"
+#include "partition/partitioner.h"
 #include "robustness/checkpoint.h"
 #include "sampling/neighbor_sampler.h"
+#include "train/multi_device.h"
 #include "train/trainer.h"
+#include "util/fault.h"
 
 namespace betty {
 namespace {
@@ -179,6 +182,108 @@ TEST_F(CheckpointEnv, KillAndResumeIsBitIdentical)
                 << "loss diverged at resumed epoch " << epoch;
         }
         EXPECT_EQ(hashParameters(p.model), straight_hash);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointEnv, MultiDeviceDropThenKillAndResume)
+{
+    // Checkpoint/resume x multi-device: a 4-device run loses device 1
+    // in epoch 1, checkpoints after epoch 1, "dies", and resumes on a
+    // FRESH engine sized to the survivors. Checkpoints deliberately
+    // persist no device state — placement never touches numerics, so
+    // the resumed run must stay bit-identical to the uninterrupted
+    // survivor run (and, transitively, to every other placement).
+    const std::string path = tmpPath("multi_resume.ckpt");
+    constexpr int kTotalEpochs = 4;
+    constexpr int kKillAfter = 1;
+
+    // One fixed micro-batch set for every epoch, as in
+    // test_multi_device_equivalence.cc — the sampler contract is
+    // proven there; this test isolates the checkpoint story.
+    NeighborSampler sampler(dataset().graph, {4, 6}, 12);
+    std::vector<int64_t> seeds(dataset().trainNodes.begin(),
+                               dataset().trainNodes.begin() + 160);
+    BettyPartitioner partitioner;
+    const auto full = sampler.sample(seeds);
+    const auto micros =
+        extractMicroBatches(full, partitioner.partition(full, 8));
+
+    auto makeModel = [&] {
+        return GraphSage(Process::sageConfig(dataset()));
+    };
+    auto installDrop = [] {
+        fault::FaultPlan plan;
+        ASSERT_TRUE(fault::FaultPlan::parse("device-drop=1@epoch1",
+                                            plan, nullptr));
+        fault::Injector::install(std::move(plan));
+    };
+
+    // Reference: one process, drop in epoch 1, all epochs straight.
+    std::vector<double> straight_losses;
+    uint64_t straight_hash = 0;
+    {
+        GraphSage model = makeModel();
+        Adam adam(model.parameters(), 0.01f);
+        MultiDeviceConfig config;
+        config.numDevices = 4;
+        MultiDeviceEngine engine(dataset(), model, adam, config);
+        installDrop();
+        for (int epoch = 1; epoch <= kTotalEpochs; ++epoch) {
+            const MultiDeviceStats stats =
+                engine.trainEpoch(micros, epoch);
+            straight_losses.push_back(stats.loss);
+            if (epoch == 1) {
+                EXPECT_EQ(stats.deviceDrops, 1);
+                EXPECT_EQ(stats.liveDevices, 3);
+            }
+        }
+        straight_hash = hashParameters(model);
+        fault::Injector::clear();
+    }
+
+    // First life: drop, train one epoch, checkpoint, "die".
+    {
+        GraphSage model = makeModel();
+        Adam adam(model.parameters(), 0.01f);
+        MultiDeviceConfig config;
+        config.numDevices = 4;
+        MultiDeviceEngine engine(dataset(), model, adam, config);
+        installDrop();
+        for (int epoch = 1; epoch <= kKillAfter; ++epoch) {
+            const double loss =
+                engine.trainEpoch(micros, epoch).loss;
+            EXPECT_EQ(loss, straight_losses[size_t(epoch - 1)]);
+        }
+        fault::Injector::clear();
+        const auto checkpoint = captureCheckpoint(
+            model, adam, kKillAfter, /*last_k=*/8,
+            uint64_t(kKillAfter), 0);
+        ASSERT_TRUE(saveCheckpoint(checkpoint, path).ok());
+    }
+
+    // Second life: fresh everything, sized to the SURVIVORS (the
+    // dead device is gone from the fleet a restarted job would see).
+    {
+        GraphSage model = makeModel();
+        Adam adam(model.parameters(), 0.01f);
+        TrainCheckpoint checkpoint;
+        ASSERT_TRUE(loadCheckpoint(checkpoint, path).ok());
+        ASSERT_TRUE(
+            restoreCheckpoint(checkpoint, model, adam).ok());
+        EXPECT_EQ(checkpoint.epochsCompleted, kKillAfter);
+
+        MultiDeviceConfig config;
+        config.numDevices = 3;
+        MultiDeviceEngine engine(dataset(), model, adam, config);
+        for (int epoch = kKillAfter + 1; epoch <= kTotalEpochs;
+             ++epoch) {
+            const double loss =
+                engine.trainEpoch(micros, epoch).loss;
+            EXPECT_EQ(loss, straight_losses[size_t(epoch - 1)])
+                << "loss diverged at resumed epoch " << epoch;
+        }
+        EXPECT_EQ(hashParameters(model), straight_hash);
     }
     std::remove(path.c_str());
 }

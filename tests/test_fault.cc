@@ -6,6 +6,7 @@
  * plan.
  */
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -144,6 +145,103 @@ TEST(FaultPlanParse, DeviceDropGrammar)
     EXPECT_NE(error.find("whole device index"), std::string::npos);
 }
 
+TEST(FaultPlanParse, GrayFailureGrammar)
+{
+    FaultPlan plan;
+    std::string error;
+
+    ASSERT_TRUE(FaultPlan::parse(
+        "device-slow=4@epoch2:device=1:duration=2;"
+        "transfer-flaky=0.2@epoch3",
+        plan, &error))
+        << error;
+    ASSERT_EQ(plan.events.size(), 2u);
+
+    EXPECT_EQ(plan.events[0].kind, FaultKind::DeviceSlow);
+    EXPECT_DOUBLE_EQ(plan.events[0].value, 4.0);
+    EXPECT_EQ(plan.events[0].epoch, 2);
+    EXPECT_EQ(plan.events[0].device, 1);
+    EXPECT_EQ(plan.events[0].durationEpochs, 2);
+
+    EXPECT_EQ(plan.events[1].kind, FaultKind::TransferFlaky);
+    EXPECT_DOUBLE_EQ(plan.events[1].value, 0.2);
+    EXPECT_EQ(plan.events[1].epoch, 3);
+    EXPECT_EQ(plan.events[1].microBatch, -1);
+
+    // Defaults: no device named (-1), permanent (duration 0).
+    ASSERT_TRUE(FaultPlan::parse("device-slow=2@epoch1", plan,
+                                 &error))
+        << error;
+    EXPECT_EQ(plan.events[0].device, -1);
+    EXPECT_EQ(plan.events[0].durationEpochs, 0);
+
+    // Typed errors of the new kinds.
+    EXPECT_FALSE(
+        FaultPlan::parse("device-slow=1.0@epoch1", plan, &error));
+    EXPECT_NE(error.find("slowdown factor > 1"), std::string::npos);
+    EXPECT_FALSE(
+        FaultPlan::parse("device-slow@epoch1", plan, &error));
+    EXPECT_FALSE(
+        FaultPlan::parse("transfer-flaky=1.5@epoch1", plan, &error));
+    EXPECT_NE(error.find("probability in (0, 1)"),
+              std::string::npos);
+    EXPECT_FALSE(
+        FaultPlan::parse("transfer-flaky=0@epoch1", plan, &error));
+    EXPECT_FALSE(FaultPlan::parse("device-slow=4@epoch1:device=-2",
+                                  plan, &error));
+    EXPECT_NE(error.find("bad device index"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::parse(
+        "device-slow=4@epoch1:duration=-1", plan, &error));
+    EXPECT_NE(error.find("bad duration"), std::string::npos);
+}
+
+TEST(FaultPlanFormat, RoundTripsEveryKind)
+{
+    // format() is the chaos harness's replay handle: parsing its
+    // output must reproduce the plan exactly.
+    const std::string specs[] = {
+        "oom@epoch2.mb1",
+        "capacity-drop=0.5@epoch3",
+        "transfer-fail@epoch1:retries=2",
+        "alloc-scale=1.5@epoch2.mb0",
+        "corrupt-features=0.01@epoch1",
+        "device-drop@epoch2",
+        "device-drop=1@epoch2.mb3",
+        "device-slow=4@epoch2:device=1:duration=2",
+        "device-slow=1.5@epoch1",
+        "transfer-flaky=0.2@epoch3.mb1",
+        // A multi-event plan formats back as one semicolon list.
+        "oom@epoch1.mb0;device-slow=8@epoch2:duration=1;"
+        "transfer-flaky=0.05@epoch2",
+    };
+    for (const std::string& spec : specs) {
+        FaultPlan plan;
+        std::string error;
+        ASSERT_TRUE(FaultPlan::parse(spec, plan, &error))
+            << spec << ": " << error;
+        EXPECT_EQ(plan.format(), spec);
+
+        // And the round-tripped plan parses to identical events.
+        FaultPlan again;
+        ASSERT_TRUE(FaultPlan::parse(plan.format(), again, &error))
+            << error;
+        ASSERT_EQ(again.events.size(), plan.events.size());
+        for (size_t i = 0; i < plan.events.size(); ++i) {
+            EXPECT_EQ(again.events[i].kind, plan.events[i].kind);
+            EXPECT_EQ(again.events[i].epoch, plan.events[i].epoch);
+            EXPECT_EQ(again.events[i].microBatch,
+                      plan.events[i].microBatch);
+            EXPECT_EQ(again.events[i].value, plan.events[i].value);
+            EXPECT_EQ(again.events[i].retries,
+                      plan.events[i].retries);
+            EXPECT_EQ(again.events[i].device,
+                      plan.events[i].device);
+            EXPECT_EQ(again.events[i].durationEpochs,
+                      plan.events[i].durationEpochs);
+        }
+    }
+}
+
 TEST(Injector, DeviceDropFiresOnceAtTheClockPosition)
 {
     InjectorScope cleanup;
@@ -182,8 +280,12 @@ TEST(Injector, InactiveQueriesAreNoops)
     EXPECT_FALSE(Injector::takeInjectedOom());
     EXPECT_FALSE(Injector::takeCapacityDrop(&value));
     EXPECT_FALSE(Injector::takeAllocScale(&value));
-    EXPECT_FALSE(Injector::takeTransferFailure());
+    EXPECT_FALSE(Injector::takeTransferFailure(0));
+    EXPECT_FALSE(Injector::takeTransferFlakyFailure(0, 0));
     EXPECT_FALSE(Injector::takeCorruptFeatures(&value));
+    int64_t device = -1;
+    int64_t duration = 0;
+    EXPECT_FALSE(Injector::takeDeviceSlow(&value, &device, &duration));
     EXPECT_EQ(Injector::faultsInjected(), 0);
 }
 
@@ -237,12 +339,85 @@ TEST(Injector, TransferFailConsumesPerAttempt)
     Injector::install(plan);
 
     Injector::beginEpoch(1);
-    Injector::beginMicroBatch(0);
-    EXPECT_TRUE(Injector::takeTransferFailure());
-    Injector::beginMicroBatch(1); // any micro-batch of the epoch
-    EXPECT_TRUE(Injector::takeTransferFailure());
-    EXPECT_FALSE(Injector::takeTransferFailure()); // retries spent
+    EXPECT_TRUE(Injector::takeTransferFailure(0));
+    // Any micro-batch of the epoch.
+    EXPECT_TRUE(Injector::takeTransferFailure(1));
+    EXPECT_FALSE(Injector::takeTransferFailure(2)); // retries spent
     EXPECT_EQ(Injector::faultsInjected(FaultKind::TransferFail), 2);
+}
+
+TEST(Injector, TransferFaultsKeyOnProgramOrderNotTheClock)
+{
+    // The pipelining fix (docs/ROBUSTNESS.md): a prefetch worker
+    // gathering micro-batch 2 while the clock still says micro-batch
+    // 0 must consume exactly the fault pinned to ITS position. The
+    // clock's micro-batch is deliberately left elsewhere throughout.
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse("transfer-fail@epoch1.mb2", plan, nullptr));
+    Injector::install(plan);
+
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0); // clock lags the prefetcher
+    EXPECT_FALSE(Injector::takeTransferFailure(0));
+    EXPECT_FALSE(Injector::takeTransferFailure(1));
+    EXPECT_TRUE(Injector::takeTransferFailure(2)); // program order
+    EXPECT_FALSE(Injector::takeTransferFailure(2));
+
+    // Same for the probabilistic kind: the draw is keyed on the
+    // caller's position, so only micro-batch 1's attempts can fire.
+    ASSERT_TRUE(FaultPlan::parse("transfer-flaky=0.5@epoch1.mb1",
+                                 plan, nullptr));
+    plan.seed = 21;
+    Injector::install(plan);
+    Injector::beginEpoch(1);
+    Injector::beginMicroBatch(0);
+    for (int64_t attempt = 0; attempt < 64; ++attempt)
+        EXPECT_FALSE(Injector::takeTransferFlakyFailure(0, attempt));
+    int64_t fired = 0;
+    for (int64_t attempt = 0; attempt < 64; ++attempt)
+        fired += Injector::takeTransferFlakyFailure(1, attempt) ? 1 : 0;
+    EXPECT_GT(fired, 0);
+    EXPECT_EQ(Injector::faultsInjected(FaultKind::TransferFlaky),
+              fired);
+}
+
+TEST(Injector, TransferFlakyIsAPureFunctionOfPosition)
+{
+    InjectorScope cleanup;
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse("transfer-flaky=0.3@epoch1", plan, nullptr));
+    plan.seed = 1234;
+    Injector::install(plan);
+    Injector::beginEpoch(1);
+
+    // Record the outcome of (micro-batch, attempt) positions, then
+    // replay them in a different order: every outcome must repeat —
+    // flaky events never consume, they re-draw from the same stream.
+    std::vector<bool> first;
+    for (int64_t mb = 0; mb < 4; ++mb)
+        for (int64_t attempt = 0; attempt < 8; ++attempt)
+            first.push_back(
+                Injector::takeTransferFlakyFailure(mb, attempt));
+    std::vector<bool> replay(first.size());
+    for (int64_t mb = 3; mb >= 0; --mb)
+        for (int64_t attempt = 7; attempt >= 0; --attempt)
+            replay[size_t(mb * 8 + attempt)] =
+                Injector::takeTransferFlakyFailure(mb, attempt);
+    EXPECT_EQ(first, replay);
+
+    // A different seed draws a different (in general) pattern.
+    plan.seed = 4321;
+    Injector::install(plan);
+    Injector::beginEpoch(1);
+    std::vector<bool> other;
+    for (int64_t mb = 0; mb < 4; ++mb)
+        for (int64_t attempt = 0; attempt < 8; ++attempt)
+            other.push_back(
+                Injector::takeTransferFlakyFailure(mb, attempt));
+    EXPECT_NE(first, other);
 }
 
 TEST(Injector, ReinstallResetsConsumption)

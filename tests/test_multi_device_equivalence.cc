@@ -13,6 +13,7 @@
  * precondition for keeping the PR 3 golden-hash corpus
  * (tests/golden/) without regeneration.
  */
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -80,6 +81,17 @@ struct RunResult
     int64_t deviceDrops = 0;
     int32_t liveDevices = 0;
     std::vector<int64_t> transferBytes; // per device, last epoch
+
+    // Straggler-supervisor extras (summed over epochs).
+    int64_t deviceSlowFaults = 0;
+    int64_t stragglersDetected = 0;
+    int64_t stragglerResharded = 0;
+
+    /** Sum over epochs of max-over-devices simulated link seconds:
+     * the deterministic transfer bound on the parallel epoch time
+     * (the compute portion is measured wall clock, so the strict
+     * better-than comparisons run on this component). */
+    double maxTransferSeconds = 0.0;
 };
 
 struct Env
@@ -136,7 +148,9 @@ struct Env
     RunResult
     runMulti(int32_t devices, int32_t threads, bool pipeline,
              int64_t cache_bytes_per_device, int epochs,
-             const std::string& faults = "") const
+             const std::string& faults = "",
+             uint64_t fault_seed = 0,
+             double straggler_factor = -1.0) const
     {
         ThreadPool::setGlobalThreads(threads);
         if (!faults.empty()) {
@@ -145,6 +159,7 @@ struct Env
             EXPECT_TRUE(
                 fault::FaultPlan::parse(faults, plan, &error))
                 << error;
+            plan.seed = fault_seed;
             fault::Injector::install(std::move(plan));
         }
 
@@ -154,6 +169,8 @@ struct Env
         config.numDevices = devices;
         config.cacheBytesPerDevice = cache_bytes_per_device;
         config.pipeline = pipeline;
+        if (straggler_factor >= 0.0)
+            config.stragglerFactor = straggler_factor;
         MultiDeviceEngine engine(dataset, model, adam, config);
 
         RunResult result;
@@ -165,6 +182,13 @@ struct Env
             result.deviceDrops += stats.deviceDrops;
             result.liveDevices = stats.liveDevices;
             result.transferBytes = stats.deviceTransferBytes;
+            result.deviceSlowFaults += stats.deviceSlowFaults;
+            result.stragglersDetected += stats.stragglersDetected;
+            result.stragglerResharded += stats.stragglerResharded;
+            double slowest = 0.0;
+            for (const double s : stats.deviceTransferSeconds)
+                slowest = std::max(slowest, s);
+            result.maxTransferSeconds += slowest;
         }
         result.paramHash = hashParameters(model);
         fault::Injector::clear();
@@ -279,6 +303,81 @@ TEST(MultiDeviceEquivalence, DropRequestsForDeadDevicesAreIgnored)
     EXPECT_EQ(result.deviceDrops, 1);
     EXPECT_EQ(result.liveDevices, 3);
     expectSameNumerics(env.runSingle(kEpochs), result);
+}
+
+TEST(MultiDeviceEquivalence, StragglerReshardBeatsStandingStill)
+{
+    // The gray-failure acceptance case (docs/MULTI_DEVICE.md): a 4x
+    // link slowdown on device 1 from epoch 2 on. The supervisor must
+    // notice the straggler from OBSERVED link times and move pending
+    // micro-batches toward healthy devices — same numerics, strictly
+    // less simulated transfer-bound epoch time than leaving the plan
+    // alone (stragglerFactor=0 disables the supervisor; the compute
+    // portion of epochSeconds is measured wall clock, so the strict
+    // comparison runs on the deterministic link component the fault
+    // actually inflates).
+    Env env;
+    const std::string slow = "device-slow=4@epoch2:device=1";
+    const RunResult supervised =
+        env.runMulti(4, 1, false, 0, kEpochs, slow);
+    const RunResult unsupervised =
+        env.runMulti(4, 1, false, 0, kEpochs, slow,
+                     /*fault_seed=*/0, /*straggler_factor=*/0.0);
+
+    EXPECT_EQ(supervised.deviceSlowFaults, 1);
+    EXPECT_GE(supervised.stragglersDetected, 1);
+    EXPECT_GE(supervised.stragglerResharded, 1);
+    EXPECT_EQ(unsupervised.stragglersDetected, 0);
+    EXPECT_EQ(unsupervised.stragglerResharded, 0);
+
+    // Graceful degradation is attribution-only: both runs stay
+    // bit-identical to the fault-free single-device reference.
+    const RunResult reference = env.runSingle(kEpochs);
+    expectSameNumerics(reference, supervised);
+    expectSameNumerics(reference, unsupervised);
+
+    EXPECT_LT(supervised.maxTransferSeconds,
+              unsupervised.maxTransferSeconds);
+}
+
+TEST(MultiDeviceEquivalence, DeviceSlowHealsAfterItsDuration)
+{
+    // duration=1 scopes the slowdown to epoch 2 alone; epoch 3 runs
+    // on a healed fleet, so the transfer bound of the whole run stays
+    // strictly below the same schedule without a duration.
+    Env env;
+    const RunResult healed = env.runMulti(
+        4, 1, false, 0, kEpochs,
+        "device-slow=4@epoch2:device=1:duration=1");
+    const RunResult forever = env.runMulti(
+        4, 1, false, 0, kEpochs, "device-slow=4@epoch2:device=1",
+        /*fault_seed=*/0, /*straggler_factor=*/0.0);
+    expectSameNumerics(env.runSingle(kEpochs), healed);
+    EXPECT_LT(healed.maxTransferSeconds,
+              forever.maxTransferSeconds);
+}
+
+TEST(MultiDeviceEquivalence, TransferFlakyIsAbsorbedDeterministically)
+{
+    // Probabilistic link flakiness through the retry policy: the
+    // failure pattern is a pure function of (seed, position), so the
+    // same seed replays bit-for-bit, and the retries are
+    // attribution-only — numerics match the fault-free reference for
+    // ANY seed.
+    Env env;
+    const std::string flaky = "transfer-flaky=0.3@epoch2";
+    const RunResult first =
+        env.runMulti(2, 1, false, 0, kEpochs, flaky, 77);
+    const RunResult replay =
+        env.runMulti(2, 1, false, 0, kEpochs, flaky, 77);
+    const RunResult other_seed =
+        env.runMulti(2, 1, false, 0, kEpochs, flaky, 78);
+
+    const RunResult reference = env.runSingle(kEpochs);
+    expectSameNumerics(reference, first);
+    expectSameNumerics(reference, other_seed);
+    EXPECT_EQ(first.maxTransferSeconds, replay.maxTransferSeconds);
+    EXPECT_EQ(first.transferBytes, replay.transferBytes);
 }
 
 TEST(MultiDeviceEquivalence, SamplerContractUntouchedByEngine)

@@ -15,9 +15,10 @@
  * through the resilient runtime is bit-identical to the plain
  * trainer with zero recovery actions.
  *
- * All runs are serial (pipelining off): transfer faults are consumed
- * in gatherFeatures, which a pool worker could otherwise reach ahead
- * of the fault clock.
+ * Transfer faults are keyed to each micro-batch's logical
+ * program-order position (see test_fault.cc), so these schedules are
+ * exact under any thread count or pipeline mode; the runs here stay
+ * serial only to keep the suite fast and the traces simple.
  */
 #include <cmath>
 #include <cstring>

@@ -346,6 +346,14 @@ printReport(const std::string& path, const JsonValue& doc)
         table.addRow({"corrupt rows repaired",
                       TablePrinter::count(
                           field("corrupt_rows_repaired"))});
+        table.addRow({"retry failures",
+                      TablePrinter::count(field("retry_failures"))});
+        table.addRow(
+            {"retry backoff ms",
+             TablePrinter::num(double(field("retry_backoff_us")) / 1e3,
+                               2)});
+        table.addRow({"retry exhausted",
+                      TablePrinter::count(field("retry_exhausted"))});
         table.print();
     }
     return 0;
@@ -479,7 +487,9 @@ checkReport(const JsonValue& doc)
             static const char* const counters[] = {
                 "replans",          "oom_retries",
                 "transfer_retries", "batches_skipped",
-                "corrupt_rows_repaired", "faults_injected"};
+                "corrupt_rows_repaired", "faults_injected",
+                "retry_failures",   "retry_backoff_us",
+                "retry_exhausted"};
             for (const char* key : counters) {
                 const JsonValue* value = recovery->find(key);
                 if (value && value->asInt() != 0)
@@ -488,6 +498,27 @@ checkReport(const JsonValue& doc)
                               " in a fault-free run");
             }
         }
+        // The retry policy charges its backoff as simulated link
+        // time, so the backoff can never exceed the run's total
+        // transfer seconds; retry_exhausted counts a subset of the
+        // retried transfers, so it is bounded by retry_failures.
+        auto retryField = [&](const char* key) -> long long {
+            const JsonValue* value = recovery->find(key);
+            return value && value->isNumber()
+                       ? (long long)value->asInt()
+                       : 0;
+        };
+        const double transfer_s =
+            summaryNumber(doc, "total_transfer_seconds", -1.0);
+        if (transfer_s >= 0.0 &&
+            double(retryField("retry_backoff_us")) / 1e6 >
+                transfer_s + 1e-9)
+            violation("recovery.retry_backoff_us exceeds the run's "
+                      "total transfer seconds");
+        if (retryField("retry_exhausted") >
+            retryField("retry_failures"))
+            violation("recovery.retry_exhausted exceeds "
+                      "recovery.retry_failures");
     }
 
     // The cache section is mandatory from schema v3 on, and the cache
