@@ -1,26 +1,40 @@
 /**
  * @file
- * google-benchmark microbenchmarks of Betty's building blocks:
- * REG construction, K-way partitioning, neighbor sampling,
- * micro-batch extraction, and the memory estimator. These are the
- * components whose overhead the paper's future-work section proposes
- * to optimize.
+ * Microbenchmarks of Betty's building blocks, run under the
+ * warmup+repeats discipline of obs/perf/bench_harness.h (the same
+ * BenchRunner behind tools/betty_bench) and reported as one
+ * schema-v1 BENCH_report.json.
  *
- * Also measures the observability subsystem itself: BM_*Disabled
- * pins down the cost instrumented hot paths pay when no collector is
- * active (the "one branch per span" guarantee — compare
- * BM_RegConstruction here against a pre-instrumentation build to see
- * the ≤1% end-to-end bound), and BM_*Enabled the cost when recording.
+ * Two scenario families:
  *
- * Accepts --trace-out=FILE / --metrics-out=FILE (or BETTY_TRACE_OUT /
- * BETTY_METRICS_OUT) to export a trace/metrics snapshot of the bench
- * run itself; see benchutil::ObsSession.
+ *  - Components: REG construction, K-way partitioning, neighbor
+ *    sampling, micro-batch extraction, and the memory estimator —
+ *    the pipeline stages whose overhead the paper's future-work
+ *    section proposes to optimize.
+ *  - Kernels (docs/KERNELS.md): the fused gather-aggregate, the
+ *    cache-blocked GEMM variants, and the bump-arena allocator, each
+ *    measured on BOTH dispatch backends. The run ends with an
+ *    aligned scalar-vs-avx2 sweep table; the speedup column is the
+ *    acceptance figure (>= 2x fused gather-aggregate, >= 1.5x GEMM).
+ *    On hardware or builds without AVX2+FMA the avx2 rows fall back
+ *    to scalar (kernels/dispatch.h) and the table says so.
+ *
+ *   bench_micro_kernels [--repeats=N] [--warmup=N] [--out=FILE]
+ *                       [--trace-out=FILE] [--metrics-out=FILE]
+ *                       [--json=FILE] [--threads=N]
  */
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "kernels/arena.h"
+#include "kernels/dispatch.h"
+#include "kernels/kernels.h"
+#include "obs/perf/bench_harness.h"
+#include "util/rng.h"
+#include "util/timer.h"
 
 namespace betty {
 namespace {
@@ -45,137 +59,358 @@ fullBatch()
     return batch;
 }
 
-void
-BM_RegConstruction(benchmark::State& state)
+/**
+ * Per-scenario wall-clock samples recorded by this binary itself (in
+ * addition to the runner's report) so the sweep table can print
+ * scalar-vs-avx2 means without re-parsing the JSON.
+ */
+std::map<std::string, std::vector<double>> g_samples;
+
+int32_t g_warmup = 1;
+
+/** Mean of a scenario's measured (post-warmup) repeats, seconds. */
+double
+meanSeconds(const std::string& name)
 {
-    const auto& batch = fullBatch();
-    for (auto _ : state) {
-        auto reg = buildReg(batch.blocks.back());
-        benchmark::DoNotOptimize(reg.numEdges());
+    const auto it = g_samples.find(name);
+    if (it == g_samples.end())
+        return 0.0;
+    const auto& all = it->second;
+    const size_t skip = std::min(all.size(), size_t(g_warmup));
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = skip; i < all.size(); ++i, ++n)
+        sum += all[i];
+    return n ? sum / double(n) : 0.0;
+}
+
+/** Wrap a workload so every repeat also lands in g_samples. */
+obs::BenchScenario
+timed(std::string name, std::string description,
+      std::function<void()> setup, std::function<void()> fn,
+      std::function<void()> teardown = nullptr)
+{
+    obs::BenchScenario scenario;
+    scenario.name = name;
+    scenario.description = std::move(description);
+    scenario.setup = std::move(setup);
+    scenario.run = [name, fn = std::move(fn)] {
+        Timer timer;
+        fn();
+        g_samples[name].push_back(timer.seconds());
+    };
+    scenario.teardown = std::move(teardown);
+    return scenario;
+}
+
+// ---------------------------------------------------------------
+// Component scenarios (the paper's pipeline stages).
+
+std::vector<obs::BenchScenario>
+componentScenarios()
+{
+    std::vector<obs::BenchScenario> scenarios;
+
+    scenarios.push_back(timed(
+        "reg_construction",
+        "REG build over the innermost block, arxiv_like",
+        [] { fullBatch(); },
+        [] {
+            auto reg = buildReg(fullBatch().blocks.back());
+            if (reg.numEdges() < 0)
+                fatal("impossible REG");
+        }));
+
+    scenarios.push_back(timed(
+        "kway_partition", "K-way REG partition at K=8",
+        [] { fullBatch(); },
+        [] {
+            const auto reg = buildReg(fullBatch().blocks.back());
+            KwayOptions opts;
+            opts.k = 8;
+            auto parts = kwayPartition(reg, opts);
+            if (parts.empty())
+                fatal("empty partition");
+        }));
+
+    scenarios.push_back(timed(
+        "betty_partition",
+        "full batch-level partitioning pipeline at K=8",
+        [] { fullBatch(); },
+        [] {
+            BettyPartitioner partitioner;
+            auto groups = partitioner.partition(fullBatch(), 8);
+            if (groups.empty())
+                fatal("empty groups");
+        }));
+
+    scenarios.push_back(timed(
+        "neighbor_sampling",
+        "multi-layer neighbour sampling, 800 seeds",
+        [] { dataset(); },
+        [] {
+            NeighborSampler sampler(dataset().graph, {5, 8}, 7);
+            std::vector<int64_t> seeds(
+                dataset().trainNodes.begin(),
+                dataset().trainNodes.begin() + 800);
+            auto batch = sampler.sample(seeds);
+            if (batch.totalEdges() == 0)
+                fatal("empty batch");
+        }));
+
+    scenarios.push_back(timed(
+        "micro_batch_extraction",
+        "micro-batch extraction from the K=8 partition",
+        [] { fullBatch(); },
+        [] {
+            BettyPartitioner partitioner;
+            const auto groups = partitioner.partition(fullBatch(), 8);
+            auto micros = extractMicroBatches(fullBatch(), groups);
+            if (micros.empty())
+                fatal("no micro-batches");
+        }));
+
+    scenarios.push_back(timed(
+        "memory_estimate",
+        "closed-form per-batch memory estimate (Table 3)",
+        [] { fullBatch(); },
+        [] {
+            GnnSpec spec;
+            spec.inputDim = dataset().featureDim();
+            spec.hiddenDim = 64;
+            spec.numClasses = dataset().numClasses;
+            spec.numLayers = 2;
+            spec.aggregator = AggregatorKind::Lstm;
+            spec.paramCountGnn = 100000;
+            spec.paramCountAgg = 30000;
+            auto est = estimateBatchMemory(fullBatch(), spec);
+            if (est.peak <= 0)
+                fatal("impossible estimate");
+        }));
+
+    return scenarios;
+}
+
+// ---------------------------------------------------------------
+// Kernel scenarios: each workload registered twice, once per
+// dispatch backend, over identical inputs.
+
+/** Synthetic CSR block sized like a first-layer REG micro-batch. */
+struct GatherWork
+{
+    int64_t rows = 40000;
+    int64_t cols = 64;
+    int64_t segments = 8192;
+    std::vector<float> x;
+    std::vector<int64_t> sources;
+    std::vector<int64_t> offsets;
+    std::vector<float> out;
+
+    void
+    build()
+    {
+        if (!x.empty())
+            return;
+        Rng rng(1234);
+        x.resize(size_t(rows * cols));
+        for (auto& v : x)
+            v = float(rng.uniformReal(-1.0, 1.0));
+        offsets.push_back(0);
+        for (int64_t s = 0; s < segments; ++s) {
+            const int64_t degree = 2 + int64_t(rng.uniformInt(13));
+            for (int64_t e = 0; e < degree; ++e)
+                sources.push_back(int64_t(rng.uniformInt(
+                    uint64_t(rows))));
+            offsets.push_back(int64_t(sources.size()));
+        }
+        out.assign(size_t(segments * cols), 0.0f);
+    }
+};
+
+GatherWork g_gather;
+
+struct GemmWork
+{
+    int64_t m = 256, k = 64, n = 64;
+    std::vector<float> a, b, c;
+
+    void
+    build()
+    {
+        if (!a.empty())
+            return;
+        Rng rng(99);
+        a.resize(size_t(m * k));
+        b.resize(size_t(k * n));
+        c.resize(size_t(m * n));
+        for (auto& v : a)
+            v = float(rng.uniformReal(0.1, 1.0)); // no zero-skip
+        for (auto& v : b)
+            v = float(rng.uniformReal(-1.0, 1.0));
+    }
+};
+
+GemmWork g_gemm;
+
+/** Register one kernel workload under both backends. */
+void
+pushKernelPair(std::vector<obs::BenchScenario>* scenarios,
+               const std::string& base,
+               const std::string& description,
+               std::function<void()> setup, std::function<void()> fn)
+{
+    for (const kernels::KernelMode mode :
+         {kernels::KernelMode::Scalar, kernels::KernelMode::Avx2}) {
+        const std::string name =
+            base + "_" + kernels::kernelModeName(mode);
+        scenarios->push_back(timed(
+            name, description + " [" + kernels::kernelModeName(mode) +
+                      " backend]",
+            [setup, mode] {
+                setup();
+                kernels::setKernelMode(mode);
+            },
+            fn, [] {
+                kernels::setKernelMode(kernels::KernelMode::Scalar);
+            }));
     }
 }
-BENCHMARK(BM_RegConstruction);
+
+std::vector<obs::BenchScenario>
+kernelScenarios()
+{
+    std::vector<obs::BenchScenario> scenarios;
+
+    pushKernelPair(
+        &scenarios, "gather_aggregate",
+        "fused gather + mean-aggregate, 8192 segments x 64 features",
+        [] { g_gather.build(); },
+        [] {
+            for (int iter = 0; iter < 10; ++iter)
+                kernels::gatherAggregate(
+                    g_gather.x.data(), g_gather.rows, g_gather.cols,
+                    g_gather.sources.data(), g_gather.offsets.data(),
+                    g_gather.segments, kernels::Reduce::Mean,
+                    g_gather.out.data());
+        });
+
+    pushKernelPair(
+        &scenarios, "gemm",
+        "cache-blocked GEMM, 256x64 @ 64x64 (the SAGE layer shape)",
+        [] { g_gemm.build(); },
+        [] {
+            for (int iter = 0; iter < 50; ++iter) {
+                std::memset(g_gemm.c.data(), 0,
+                            g_gemm.c.size() * sizeof(float));
+                kernels::gemm(g_gemm.a.data(), g_gemm.b.data(),
+                              g_gemm.c.data(), g_gemm.m, g_gemm.k,
+                              g_gemm.n);
+            }
+        });
+
+    pushKernelPair(
+        &scenarios, "gemm_transb",
+        "GEMM against a transposed weight (backward dX shape)",
+        [] { g_gemm.build(); },
+        [] {
+            // b reinterpreted as n x k: same buffer, transposed walk.
+            for (int iter = 0; iter < 50; ++iter) {
+                std::memset(g_gemm.c.data(), 0,
+                            g_gemm.c.size() * sizeof(float));
+                kernels::gemmTransB(g_gemm.a.data(), g_gemm.b.data(),
+                                    g_gemm.c.data(), g_gemm.m,
+                                    g_gemm.k, g_gemm.n);
+            }
+        });
+
+    // Allocation discipline: the arena's pointer-bump against the
+    // same request stream on the general-purpose heap.
+    const auto churn = [](auto alloc, auto finish) {
+        for (int batch = 0; batch < 200; ++batch) {
+            for (int i = 0; i < 100; ++i) {
+                const int64_t bytes = 256 << (i % 9); // 256 B..64 KiB
+                void* p = alloc(bytes);
+                // Touch one line so the page is really there.
+                *static_cast<char*>(p) = char(i);
+            }
+            finish();
+        }
+    };
+    scenarios.push_back(timed(
+        "alloc_churn_arena",
+        "micro-batch allocation churn through the bump arena",
+        nullptr, [churn] {
+            kernels::Arena arena;
+            churn([&](int64_t b) { return arena.allocate(b); },
+                  [&] { arena.reset(); });
+        }));
+    scenarios.push_back(timed(
+        "alloc_churn_heap",
+        "identical allocation churn through operator new/delete",
+        nullptr, [churn] {
+            std::vector<void*> live;
+            live.reserve(100);
+            churn(
+                [&](int64_t b) {
+                    void* p = ::operator new(size_t(b));
+                    live.push_back(p);
+                    return p;
+                },
+                [&] {
+                    for (void* p : live)
+                        ::operator delete(p);
+                    live.clear();
+                });
+        }));
+
+    return scenarios;
+}
 
 void
-BM_KwayPartition(benchmark::State& state)
+printSweepTable()
 {
-    const auto reg = buildReg(fullBatch().blocks.back());
-    KwayOptions opts;
-    opts.k = int32_t(state.range(0));
-    for (auto _ : state) {
-        auto parts = kwayPartition(reg, opts);
-        benchmark::DoNotOptimize(parts.data());
+    const bool avx2 = kernels::builtWithAvx2() &&
+                      kernels::cpuSupportsAvx2();
+    TablePrinter table(avx2
+                           ? "Kernel sweep: scalar vs avx2 (mean "
+                             "seconds per repeat)"
+                           : "Kernel sweep: AVX2+FMA UNAVAILABLE — "
+                             "avx2 rows fell back to scalar");
+    table.setHeader({"kernel", "scalar_s", "avx2_s", "speedup"});
+    for (const char* base :
+         {"gather_aggregate", "gemm", "gemm_transb"}) {
+        const double scalar_s =
+            meanSeconds(std::string(base) + "_scalar");
+        const double avx2_s = meanSeconds(std::string(base) + "_avx2");
+        table.addRow({base, TablePrinter::num(scalar_s, 6),
+                      TablePrinter::num(avx2_s, 6),
+                      avx2_s > 0.0
+                          ? TablePrinter::num(scalar_s / avx2_s, 2) +
+                                "x"
+                          : "-"});
     }
+    const double arena_s = meanSeconds("alloc_churn_arena");
+    const double heap_s = meanSeconds("alloc_churn_heap");
+    table.addRow({"alloc_churn (arena vs heap)",
+                  TablePrinter::num(heap_s, 6),
+                  TablePrinter::num(arena_s, 6),
+                  arena_s > 0.0
+                      ? TablePrinter::num(heap_s / arena_s, 2) + "x"
+                      : "-"});
+    table.print();
 }
-BENCHMARK(BM_KwayPartition)->Arg(2)->Arg(8)->Arg(32);
 
-void
-BM_BettyPartition(benchmark::State& state)
+int
+usage()
 {
-    BettyPartitioner part;
-    const auto& batch = fullBatch();
-    for (auto _ : state) {
-        auto groups = part.partition(batch, int32_t(state.range(0)));
-        benchmark::DoNotOptimize(groups.size());
-    }
+    std::fprintf(
+        stderr,
+        "usage: bench_micro_kernels [--repeats=N] [--warmup=N]\n"
+        "                           [--out=FILE] [--threads=N]\n"
+        "                           [--trace-out=FILE] "
+        "[--metrics-out=FILE] [--json=FILE]\n");
+    return 2;
 }
-BENCHMARK(BM_BettyPartition)->Arg(8);
-
-void
-BM_NeighborSampling(benchmark::State& state)
-{
-    NeighborSampler sampler(dataset().graph, {5, 8}, 7);
-    std::vector<int64_t> seeds(dataset().trainNodes.begin(),
-                               dataset().trainNodes.begin() + 800);
-    for (auto _ : state) {
-        auto batch = sampler.sample(seeds);
-        benchmark::DoNotOptimize(batch.totalEdges());
-    }
-}
-BENCHMARK(BM_NeighborSampling);
-
-void
-BM_MicroBatchExtraction(benchmark::State& state)
-{
-    BettyPartitioner part;
-    const auto& batch = fullBatch();
-    const auto groups = part.partition(batch, 8);
-    for (auto _ : state) {
-        auto micros = extractMicroBatches(batch, groups);
-        benchmark::DoNotOptimize(micros.size());
-    }
-}
-BENCHMARK(BM_MicroBatchExtraction);
-
-void
-BM_TraceSpanDisabled(benchmark::State& state)
-{
-    obs::Trace::setEnabled(false);
-    for (auto _ : state) {
-        BETTY_TRACE_SPAN("bench/disabled");
-        benchmark::ClobberMemory();
-    }
-}
-BENCHMARK(BM_TraceSpanDisabled);
-
-void
-BM_TraceSpanEnabled(benchmark::State& state)
-{
-    obs::Trace::setEnabled(true);
-    for (auto _ : state) {
-        BETTY_TRACE_SPAN("bench/enabled");
-        benchmark::ClobberMemory();
-    }
-    obs::Trace::setEnabled(false);
-    obs::Trace::clear();
-}
-BENCHMARK(BM_TraceSpanEnabled);
-
-void
-BM_CounterDisabled(benchmark::State& state)
-{
-    obs::Metrics::setEnabled(false);
-    obs::Counter& counter =
-        obs::Metrics::counter("bench.disabled_counter");
-    for (auto _ : state) {
-        counter.add(1);
-        benchmark::ClobberMemory();
-    }
-}
-BENCHMARK(BM_CounterDisabled);
-
-void
-BM_CounterEnabled(benchmark::State& state)
-{
-    obs::Metrics::setEnabled(true);
-    obs::Counter& counter =
-        obs::Metrics::counter("bench.enabled_counter");
-    for (auto _ : state) {
-        counter.add(1);
-        benchmark::ClobberMemory();
-    }
-    obs::Metrics::setEnabled(false);
-    counter.reset();
-}
-BENCHMARK(BM_CounterEnabled);
-
-void
-BM_MemoryEstimate(benchmark::State& state)
-{
-    GnnSpec spec;
-    spec.inputDim = dataset().featureDim();
-    spec.hiddenDim = 64;
-    spec.numClasses = dataset().numClasses;
-    spec.numLayers = 2;
-    spec.aggregator = AggregatorKind::Lstm;
-    spec.paramCountGnn = 100000;
-    spec.paramCountAgg = 30000;
-    for (auto _ : state) {
-        auto est = estimateBatchMemory(fullBatch(), spec);
-        benchmark::DoNotOptimize(est.peak);
-    }
-}
-BENCHMARK(BM_MemoryEstimate);
 
 } // namespace
 } // namespace betty
@@ -183,14 +418,57 @@ BENCHMARK(BM_MemoryEstimate);
 int
 main(int argc, char** argv)
 {
-    // Strips --trace-out/--metrics-out before google-benchmark sees
-    // them; writes the exports when main returns.
-    betty::benchutil::ObsSession obs_session("bench_micro_kernels",
-                                             &argc, argv);
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
+    using namespace betty;
+    benchutil::ObsSession obs_session("bench_micro_kernels", &argc,
+                                      argv);
+    obs::BenchConfig config;
+    config.repeats = 5;
+    config.warmup = 1;
+    std::string out_path = "BENCH_micro_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        int64_t parsed = 0;
+        if (std::strncmp(arg, "--repeats=", 10) == 0) {
+            if (!envcfg::parseInt(arg + 10, &parsed) || parsed < 1)
+                fatal("malformed --repeats='", arg + 10, "'");
+            config.repeats = int32_t(parsed);
+        } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+            if (!envcfg::parseInt(arg + 9, &parsed) || parsed < 0)
+                fatal("malformed --warmup='", arg + 9, "'");
+            config.warmup = int32_t(parsed);
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
+            out_path = arg + 6;
+        } else {
+            return usage();
+        }
+    }
+    g_warmup = config.warmup;
+
+    obs::BenchRunner runner(config);
+    runner.setConfigNote("bench_scale",
+                         std::to_string(envcfg::benchScale()));
+    runner.setConfigNote(
+        "avx2_available",
+        kernels::builtWithAvx2() && kernels::cpuSupportsAvx2() ? "1"
+                                                               : "0");
+
+    for (const auto& scenario : componentScenarios()) {
+        std::printf("bench_micro_kernels: %s\n",
+                    scenario.name.c_str());
+        std::fflush(stdout);
+        runner.run(scenario);
+    }
+    for (const auto& scenario : kernelScenarios()) {
+        std::printf("bench_micro_kernels: %s\n",
+                    scenario.name.c_str());
+        std::fflush(stdout);
+        runner.run(scenario);
+    }
+
+    if (!runner.writeJson(out_path))
+        fatal("cannot write '", out_path, "'");
+    std::printf("bench_micro_kernels: wrote %s (%lld scenarios)\n\n",
+                out_path.c_str(), (long long)runner.scenarioCount());
+    printSweepTable();
     return 0;
 }

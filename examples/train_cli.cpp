@@ -10,7 +10,8 @@
  *               [--lr F] [--budget-mib N] [--devices N]
  *               [--interconnect nvlink|pcie]
  *               [--partitioner betty|metis|random|range] [--warm]
- *               [--threads N] [--no-pipeline]
+ *               [--threads N] [--kernels scalar|avx2|auto]
+ *               [--no-pipeline]
  *               [--cache-gib F] [--cache-policy lru|lru-pinned]
  *               [--data-cache FILE] [--trace-out=FILE]
  *               [--critpath-out=FILE] [--trace-ring N]
@@ -59,6 +60,15 @@
  * BETTY_THREADS) is fully serial. --no-pipeline disables the
  * transfer-compute overlap without changing the pool size.
  *
+ * --kernels scalar|avx2|auto (or BETTY_KERNELS) picks the compute
+ * backend for the aggregation/GEMM hot paths (docs/KERNELS.md):
+ * "scalar" is the bit-exact reference and the default, "avx2" the
+ * vectorized path (falls back to scalar with one warning if the CPU
+ * or build lacks AVX2+FMA), "auto" vectorizes when available.
+ * Sum/max aggregation and all elementwise updates are bit-identical
+ * across backends; GEMM and mean aggregation agree within the
+ * documented ULP bounds.
+ *
  * Every epoch resamples the full batch, (re)partitions it under the
  * memory budget, trains with gradient accumulation and prints loss /
  * accuracy / memory / time. With --devices > 1 (or BETTY_DEVICES) the
@@ -99,6 +109,7 @@
 #include "core/betty.h"
 #include "data/catalog.h"
 #include "data/io.h"
+#include "kernels/dispatch.h"
 #include "memory/transfer_model.h"
 #include "obs/critpath/critical_path.h"
 #include "obs/critpath/critpath_report.h"
@@ -145,6 +156,9 @@ struct Args
     bool warm = false;
     /** Global ThreadPool lanes (0 = leave default/BETTY_THREADS). */
     int32_t threads = 0;
+    /** Compute-kernel backend (flag > BETTY_KERNELS > "scalar";
+     * vocabulary in kernels/dispatch.h, docs/KERNELS.md). */
+    std::string kernels;
     /** Disable transfer-compute pipelining in the trainer. */
     bool no_pipeline = false;
     /** Feature-cache reservation in GiB (0 = no cache). The cache
@@ -275,6 +289,8 @@ parseArgs(int argc, char** argv)
             args.warm = true;
         } else if (flag == "--threads") {
             args.threads = int32_t(intFlag(flag, next()));
+        } else if (flag == "--kernels") {
+            args.kernels = next();
         } else if (flag == "--no-pipeline") {
             args.no_pipeline = true;
         } else if (flag == "--cache-gib") {
@@ -360,6 +376,19 @@ main(int argc, char** argv)
             args.flight_recorder_out);
     if (args.threads > 0)
         ThreadPool::setGlobalThreads(args.threads);
+    // Kernel backend: flag > BETTY_KERNELS > scalar, strict
+    // vocabulary (kernels/dispatch.h). "scalar" is the bit-exact
+    // reference; "avx2"/"auto" vectorize the aggregation/GEMM hot
+    // paths (docs/KERNELS.md).
+    {
+        const std::string kernels_text = envcfg::resolveString(
+            args.kernels, "BETTY_KERNELS", "scalar");
+        kernels::KernelMode mode;
+        if (!kernels::parseKernelMode(kernels_text, &mode))
+            fatal("malformed --kernels='", kernels_text,
+                  "': expected scalar, avx2, or auto");
+        kernels::setKernelMode(mode);
+    }
     // Ring capacity must be set before the first event is recorded;
     // flag > BETTY_TRACE_RING > default, strict parse.
     const int64_t trace_ring =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/arena.h"
 #include "obs/memprof.h"
 
 namespace betty {
@@ -25,6 +26,10 @@ Adam::Adam(std::vector<ag::NodePtr> params, float lr, float beta1,
       beta2_(beta2), eps_(eps)
 {
     obs::MemCategoryScope mem_scope(obs::MemCategory::OptimizerState);
+    // Moment tensors live for the whole run — never in a micro-batch
+    // arena, even when an optimizer is (re)built mid-training by the
+    // recovery paths.
+    kernels::ArenaSuspend off_arena;
     m_.reserve(params_.size());
     v_.reserve(params_.size());
     for (const auto& p : params_) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "kernels/arena.h"
+#include "kernels/kernels.h"
 #include "obs/memprof.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -18,7 +20,15 @@ Node::ensureGrad()
         // Every gradient buffer — parameter gradients and the
         // backward buffers of intermediates alike — is item (7).
         obs::MemCategoryScope mem_scope(obs::MemCategory::Gradients);
-        grad = Tensor::zeros(value.rows(), value.cols());
+        if (requiresGrad) {
+            // Parameter gradients accumulate across micro-batches and
+            // feed the optimizer step — they must not live in the
+            // per-micro-batch arena.
+            kernels::ArenaSuspend off_arena;
+            grad = Tensor::zeros(value.rows(), value.cols());
+        } else {
+            grad = Tensor::zeros(value.rows(), value.cols());
+        }
     }
     return grad;
 }
@@ -356,25 +366,19 @@ gatherRows(const NodePtr& x, std::vector<int64_t> indices)
 {
     const int64_t c = x->value.cols();
     Tensor out(int64_t(indices.size()), c);
-    for (size_t i = 0; i < indices.size(); ++i) {
-        const int64_t src = indices[i];
-        BETTY_ASSERT(src >= 0 && src < x->value.rows(),
-                     "gatherRows index ", src, " out of range");
-        std::copy_n(x->value.data() + src * c, c,
-                    out.data() + int64_t(i) * c);
-    }
+    if (!out.empty())
+        kernels::gatherRows(x->value.data(), x->value.rows(), c,
+                            indices.data(), int64_t(indices.size()),
+                            out.data());
     return makeOp(std::move(out), {x},
                   [idx = std::move(indices), c](Node& node) {
-        if (!node.inputs[0]->needsGrad())
+        if (!node.inputs[0]->needsGrad() || node.grad.empty())
             return;
-        float* pxg = node.inputs[0]->ensureGrad().data();
-        const float* pg = node.grad.data();
-        for (size_t i = 0; i < idx.size(); ++i) {
-            const float* grow = pg + int64_t(i) * c;
-            float* xrow = pxg + idx[i] * c;
-            for (int64_t j = 0; j < c; ++j)
-                xrow[j] += grow[j];
-        }
+        Tensor& xg = node.inputs[0]->ensureGrad();
+        if (xg.empty())
+            return;
+        kernels::scatterAddRows(node.grad.data(), c, idx.data(),
+                                int64_t(idx.size()), xg.data());
     });
 }
 
@@ -400,20 +404,22 @@ segmentSum(const NodePtr& x, std::vector<int64_t> offsets)
     const int64_t segments = int64_t(offsets.size()) - 1;
     const int64_t c = x->value.cols();
     Tensor out = Tensor::zeros(segments, c);
-    for (int64_t s = 0; s < segments; ++s)
-        for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r)
-            for (int64_t j = 0; j < c; ++j)
-                out.at(s, j) += x->value.at(r, j);
+    if (!out.empty() && !x->value.empty())
+        // Null sources = the contiguous-segment identity: row r of x
+        // is edge r.
+        kernels::gatherAggregate(x->value.data(), x->value.rows(), c,
+                                 nullptr, offsets.data(), segments,
+                                 kernels::Reduce::Sum, out.data());
     return makeOp(std::move(out), {x},
                   [off = std::move(offsets), c](Node& node) {
-        if (!node.inputs[0]->needsGrad())
+        if (!node.inputs[0]->needsGrad() || node.grad.empty())
             return;
         Tensor& xg = node.inputs[0]->ensureGrad();
-        const int64_t segments = int64_t(off.size()) - 1;
-        for (int64_t s = 0; s < segments; ++s)
-            for (int64_t r = off[s]; r < off[s + 1]; ++r)
-                for (int64_t j = 0; j < c; ++j)
-                    xg.at(r, j) += node.grad.at(s, j);
+        if (xg.empty())
+            return;
+        kernels::gatherAggregateBackward(
+            node.grad.data(), c, nullptr, off.data(),
+            int64_t(off.size()) - 1, /*mean=*/false, xg.data());
     });
 }
 
@@ -424,30 +430,20 @@ segmentMean(const NodePtr& x, std::vector<int64_t> offsets)
     const int64_t segments = int64_t(offsets.size()) - 1;
     const int64_t c = x->value.cols();
     Tensor out = Tensor::zeros(segments, c);
-    for (int64_t s = 0; s < segments; ++s) {
-        const int64_t n = offsets[s + 1] - offsets[s];
-        if (n == 0)
-            continue;
-        const float inv = 1.0f / float(n);
-        for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r)
-            for (int64_t j = 0; j < c; ++j)
-                out.at(s, j) += inv * x->value.at(r, j);
-    }
+    if (!out.empty() && !x->value.empty())
+        kernels::gatherAggregate(x->value.data(), x->value.rows(), c,
+                                 nullptr, offsets.data(), segments,
+                                 kernels::Reduce::Mean, out.data());
     return makeOp(std::move(out), {x},
                   [off = std::move(offsets), c](Node& node) {
-        if (!node.inputs[0]->needsGrad())
+        if (!node.inputs[0]->needsGrad() || node.grad.empty())
             return;
         Tensor& xg = node.inputs[0]->ensureGrad();
-        const int64_t segments = int64_t(off.size()) - 1;
-        for (int64_t s = 0; s < segments; ++s) {
-            const int64_t n = off[s + 1] - off[s];
-            if (n == 0)
-                continue;
-            const float inv = 1.0f / float(n);
-            for (int64_t r = off[s]; r < off[s + 1]; ++r)
-                for (int64_t j = 0; j < c; ++j)
-                    xg.at(r, j) += inv * node.grad.at(s, j);
-        }
+        if (xg.empty())
+            return;
+        kernels::gatherAggregateBackward(
+            node.grad.data(), c, nullptr, off.data(),
+            int64_t(off.size()) - 1, /*mean=*/true, xg.data());
     });
 }
 
@@ -461,41 +457,23 @@ gatherSegmentReduce(const NodePtr& x, std::vector<int64_t> sources,
                  offsets.back() == int64_t(sources.size()),
                  "offsets must span the source list");
     Tensor out = Tensor::zeros(segments, c);
-    for (int64_t s = 0; s < segments; ++s) {
-        const int64_t deg = offsets[s + 1] - offsets[s];
-        if (deg == 0)
-            continue;
-        const float scale = mean ? 1.0f / float(deg) : 1.0f;
-        float* orow = out.data() + s * c;
-        for (int64_t e = offsets[s]; e < offsets[s + 1]; ++e) {
-            const int64_t src = sources[size_t(e)];
-            BETTY_ASSERT(src >= 0 && src < x->value.rows(),
-                         "source index out of range");
-            const float* xrow = x->value.data() + src * c;
-            for (int64_t j = 0; j < c; ++j)
-                orow[j] += scale * xrow[j];
-        }
-    }
+    if (!out.empty() && !x->value.empty())
+        kernels::gatherAggregate(
+            x->value.data(), x->value.rows(), c, sources.data(),
+            offsets.data(), segments,
+            mean ? kernels::Reduce::Mean : kernels::Reduce::Sum,
+            out.data());
     return makeOp(std::move(out), {x},
                   [src_list = std::move(sources),
                    off = std::move(offsets), c, mean](Node& node) {
-        if (!node.inputs[0]->needsGrad())
+        if (!node.inputs[0]->needsGrad() || node.grad.empty())
             return;
         Tensor& xg = node.inputs[0]->ensureGrad();
-        const int64_t segments = int64_t(off.size()) - 1;
-        for (int64_t s = 0; s < segments; ++s) {
-            const int64_t deg = off[s + 1] - off[s];
-            if (deg == 0)
-                continue;
-            const float scale = mean ? 1.0f / float(deg) : 1.0f;
-            const float* grow = node.grad.data() + s * c;
-            for (int64_t e = off[s]; e < off[s + 1]; ++e) {
-                float* xrow =
-                    xg.data() + src_list[size_t(e)] * c;
-                for (int64_t j = 0; j < c; ++j)
-                    xrow[j] += scale * grow[j];
-            }
-        }
+        if (xg.empty())
+            return;
+        kernels::gatherAggregateBackward(
+            node.grad.data(), c, src_list.data(), off.data(),
+            int64_t(off.size()) - 1, mean, xg.data());
     });
 }
 
@@ -509,23 +487,11 @@ segmentMax(const NodePtr& x, std::vector<int64_t> offsets)
     // argmax[s*c + j] records which input row won, for the backward pass.
     auto argmax = std::make_shared<std::vector<int64_t>>(
         size_t(segments * c), int64_t(-1));
-    for (int64_t s = 0; s < segments; ++s) {
-        for (int64_t j = 0; j < c; ++j) {
-            float best = 0.0f;
-            int64_t best_row = -1;
-            for (int64_t r = offsets[s]; r < offsets[s + 1]; ++r) {
-                const float v = x->value.at(r, j);
-                if (best_row < 0 || v > best) {
-                    best = v;
-                    best_row = r;
-                }
-            }
-            if (best_row >= 0) {
-                out.at(s, j) = best;
-                (*argmax)[size_t(s * c + j)] = best_row;
-            }
-        }
-    }
+    if (!out.empty() && !x->value.empty())
+        kernels::gatherAggregate(x->value.data(), x->value.rows(), c,
+                                 nullptr, offsets.data(), segments,
+                                 kernels::Reduce::Max, out.data(),
+                                 argmax->data());
     return makeOp(std::move(out), {x}, [argmax, c](Node& node) {
         if (!node.inputs[0]->needsGrad())
             return;

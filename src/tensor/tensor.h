@@ -67,6 +67,14 @@ AllocationObserver* setAllocationObserver(AllocationObserver* observer);
 AllocationObserver* allocationObserver();
 
 /**
+ * Lifetime count of tensor storages allocated from the system heap —
+ * allocations under an active kernels::ArenaScope do not count. A
+ * steady-state micro-batch should not move this counter (the O(1)
+ * allocation regression tests in tests/test_arena.cc pin that down).
+ */
+int64_t tensorHeapAllocCount();
+
+/**
  * A reference-counted dense row-major matrix of float32.
  *
  * Copies are shallow (shared storage); use clone() for a deep copy.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "kernels/arena.h"
 #include "memory/estimator.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
@@ -629,6 +630,10 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
         state.memory.onAlloc(label_bytes, obs::MemCategory::Labels);
         const double link_before = state.link.seconds();
         {
+            // The shared numeric trainer's arena backs this micro-
+            // batch's graph temporaries (same lifecycle as the
+            // single-device path; reset below once the graph is gone).
+            kernels::ArenaScope arena_scope(numerics_.arena_);
             Timer timer;
             int64_t feature_bytes = int64_t(staged.values.size()) *
                                     int64_t(sizeof(float));
@@ -669,6 +674,7 @@ MultiDeviceEngine::run(const std::vector<MultiLayerBatch>& micros,
             // fwd's graph (all intermediate activations) is released
             // here, inside the device scope that charged it.
         }
+        numerics_.arena_.reset();
         ++stats.batchesPerDevice[size_t(device)];
         // Straggler supervisor: fold this micro-batch's simulated
         // link seconds (transfer + failed attempts + backoff) into

@@ -3,6 +3,7 @@
 #include <future>
 
 #include "cache/feature_cache.h"
+#include "kernels/kernels.h"
 #include "memory/estimator.h"
 #include "obs/memprof.h"
 #include "obs/metrics.h"
@@ -79,15 +80,11 @@ Trainer::gatherFeatures(const MultiLayerBatch& batch,
     StagedFeatures staged;
     staged.rows = int64_t(inputs.size());
     staged.values.resize(inputs.size() * size_t(dim));
-    {
+    if (!staged.values.empty()) {
         BETTY_TRACE_SPAN_CAT("train/gather", "gather");
-        for (size_t i = 0; i < inputs.size(); ++i) {
-            const int64_t node = inputs[i];
-            BETTY_ASSERT(node >= 0 && node < dataset_.numNodes(),
-                         "input node out of range");
-            std::copy_n(dataset_.features.data() + node * dim, dim,
-                        staged.values.data() + int64_t(i) * dim);
-        }
+        kernels::gatherRows(dataset_.features.data(),
+                            dataset_.numNodes(), dim, inputs.data(),
+                            staged.rows, staged.values.data());
     }
     // Feature-cache consult: rows already resident on the device do
     // not cross the link again. The gather above still read EVERY row
@@ -277,6 +274,12 @@ Trainer::trainMicroBatches(
             device_->onAlloc(label_bytes, obs::MemCategory::Labels);
         }
         {
+            // All forward/backward temporaries of this micro-batch
+            // bump-allocate from the trainer's arena; the scope closes
+            // when the graph (fwd) is released, so the reset() below
+            // reclaims them wholesale. The prefetch worker spawned
+            // inside is unaffected — the scope is thread-local.
+            kernels::ArenaScope arena_scope(arena_);
             Timer timer;
             ForwardResult fwd;
             if (pipelined) {
@@ -318,6 +321,7 @@ Trainer::trainMicroBatches(
             // here — only parameter gradients persist, matching the
             // paper's "only the gradients are stored" (§4.2.3).
         }
+        arena_.reset();
         if (device_) {
             device_->onFree(structure_bytes,
                             obs::MemCategory::Blocks);
@@ -419,6 +423,10 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
         }
         {
             BETTY_TRACE_SPAN("train/micro_batch");
+            // step() runs inside the scope, but optimizer state and
+            // parameter gradients are arena-suspended at allocation —
+            // only the graph temporaries land in the arena.
+            kernels::ArenaScope arena_scope(arena_);
             Timer timer;
             optimizer_.zeroGrad();
             // Mini-batch mode has no micro-batch fault clock; -1 =
@@ -440,6 +448,7 @@ Trainer::trainMiniBatches(const std::vector<MultiLayerBatch>& batches)
                         double(outputs);
             correct += fwd.correct;
         }
+        arena_.reset();
         if (device_) {
             device_->onFree(structure_bytes,
                             obs::MemCategory::Blocks);
@@ -467,13 +476,19 @@ double
 Trainer::evaluate(const MultiLayerBatch& batch)
 {
     BETTY_TRACE_SPAN_CAT("train/evaluate", "compute");
-    const auto features = loadFeatures(batch, -1);
-    const auto logits = model_.forward(batch, features);
-    const auto labels = loadLabels(batch);
-    if (labels.empty())
-        return 0.0;
-    return double(ag::countCorrect(logits->value, labels)) /
-           double(labels.size());
+    double accuracy = 0.0;
+    {
+        kernels::ArenaScope arena_scope(arena_);
+        const auto features = loadFeatures(batch, -1);
+        const auto logits = model_.forward(batch, features);
+        const auto labels = loadLabels(batch);
+        if (!labels.empty())
+            accuracy =
+                double(ag::countCorrect(logits->value, labels)) /
+                double(labels.size());
+    }
+    arena_.reset();
+    return accuracy;
 }
 
 } // namespace betty

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "kernels/arena.h"
 #include "memory/device_memory.h"
 #include "memory/transfer_model.h"
 #include "nn/models.h"
@@ -256,6 +257,16 @@ class Trainer
     MicroBatchArbiter* arbiter_ = nullptr;
     FeatureCache* cache_ = nullptr;
     bool pipeline_ = true;
+
+    /**
+     * Per-micro-batch scratch arena (kernels/arena.h): every forward/
+     * backward temporary of one micro-batch bump-allocates here and is
+     * reclaimed wholesale by reset() once the graph is released, so a
+     * steady-state micro-batch performs O(1) heap allocations.
+     * Parameter gradients and optimizer state are explicitly arena-
+     * suspended and stay on the heap.
+     */
+    kernels::Arena arena_;
 };
 
 } // namespace betty

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Differential kernel-equivalence tier (`ctest -L kernels`,
+ * docs/KERNELS.md): the AVX2 backend must agree with the scalar
+ * reference — bit-for-bit where the ULP policy promises it
+ * (elementwise, gatherRows, Sum aggregation, Max aggregation
+ * including argmax and NaN ordering), and within a BLAS-style
+ * forward error bound everywhere FMA or lane-split accumulation
+ * reassociates rounding (gemm*, Mean aggregation). Shapes are
+ * randomized across remainder lanes, empty rows, and single-row
+ * blocks; the end-to-end tests check gradient and loss parity of a
+ * real model between kernel modes.
+ *
+ * Every test skips (vacuously passes) on hardware or toolchains
+ * without AVX2+FMA — the dispatch tier covers that fallback.
+ */
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/betty.h"
+#include "core/micro_batch.h"
+#include "data/catalog.h"
+#include "kernels/dispatch.h"
+#include "kernels/kernels.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/autograd.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace betty {
+namespace {
+
+bool
+avx2Available()
+{
+    return kernels::builtWithAvx2() && kernels::cpuSupportsAvx2();
+}
+
+/** Run @p fn under each backend; returns {scalar, avx2} outputs. */
+template <typename Fn>
+std::pair<std::vector<float>, std::vector<float>>
+runBothBackends(size_t out_elems, Fn&& fn)
+{
+    std::vector<float> scalar_out(out_elems, 0.0f);
+    std::vector<float> avx2_out(out_elems, 0.0f);
+    kernels::setKernelMode(kernels::KernelMode::Scalar);
+    fn(scalar_out.data());
+    kernels::setKernelMode(kernels::KernelMode::Avx2);
+    fn(avx2_out.data());
+    kernels::setKernelMode(kernels::KernelMode::Scalar);
+    return {std::move(scalar_out), std::move(avx2_out)};
+}
+
+/** Bitwise equality that treats every NaN as equal to every NaN. */
+void
+expectBitExact(const std::vector<float>& ref,
+               const std::vector<float>& got)
+{
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (std::isnan(ref[i]) && std::isnan(got[i]))
+            continue;
+        uint32_t rb, gb;
+        std::memcpy(&rb, &ref[i], 4);
+        std::memcpy(&gb, &got[i], 4);
+        ASSERT_EQ(rb, gb) << "elem " << i << ": " << ref[i] << " vs "
+                          << got[i];
+    }
+}
+
+/**
+ * The docs/KERNELS.md forward error bound:
+ * |got - ref| <= C * depth * eps * scale, with C = 8, depth the
+ * reduction length, and scale the magnitude of the inputs feeding
+ * one output element. NaN matches NaN; +-0 are equal; infinities
+ * must match exactly.
+ */
+void
+expectWithinBound(const std::vector<float>& ref,
+                  const std::vector<float>& got, int64_t depth,
+                  float scale)
+{
+    ASSERT_EQ(ref.size(), got.size());
+    const float tol = 8.0f * float(depth) * 1.1920929e-7f * scale;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (std::isnan(ref[i])) {
+            ASSERT_TRUE(std::isnan(got[i])) << "elem " << i;
+            continue;
+        }
+        if (std::isinf(ref[i])) {
+            ASSERT_EQ(ref[i], got[i]) << "elem " << i;
+            continue;
+        }
+        ASSERT_NEAR(ref[i], got[i], tol)
+            << "elem " << i << " (depth " << depth << ")";
+    }
+}
+
+std::vector<float>
+randomValues(Rng& rng, int64_t n, float lo = -2.0f, float hi = 2.0f)
+{
+    std::vector<float> values(static_cast<size_t>(n));
+    for (auto& v : values)
+        v = float(rng.uniformReal(lo, hi));
+    return values;
+}
+
+/** Random CSR block: returns {sources, offsets} over @p rows input
+ * rows, deliberately including empty and single-edge segments. */
+std::pair<std::vector<int64_t>, std::vector<int64_t>>
+randomCsr(Rng& rng, int64_t segments, int64_t rows)
+{
+    std::vector<int64_t> sources;
+    std::vector<int64_t> offsets{0};
+    for (int64_t s = 0; s < segments; ++s) {
+        // ~1/4 empty, ~1/4 single-edge, rest up to 9 edges.
+        const int64_t pick = rng.uniformInt(4);
+        const int64_t deg = pick == 0   ? 0
+                            : pick == 1 ? 1
+                                        : rng.uniformInt(8) + 2;
+        for (int64_t e = 0; e < deg; ++e)
+            sources.push_back(rng.uniformInt(rows));
+        offsets.push_back(int64_t(sources.size()));
+    }
+    return {std::move(sources), std::move(offsets)};
+}
+
+class KernelEquivalence : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!avx2Available())
+            GTEST_SKIP() << "AVX2+FMA unavailable; covered by the "
+                            "dispatch fallback tier";
+    }
+
+    void TearDown() override
+    {
+        kernels::setKernelMode(kernels::KernelMode::Scalar);
+    }
+};
+
+TEST_F(KernelEquivalence, GemmRandomShapesWithinBound)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 30; ++trial) {
+        // Shapes straddle the 32-column tile, the 8-lane block, and
+        // the scalar tail (n in [1, 40]).
+        const int64_t m = rng.uniformInt(17) + 1;
+        const int64_t k = rng.uniformInt(33) + 1;
+        const int64_t n = rng.uniformInt(40) + 1;
+        auto a = randomValues(rng, m * k);
+        auto b = randomValues(rng, k * n);
+        // Plant zeros so the sparsity skip takes both arms.
+        for (size_t i = 0; i < a.size(); i += 3)
+            a[i] = 0.0f;
+        auto [ref, got] = runBothBackends(
+            size_t(m * n), [&](float* out) {
+                kernels::gemm(a.data(), b.data(), out, m, k, n);
+            });
+        expectWithinBound(ref, got, k, 4.0f * float(k));
+    }
+}
+
+TEST_F(KernelEquivalence, GemmTransAWithinBound)
+{
+    Rng rng(102);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int64_t m = rng.uniformInt(17) + 1;
+        const int64_t k = rng.uniformInt(33) + 1;
+        const int64_t n = rng.uniformInt(40) + 1;
+        auto a = randomValues(rng, k * m);
+        auto b = randomValues(rng, k * n);
+        auto [ref, got] = runBothBackends(
+            size_t(m * n), [&](float* out) {
+                kernels::gemmTransA(a.data(), b.data(), out, m, k, n);
+            });
+        expectWithinBound(ref, got, k, 4.0f * float(k));
+    }
+}
+
+TEST_F(KernelEquivalence, GemmTransBWithinBound)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int64_t m = rng.uniformInt(17) + 1;
+        const int64_t k = rng.uniformInt(40) + 1;
+        const int64_t n = rng.uniformInt(17) + 1;
+        auto a = randomValues(rng, m * k);
+        auto b = randomValues(rng, n * k);
+        auto [ref, got] = runBothBackends(
+            size_t(m * n), [&](float* out) {
+                kernels::gemmTransB(a.data(), b.data(), out, m, k, n);
+            });
+        expectWithinBound(ref, got, k, 4.0f * float(k));
+    }
+}
+
+TEST_F(KernelEquivalence, GemmAccumulatesIntoExistingOutput)
+{
+    Rng rng(104);
+    const int64_t m = 5, k = 7, n = 19;
+    auto a = randomValues(rng, m * k);
+    auto b = randomValues(rng, k * n);
+    auto seed_c = randomValues(rng, m * n);
+    auto [ref, got] =
+        runBothBackends(size_t(m * n), [&](float* out) {
+            std::copy(seed_c.begin(), seed_c.end(), out);
+            kernels::gemm(a.data(), b.data(), out, m, k, n);
+        });
+    expectWithinBound(ref, got, k, 4.0f * float(k));
+}
+
+TEST_F(KernelEquivalence, GatherAggregateSumBitExact)
+{
+    Rng rng(105);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int64_t rows = rng.uniformInt(40) + 1;
+        const int64_t cols = rng.uniformInt(70) + 1;
+        const int64_t segments = rng.uniformInt(12) + 1;
+        auto x = randomValues(rng, rows * cols);
+        auto [sources, offsets] = randomCsr(rng, segments, rows);
+        auto [ref, got] = runBothBackends(
+            size_t(segments * cols), [&](float* out) {
+                kernels::gatherAggregate(
+                    x.data(), rows, cols, sources.data(),
+                    offsets.data(), segments, kernels::Reduce::Sum,
+                    out);
+            });
+        // Sum multiplies by exactly 1.0, which FMA cannot re-round:
+        // the vector path is bit-identical, not merely close.
+        expectBitExact(ref, got);
+    }
+}
+
+TEST_F(KernelEquivalence, GatherAggregateMeanWithinBound)
+{
+    Rng rng(106);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int64_t rows = rng.uniformInt(40) + 1;
+        const int64_t cols = rng.uniformInt(70) + 1;
+        const int64_t segments = rng.uniformInt(12) + 1;
+        auto x = randomValues(rng, rows * cols);
+        auto [sources, offsets] = randomCsr(rng, segments, rows);
+        int64_t max_deg = 1;
+        for (int64_t s = 0; s < segments; ++s)
+            max_deg = std::max(max_deg,
+                               offsets[size_t(s) + 1] -
+                                   offsets[size_t(s)]);
+        auto [ref, got] = runBothBackends(
+            size_t(segments * cols), [&](float* out) {
+                kernels::gatherAggregate(
+                    x.data(), rows, cols, sources.data(),
+                    offsets.data(), segments, kernels::Reduce::Mean,
+                    out);
+            });
+        expectWithinBound(ref, got, max_deg, 4.0f);
+    }
+}
+
+TEST_F(KernelEquivalence, GatherAggregateMaxBitExactWithArgmax)
+{
+    Rng rng(107);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int64_t rows = rng.uniformInt(40) + 1;
+        const int64_t cols = rng.uniformInt(70) + 1;
+        const int64_t segments = rng.uniformInt(12) + 1;
+        auto x = randomValues(rng, rows * cols);
+        // Duplicate some rows so first-wins tie-breaking is exercised.
+        if (rows > 1)
+            std::copy_n(x.begin(), cols, x.begin() + cols);
+        auto [sources, offsets] = randomCsr(rng, segments, rows);
+        std::vector<int64_t> ref_arg(size_t(segments * cols), -2);
+        std::vector<int64_t> got_arg(size_t(segments * cols), -2);
+        kernels::setKernelMode(kernels::KernelMode::Scalar);
+        std::vector<float> ref(size_t(segments * cols));
+        kernels::gatherAggregate(x.data(), rows, cols, sources.data(),
+                                 offsets.data(), segments,
+                                 kernels::Reduce::Max, ref.data(),
+                                 ref_arg.data());
+        kernels::setKernelMode(kernels::KernelMode::Avx2);
+        std::vector<float> got(size_t(segments * cols));
+        kernels::gatherAggregate(x.data(), rows, cols, sources.data(),
+                                 offsets.data(), segments,
+                                 kernels::Reduce::Max, got.data(),
+                                 got_arg.data());
+        kernels::setKernelMode(kernels::KernelMode::Scalar);
+        expectBitExact(ref, got);
+        EXPECT_EQ(ref_arg, got_arg);
+    }
+}
+
+TEST_F(KernelEquivalence, NanAndInfPropagateIdenticallyInAggregates)
+{
+    // The aggregate kernels follow IEEE propagation: NaN contaminates
+    // Sum/Mean; Max keeps a leading NaN (nothing compares greater)
+    // and ignores a later one (v > best is false) — the scalar chain
+    // and the AVX2 blend must agree lane-for-lane.
+    const int64_t rows = 6, cols = 11, segments = 3;
+    std::vector<float> x(size_t(rows * cols), 1.0f);
+    const float nan = std::nanf("");
+    const float inf = std::numeric_limits<float>::infinity();
+    x[0 * cols + 0] = nan;   // row 0 leads segment 0
+    x[1 * cols + 3] = nan;   // row 1 follows in segment 0
+    x[2 * cols + 5] = inf;
+    x[3 * cols + 7] = -inf;
+    std::vector<int64_t> sources{0, 1, 2, 3, 4};
+    std::vector<int64_t> offsets{0, 2, 4, 5};
+    for (auto reduce : {kernels::Reduce::Sum, kernels::Reduce::Mean,
+                        kernels::Reduce::Max}) {
+        std::vector<int64_t> ref_arg(size_t(segments * cols));
+        std::vector<int64_t> got_arg(size_t(segments * cols));
+        const bool is_max = reduce == kernels::Reduce::Max;
+        auto [ref, got] = runBothBackends(
+            size_t(segments * cols), [&](float* out) {
+                std::vector<int64_t>& arg =
+                    kernels::activeBackend() ==
+                            kernels::Backend::Avx2
+                        ? got_arg
+                        : ref_arg;
+                kernels::gatherAggregate(
+                    x.data(), rows, cols, sources.data(),
+                    offsets.data(), segments, reduce, out,
+                    is_max ? arg.data() : nullptr);
+            });
+        expectBitExact(ref, got);
+        if (is_max)
+            EXPECT_EQ(ref_arg, got_arg);
+    }
+}
+
+TEST_F(KernelEquivalence, AggregateBackwardSumBitExactMeanBounded)
+{
+    Rng rng(108);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int64_t rows = rng.uniformInt(30) + 1;
+        const int64_t cols = rng.uniformInt(40) + 1;
+        const int64_t segments = rng.uniformInt(10) + 1;
+        auto grad_out = randomValues(rng, segments * cols);
+        auto [sources, offsets] = randomCsr(rng, segments, rows);
+        for (bool mean : {false, true}) {
+            auto [ref, got] = runBothBackends(
+                size_t(rows * cols), [&](float* gx) {
+                    kernels::gatherAggregateBackward(
+                        grad_out.data(), cols, sources.data(),
+                        offsets.data(), segments, mean, gx);
+                });
+            if (mean)
+                expectWithinBound(
+                    ref, got, int64_t(sources.size()), 4.0f);
+            else
+                expectBitExact(ref, got);
+        }
+    }
+}
+
+TEST_F(KernelEquivalence, RowMovementAndElementwiseBitExact)
+{
+    Rng rng(109);
+    const int64_t rows = 23, cols = 37; // straddles the 8-lane edge
+    auto x = randomValues(rng, rows * cols);
+    std::vector<int64_t> idx;
+    for (int64_t i = 0; i < 50; ++i)
+        idx.push_back(rng.uniformInt(rows));
+
+    auto [gather_ref, gather_got] = runBothBackends(
+        idx.size() * size_t(cols), [&](float* out) {
+            kernels::gatherRows(x.data(), rows, cols, idx.data(),
+                                int64_t(idx.size()), out);
+        });
+    expectBitExact(gather_ref, gather_got);
+
+    auto grad = randomValues(rng, int64_t(idx.size()) * cols);
+    auto [scatter_ref, scatter_got] = runBothBackends(
+        size_t(rows * cols), [&](float* gx) {
+            kernels::scatterAddRows(grad.data(), cols, idx.data(),
+                                    int64_t(idx.size()), gx);
+        });
+    expectBitExact(scatter_ref, scatter_got);
+
+    const int64_t n = 1003; // 125 full lanes + 3 tail
+    auto base = randomValues(rng, n);
+    auto other = randomValues(rng, n);
+    auto [add_ref, add_got] =
+        runBothBackends(size_t(n), [&](float* y) {
+            std::copy(base.begin(), base.end(), y);
+            kernels::addInPlace(y, other.data(), n);
+            kernels::addScaledInPlace(y, other.data(), -0.37f, n);
+            kernels::scaleInPlace(y, 1.7f, n);
+        });
+    expectBitExact(add_ref, add_got);
+}
+
+/** Shared fixture for the end-to-end parity tests. */
+struct TrainSetup
+{
+    TrainSetup()
+        : dataset(loadCatalogDataset("arxiv_like", 0.02, 31)),
+          sampler(dataset.graph, {4, 6}, 32)
+    {
+        std::vector<int64_t> seeds(dataset.trainNodes.begin(),
+                                   dataset.trainNodes.begin() + 64);
+        batch = sampler.sample(seeds);
+    }
+
+    GraphSage makeModel(AggregatorKind aggregator)
+    {
+        SageConfig cfg;
+        cfg.inputDim = dataset.featureDim();
+        cfg.hiddenDim = 16;
+        cfg.numClasses = dataset.numClasses;
+        cfg.numLayers = 2;
+        cfg.aggregator = aggregator;
+        cfg.seed = 77;
+        return GraphSage(cfg);
+    }
+
+    Dataset dataset;
+    NeighborSampler sampler;
+    MultiLayerBatch batch;
+};
+
+/** One forward/backward of a fresh model under @p mode; returns
+ * {loss, param gradients}. */
+std::pair<float, std::vector<Tensor>>
+lossAndGrads(TrainSetup& setup, AggregatorKind aggregator,
+             kernels::KernelMode mode)
+{
+    kernels::setKernelMode(mode);
+    GraphSage model = setup.makeModel(aggregator);
+    Tensor feats(int64_t(setup.batch.inputNodes().size()),
+                 setup.dataset.featureDim());
+    for (size_t i = 0; i < setup.batch.inputNodes().size(); ++i)
+        std::copy_n(setup.dataset.features.data() +
+                        setup.batch.inputNodes()[i] *
+                            setup.dataset.featureDim(),
+                    setup.dataset.featureDim(),
+                    feats.data() +
+                        int64_t(i) * setup.dataset.featureDim());
+    std::vector<int32_t> labels;
+    for (int64_t v : setup.batch.outputNodes())
+        labels.push_back(setup.dataset.labels[size_t(v)]);
+    const auto logits =
+        model.forward(setup.batch, ag::constant(std::move(feats)));
+    const auto loss =
+        ag::softmaxCrossEntropy(logits, std::move(labels));
+    ag::backward(loss);
+    std::vector<Tensor> grads;
+    for (const auto& p : model.parameters())
+        grads.push_back(p->grad.empty()
+                            ? Tensor::zeros(p->value.rows(),
+                                            p->value.cols())
+                            : p->grad.clone());
+    kernels::setKernelMode(kernels::KernelMode::Scalar);
+    return {loss->value.at(0, 0), std::move(grads)};
+}
+
+class KernelEndToEnd
+    : public ::testing::TestWithParam<AggregatorKind>
+{
+  protected:
+    void SetUp() override
+    {
+        if (!avx2Available())
+            GTEST_SKIP() << "AVX2+FMA unavailable";
+    }
+
+    void TearDown() override
+    {
+        kernels::setKernelMode(kernels::KernelMode::Scalar);
+    }
+};
+
+TEST_P(KernelEndToEnd, GradientEquivalenceAcrossBackends)
+{
+    TrainSetup setup;
+    auto [scalar_loss, scalar_grads] = lossAndGrads(
+        setup, GetParam(), kernels::KernelMode::Scalar);
+    auto [avx2_loss, avx2_grads] =
+        lossAndGrads(setup, GetParam(), kernels::KernelMode::Avx2);
+
+    EXPECT_NEAR(scalar_loss, avx2_loss,
+                1e-4f * std::max(1.0f, std::fabs(scalar_loss)));
+    ASSERT_EQ(scalar_grads.size(), avx2_grads.size());
+    for (size_t i = 0; i < scalar_grads.size(); ++i) {
+        const float scale =
+            std::max(1e-6f, scalar_grads[i].maxAbs());
+        for (int64_t j = 0; j < scalar_grads[i].numel(); ++j)
+            ASSERT_NEAR(scalar_grads[i].data()[j],
+                        avx2_grads[i].data()[j], 2e-4f * scale)
+                << "param " << i << " elem " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggregators, KernelEndToEnd,
+                         ::testing::Values(AggregatorKind::Mean,
+                                           AggregatorKind::Sum,
+                                           AggregatorKind::Pool));
+
+TEST_F(KernelEquivalence, EndToEndLossParityOverEpochs)
+{
+    // Full Trainer loop (arena, pipelining, micro-batches) under each
+    // backend: per-epoch losses must track within tolerance — the
+    // backends are interchangeable for training, which is what lets
+    // bench_training_time report auto-mode speedups against
+    // scalar-mode baselines.
+    std::vector<std::vector<double>> losses;
+    for (auto mode : {kernels::KernelMode::Scalar,
+                      kernels::KernelMode::Avx2}) {
+        kernels::setKernelMode(mode);
+        TrainSetup setup;
+        GraphSage model = setup.makeModel(AggregatorKind::Mean);
+        Adam opt(model.parameters(), 0.01f);
+        Trainer trainer(setup.dataset, model, opt);
+        const auto micros = extractMicroBatches(
+            setup.batch,
+            BettyPartitioner().partition(setup.batch, 4));
+        std::vector<double> epoch_losses;
+        for (int epoch = 0; epoch < 3; ++epoch)
+            epoch_losses.push_back(
+                trainer.trainMicroBatches(micros).loss);
+        losses.push_back(std::move(epoch_losses));
+        kernels::setKernelMode(kernels::KernelMode::Scalar);
+    }
+    ASSERT_EQ(losses[0].size(), losses[1].size());
+    for (size_t e = 0; e < losses[0].size(); ++e)
+        EXPECT_NEAR(losses[0][e], losses[1][e],
+                    1e-3 * std::max(1.0, std::fabs(losses[0][e])))
+            << "epoch " << e;
+}
+
+} // namespace
+} // namespace betty

@@ -41,6 +41,7 @@
 #include "cache/feature_cache.h"
 #include "core/betty.h"
 #include "data/catalog.h"
+#include "kernels/dispatch.h"
 #include "memory/device_memory.h"
 #include "memory/transfer_model.h"
 #include "nn/models.h"
@@ -224,6 +225,20 @@ registeredScenarios()
          "2 epochs of micro-batched SAGE training, K=4, cora_like",
          [] { setupMicros("cora_like", 0.5, 256, 4); },
          [] { runTrainEpoch(false); }, [] { g_work.reset(); }});
+
+    scenarios.push_back(
+        {"train_epoch_simd",
+         "same epochs on the AVX2 kernel backend (BETTY_KERNELS="
+         "auto; falls back to scalar off-AVX2, docs/KERNELS.md)",
+         [] {
+             setupMicros("cora_like", 0.5, 256, 4);
+             kernels::setKernelMode(kernels::KernelMode::Auto);
+         },
+         [] { runTrainEpoch(false); },
+         [] {
+             kernels::setKernelMode(kernels::KernelMode::Scalar);
+             g_work.reset();
+         }});
 
     scenarios.push_back(
         {"train_epoch_cached",
